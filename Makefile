@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench examples verify clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done
+	@echo "all examples ran"
+
+verify: test bench examples
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

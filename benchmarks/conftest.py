@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: pre-published Yahoo! workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus import Broker
+from repro.workloads.yahoo import YahooWorkload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return YahooWorkload()
+
+
+@pytest.fixture(scope="session")
+def columnar_events(workload):
+    """A broker with 400k events published as columnar segments, as a
+    vectorized Kafka reader would fetch them."""
+    broker = Broker()
+    workload.publish_columnar(broker, "events", 400_000, partitions=4,
+                              duration=60.0)
+    return broker
+
+
+@pytest.fixture(scope="session")
+def row_events_small(workload):
+    """A broker with 40k row-dict events (for the slow KS-like engine)."""
+    broker = Broker()
+    workload.publish_columnar(broker, "events", 40_000, partitions=4,
+                              duration=60.0)
+    return broker

@@ -1,0 +1,24 @@
+"""Benchmark report output.
+
+pytest captures stdout, so the per-figure tables (the rows/series the
+paper reports) are written both to ``benchmarks/results/<name>.txt`` and
+to the real stdout (``sys.__stdout__``), making them visible in a plain
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines) -> None:
+    """Write a benchmark report to results/<name>.txt and the console."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text)
+    sys.__stdout__.write(f"\n===== {name} =====\n{text}")
+    sys.__stdout__.flush()

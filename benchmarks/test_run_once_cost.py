@@ -1,0 +1,87 @@
+"""Run-once trigger cost savings (§7.3).
+
+Paper: customers run a single epoch of a streaming job every few hours
+instead of a 24/7 cluster, cutting cost "in one case, up to 10x" while
+keeping the engine's transactional input/output tracking.
+
+Reproduction: the processing rate fed into the cost model is *measured*
+by actually running the run-once ETL pattern end to end (each invocation
+is a fresh engine resuming from the WAL); the savings table then follows
+from per-second billing arithmetic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bus import Broker
+from repro.cluster.costmodel import DeploymentCostModel
+from repro.sql import functions as F
+from repro.sql.session import Session
+
+from benchmarks.reporting import emit
+
+SCHEMA = (("device", "string"), ("reading", "double"), ("t", "timestamp"))
+HOUR = 3600.0
+MONTH = 30 * 24 * HOUR
+BACKLOG = 100_000
+
+
+def _one_run(session, broker, checkpoint, sink_rows):
+    events = session.read_stream.kafka(broker, "logs", SCHEMA)
+    cleaned = events.where(F.col("reading") >= 0)
+    query = (cleaned.write_stream
+             .foreach(lambda e, rows, mode: sink_rows.extend(rows))
+             .output_mode("append").trigger(once=True).start(checkpoint))
+    query.await_termination()
+    return query
+
+
+@pytest.mark.benchmark(group="runonce")
+def test_run_once_savings(benchmark, tmp_path):
+    broker = Broker()
+    topic = broker.create_topic("logs", 1)
+    session = Session()
+    checkpoint = str(tmp_path / "ckpt")
+    sink_rows = []
+
+    def scheduled_invocation():
+        # A few hours of backlog accumulated since the last run.
+        topic.publish_to(0, [
+            {"device": f"d{i % 50}", "reading": float(i % 100 - 5), "t": float(i)}
+            for i in range(BACKLOG)
+        ])
+        _one_run(session, broker, checkpoint, sink_rows)
+        return BACKLOG
+
+    processed = benchmark.pedantic(scheduled_invocation, rounds=3, iterations=1)
+    rate = processed / benchmark.stats.stats.min
+
+    # Each run picked up exactly where the previous stopped: no row is
+    # processed twice across invocations (the WAL's transactionality).
+    assert len(sink_rows) == 3 * BACKLOG * 95 // 100
+
+    model = DeploymentCostModel(
+        arrival_rate_records_per_second=1_000,
+        processing_rate_records_per_second=rate,
+        nodes=4, startup_seconds=120.0,
+    )
+    lines = [
+        "Run-once trigger cost savings (§7.3)",
+        f"measured ETL processing rate: {rate:,.0f} records/s",
+        f"{'interval':>10}{'savings vs 24/7':>18}{'max staleness':>16}",
+    ]
+    ratios = {}
+    for hours in (1, 4, 12, 24):
+        ratios[hours] = model.savings_ratio(MONTH, hours * HOUR)
+        lines.append(
+            f"{hours:>8}h {ratios[hours]:>15.1f}x"
+            f"{model.max_latency(hours * HOUR) / HOUR:>14.2f}h"
+        )
+    lines.append("(paper: up to 10x for low-volume applications)")
+    emit("run_once_cost", lines)
+
+    assert max(ratios.values()) >= 10  # the paper's headline is reachable
+    assert ratios[24] > ratios[1]      # rarer runs save more

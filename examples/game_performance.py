@@ -1,0 +1,96 @@
+"""Analyzing game performance — the §8.3 production use case.
+
+A gaming company monitors the latency its players experience.  Latency
+logs stream in from game clients; a streaming job joins them with a
+static table of Internet Autonomous Systems (ASes), aggregates
+performance per AS over event-time windows, and raises an alert when an
+AS degrades so IT staff can contact it.  Player *sessions* (gap-based,
+via the reproduction's session-window helper, §4.3.2) feed engagement
+metrics.
+
+Run:  python examples/game_performance.py
+"""
+
+from repro import Broker, Session
+from repro.sql import functions as F
+from repro.streaming.sessions import session_windows
+
+PINGS = (("player_id", "string"), ("ip_prefix", "string"),
+         ("latency_ms", "double"), ("t", "timestamp"))
+AS_TABLE = (("ip_prefix", "string"), ("as_name", "string"))
+
+
+def main():
+    session = Session()
+    broker = Broker()
+    broker.create_topic("latency-logs", 4)
+
+    as_table = session.create_dataframe([
+        {"ip_prefix": "203.0.113", "as_name": "AS-GOODNET"},
+        {"ip_prefix": "198.51.100", "as_name": "AS-FLAKYISP"},
+    ], AS_TABLE)
+
+    pings = (session.read_stream.kafka(broker, "latency-logs", PINGS)
+             .with_watermark("t", "30 seconds"))
+
+    # --- per-AS performance over 60 s windows + degradation alerts -----
+    per_as = (pings.join(as_table, on="ip_prefix")
+              .group_by(F.col("as_name"), F.window("t", "60 seconds"))
+              .agg(F.avg("latency_ms").alias("avg_latency"),
+                   F.count().alias("samples")))
+    alerts = []
+    alert_query = (per_as.where(F.col("avg_latency") > 150)
+                   .write_stream
+                   .foreach(lambda e, rows, mode: alerts.extend(rows))
+                   .output_mode("update").start())
+
+    dashboards = (per_as.write_stream.format("memory")
+                  .query_name("as_performance").output_mode("update").start())
+
+    # --- player sessions (gap 5 minutes) for engagement metrics --------
+    sessions = session_windows(pings, ["player_id"], "t", gap="5 minutes")
+    session_query = (sessions.write_stream.format("memory")
+                     .query_name("play_sessions").output_mode("append").start())
+
+    # Traffic: a healthy AS, then one degrading badly.
+    def ping(player, prefix, ms, t):
+        return {"player_id": player, "ip_prefix": prefix,
+                "latency_ms": ms, "t": t}
+
+    broker.topic("latency-logs").publish_to(0, [
+        ping("p1", "203.0.113", 35.0, 5.0),
+        ping("p2", "198.51.100", 48.0, 10.0),
+        ping("p1", "203.0.113", 38.0, 20.0),
+    ])
+    broker.topic("latency-logs").publish_to(1, [
+        ping("p2", "198.51.100", 250.0, 70.0),   # AS-FLAKYISP degrades
+        ping("p2", "198.51.100", 310.0, 80.0),
+        ping("p1", "203.0.113", 36.0, 75.0),
+    ])
+    # Idle gap, then p1 returns: closes p1's first session.
+    broker.topic("latency-logs").publish_to(0, [
+        ping("p1", "203.0.113", 37.0, 900.0),
+        ping("p1", "203.0.113", 39.0, 1500.0),
+        ping("p1", "203.0.113", 40.0, 2200.0),
+    ])
+    for q in (alert_query, dashboards, session_query):
+        q.process_all_available()
+
+    print("per-AS window performance:")
+    for row in session.sql(
+        "SELECT as_name, window_start, round(avg_latency, 1) AS ms, samples "
+        "FROM as_performance ORDER BY window_start, as_name"
+    ).collect():
+        print("  ", row)
+
+    print("\ndegradation alerts (IT contacts the AS, §8.3):")
+    for alert in alerts:
+        print("  ", dict(alert))
+
+    print("\nclosed play sessions:")
+    for row in session.table("play_sessions").collect():
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

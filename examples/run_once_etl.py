@@ -1,0 +1,72 @@
+"""Discontinuous processing: the run-once trigger (§7.3).
+
+Many ETL jobs want a streaming engine's bookkeeping — which input has
+been processed, which results are durably saved — without paying for a
+24/7 cluster.  Running a single epoch every few hours gives exactly-once
+ETL at batch cost: the WAL tracks input offsets across invocations, so
+each run picks up precisely where the previous one stopped, even across
+"cluster teardowns" (here: fresh engine objects).
+
+Run:  python examples/run_once_etl.py
+"""
+
+import os
+import tempfile
+
+from repro import Broker, Session
+from repro.cluster.costmodel import DeploymentCostModel
+from repro.sinks.file import TransactionalFileSink
+from repro.sql import functions as F
+
+EVENTS = (("device", "string"), ("reading", "double"), ("t", "timestamp"))
+
+
+def run_once(session, broker, out_dir, checkpoint):
+    """One scheduled invocation: start, drain one epoch, tear down."""
+    events = session.read_stream.kafka(broker, "sensor-logs", EVENTS)
+    cleaned = (events.where(F.col("reading").is_not_null())
+               .where(F.col("reading") >= 0))
+    query = (cleaned.write_stream.format("file").option("path", out_dir)
+             .output_mode("append")
+             .trigger(once=True)          # the run-once trigger
+             .start(checkpoint))
+    query.await_termination()
+    return query.last_progress
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="runonce-")
+    out_dir = os.path.join(workdir, "clean")
+    checkpoint = os.path.join(workdir, "ckpt")
+    session = Session()
+    broker = Broker()
+    broker.create_topic("sensor-logs", 1)
+
+    table = TransactionalFileSink(out_dir)
+    for hour in range(3):
+        # Data accumulates between scheduled runs.
+        broker.topic("sensor-logs").publish_to(0, [
+            {"device": f"d{i}", "reading": float(i - 1), "t": hour * 3600.0 + i}
+            for i in range(4)  # one negative reading to clean out
+        ])
+        progress = run_once(session, broker, out_dir, checkpoint)
+        processed = progress.input_rows if progress else 0
+        print(f"run {hour}: processed {processed} new records, "
+              f"table now has {len(table.read_rows())} rows")
+
+    # What does this save? The paper reports up to 10x (§7.3).
+    model = DeploymentCostModel(
+        arrival_rate_records_per_second=50,
+        processing_rate_records_per_second=500_000,
+        nodes=4, startup_seconds=90.0,
+    )
+    month = 30 * 24 * 3600.0
+    for hours in (1, 4, 24):
+        ratio = model.savings_ratio(month, hours * 3600.0)
+        latency = model.max_latency(hours * 3600.0) / 3600.0
+        print(f"run-once every {hours:>2}h: {ratio:5.1f}x cheaper than 24/7 "
+              f"(worst-case staleness {latency:.2f}h)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Live video delivery monitoring — the §8.2 production use case.
+
+A media company collects per-client video quality metrics, aggregates
+them with Structured Streaming in event time, stores results in a
+queryable table, and lets operations engineers interactively diagnose
+problems (e.g. whether an issue is tied to a specific ISP or server).
+
+Run:  python examples/video_quality.py
+"""
+
+from repro import Broker, Session
+from repro.sql import functions as F
+
+METRICS = (("isp", "string"), ("server", "string"),
+           ("buffer_ratio", "double"), ("bitrate_kbps", "double"),
+           ("t", "timestamp"))
+
+
+def main():
+    session = Session()
+    broker = Broker()
+    broker.create_topic("client-metrics", 4)
+
+    metrics = (session.read_stream.kafka(broker, "client-metrics", METRICS)
+               .with_watermark("t", "30 seconds"))
+
+    # Quality per (ISP, 60s window): rebuffering and delivered bitrate.
+    quality = (metrics
+               .group_by(F.col("isp"), F.window("t", "60 seconds"))
+               .agg(F.avg("buffer_ratio").alias("avg_buffering"),
+                    F.avg("bitrate_kbps").alias("avg_bitrate"),
+                    F.count().alias("samples")))
+    query = (quality.write_stream.format("memory").query_name("video_quality")
+             .output_mode("update").start())
+
+    def sample(isp, server, buffering, bitrate, t):
+        return {"isp": isp, "server": server, "buffer_ratio": buffering,
+                "bitrate_kbps": bitrate, "t": t}
+
+    # Healthy traffic, then an ISP starts degrading mid-stream.
+    broker.topic("client-metrics").publish_to(0, [
+        sample("comnet", "sfo-1", 0.01, 4800.0, 10.0),
+        sample("comnet", "sfo-2", 0.02, 4700.0, 15.0),
+        sample("fiberco", "sfo-1", 0.01, 5200.0, 20.0),
+    ])
+    query.process_all_available()
+
+    broker.topic("client-metrics").publish_to(1, [
+        sample("comnet", "sfo-1", 0.35, 1400.0, 70.0),   # degraded!
+        sample("comnet", "sfo-2", 0.41, 1100.0, 75.0),
+        sample("fiberco", "sfo-1", 0.02, 5100.0, 80.0),
+    ])
+    query.process_all_available()
+
+    # The operations engineer investigates interactively on fresh data.
+    print("per-ISP quality by window:")
+    for row in session.sql(
+        "SELECT isp, window_start, avg_buffering, avg_bitrate "
+        "FROM video_quality ORDER BY window_start, isp"
+    ).collect():
+        print("  ", row)
+
+    print("\nis the problem ISP-wide or one server? (drill-down)")
+    per_server = (session.table("video_quality"))
+    degraded = session.sql(
+        "SELECT isp, window_start, avg_buffering FROM video_quality "
+        "WHERE avg_buffering > 0.2"
+    ).collect()
+    for row in degraded:
+        print("   DEGRADED:", row)
+    del per_server
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduction of "Structured Streaming: A Declarative API for
+Real-Time Applications in Apache Spark" (SIGMOD 2018).
+
+Quickstart::
+
+    from repro import Session, functions as F
+
+    session = Session()
+    data = session.read_stream.json("/in", schema)
+    counts = data.group_by("country").count()
+    query = (counts.write_stream.format("file").option("path", "/counts")
+             .output_mode("complete").start("/checkpoints/counts"))
+    query.process_all_available()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.sql import functions
+from repro.sql.session import Session
+from repro.sql.types import StructField, StructType
+from repro.bus import Broker
+from repro.sources import MemoryStream
+
+__all__ = [
+    "Broker",
+    "MemoryStream",
+    "Session",
+    "StructField",
+    "StructType",
+    "functions",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,12 @@
+"""A Kafka-like durable message bus (substrate for replayable sources).
+
+The paper requires input sources to be *replayable*: partitioned logs with
+stable offsets that can be re-read after a failure (§3, §6.1).  This
+package provides exactly that contract in-process: topics divided into
+append-only partitions, each a sequence of records addressable by integer
+offset, with optional retention trimming.
+"""
+
+from repro.bus.broker import Broker, Topic, TopicPartition
+
+__all__ = ["Broker", "Topic", "TopicPartition"]

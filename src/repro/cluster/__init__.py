@@ -1,0 +1,30 @@
+"""Simulated cluster runtime: the "Spark execution layer" substrate.
+
+The paper's microbatch mode inherits Spark's fine-grained task execution
+(§6.2): dynamic load balancing, straggler mitigation via speculative
+backup tasks, retry-based fault recovery and trivially rescalable
+workers.  This package provides those mechanisms in-process:
+
+* :mod:`repro.cluster.scheduler` — a task scheduler over worker threads
+  with speculation, retries and rescaling, plus fault injection hooks;
+* :mod:`repro.cluster.perfmodel` — the calibrated analytical model used
+  for multi-node scaling numbers (Figure 6b), since a laptop cannot host
+  20 × 8-core nodes;
+* :mod:`repro.cluster.costmodel` — the cloud-cost model behind the
+  run-once trigger savings analysis (§7.3).
+"""
+
+from repro.cluster.scheduler import Task, TaskFailure, TaskScheduler
+from repro.cluster.failures import FailureInjector, SlowdownInjector
+from repro.cluster.perfmodel import ClusterPerformanceModel
+from repro.cluster.costmodel import DeploymentCostModel
+
+__all__ = [
+    "ClusterPerformanceModel",
+    "DeploymentCostModel",
+    "FailureInjector",
+    "SlowdownInjector",
+    "Task",
+    "TaskFailure",
+    "TaskScheduler",
+]

@@ -1,0 +1,62 @@
+"""Fault and straggler injection for scheduler tests (§2.3, §7.5).
+
+Injectors are callables the scheduler invokes at task start; they decide
+whether this (task, worker, attempt) should fail or run slowly.  Keeping
+them separate from the scheduler makes failure scenarios declarative in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class FailureInjector:
+    """Fail specific task attempts.
+
+    ``plan`` maps ``task_id -> number of times it should fail`` before
+    succeeding; a worker set restricts failures to those workers.
+    """
+
+    def __init__(self, plan: dict, on_workers=None):
+        self._remaining = dict(plan)
+        self._on_workers = set(on_workers) if on_workers is not None else None
+        self._lock = threading.Lock()
+        self.injected = []
+
+    def __call__(self, task_id, worker_id: int, attempt: int) -> None:
+        if self._on_workers is not None and worker_id not in self._on_workers:
+            return
+        with self._lock:
+            remaining = self._remaining.get(task_id, 0)
+            if remaining <= 0:
+                return
+            self._remaining[task_id] = remaining - 1
+            self.injected.append((task_id, worker_id, attempt))
+        raise RuntimeError(f"injected failure: task {task_id} on worker {worker_id}")
+
+
+class SlowdownInjector:
+    """Make specific (task, worker) combinations stragglers.
+
+    ``delay`` seconds of extra sleep are added when a slow worker picks
+    up a matching task — the scheduler's speculation should launch a
+    backup copy elsewhere and use whichever finishes first (§6.2).
+    """
+
+    def __init__(self, slow_workers, delay: float, task_ids=None):
+        self._slow_workers = set(slow_workers)
+        self._delay = delay
+        self._task_ids = set(task_ids) if task_ids is not None else None
+        self.slowed = []
+        self._lock = threading.Lock()
+
+    def __call__(self, task_id, worker_id: int, attempt: int) -> None:
+        if worker_id not in self._slow_workers:
+            return
+        if self._task_ids is not None and task_id not in self._task_ids:
+            return
+        with self._lock:
+            self.slowed.append((task_id, worker_id, attempt))
+        time.sleep(self._delay)

@@ -1,0 +1,57 @@
+"""Analytical cluster scaling model, calibrated by measurement (Fig 6b).
+
+The paper runs the Yahoo! benchmark on 1–20 EC2 c3.2xlarge nodes
+(8 virtual cores each) and observes near-linear scaling: 11.5M records/s
+on one node to 225M records/s on twenty.  A single laptop cannot host
+that cluster, so — per the reproduction's substitution rule — the
+multi-node numbers come from this model, *calibrated* by measuring the
+real single-core throughput of each engine implementation on this
+machine.
+
+The model captures the two effects the paper's execution design implies:
+
+* work parallelizes across ``nodes * cores_per_node`` cores because the
+  benchmark pipeline is a map + a keyed aggregation whose partial
+  aggregates parallelize perfectly (one Kafka partition per core, §9.1);
+* per-epoch coordination (driver bookkeeping, commit barrier) grows
+  mildly with the cluster size, costing a small efficiency factor.
+"""
+
+from __future__ import annotations
+
+
+class ClusterPerformanceModel:
+    """Max stable throughput as a function of cluster size."""
+
+    def __init__(self, per_core_records_per_second: float,
+                 cores_per_node: int = 8,
+                 coordination_overhead_per_node: float = 0.0015,
+                 shuffle_overhead_fraction: float = 0.02):
+        if per_core_records_per_second <= 0:
+            raise ValueError("per-core rate must be positive")
+        self.per_core_rate = per_core_records_per_second
+        self.cores_per_node = cores_per_node
+        #: Fractional efficiency lost per extra node (epoch barrier cost).
+        self.coordination_overhead_per_node = coordination_overhead_per_node
+        #: Fractional cost of the map->reduce shuffle on multi-node runs.
+        self.shuffle_overhead_fraction = shuffle_overhead_fraction
+
+    def efficiency(self, nodes: int) -> float:
+        """Parallel efficiency in (0, 1] for a cluster of ``nodes``."""
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        coordination = self.coordination_overhead_per_node * (nodes - 1)
+        shuffle = self.shuffle_overhead_fraction if nodes > 1 else 0.0
+        return 1.0 / (1.0 + coordination + shuffle)
+
+    def max_throughput(self, nodes: int) -> float:
+        """Records/second at max stable load for ``nodes`` nodes."""
+        return nodes * self.cores_per_node * self.per_core_rate * self.efficiency(nodes)
+
+    def sweep(self, node_counts) -> list:
+        """[(nodes, records_per_second)] for a list of cluster sizes."""
+        return [(n, self.max_throughput(n)) for n in node_counts]
+
+    def speedup(self, nodes: int) -> float:
+        """Throughput relative to a single node."""
+        return self.max_throughput(nodes) / self.max_throughput(1)

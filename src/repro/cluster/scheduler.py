@@ -1,0 +1,241 @@
+"""Fine-grained task scheduler with speculation and retries (§6.2).
+
+A stage is a set of independent tasks (one per input partition, as in
+the microbatch engine's epochs).  Worker threads pull tasks from a
+shared queue — that *is* dynamic load balancing: a slow worker simply
+pulls fewer tasks.  The scheduler additionally provides:
+
+* **fault recovery** — a failed task is retried (possibly elsewhere)
+  without restarting the stage;
+* **straggler mitigation** — when idle workers exist and a running task
+  has taken noticeably longer than the median completed task, a backup
+  copy is launched and whichever attempt finishes first wins (§6.2);
+* **rescaling** — workers can be added or removed between stages.
+
+Tasks must be idempotent (they may run twice under speculation), the
+same requirement Spark places on its tasks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class TaskFailure(Exception):
+    """A task exhausted its retry budget."""
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work."""
+
+    task_id: object
+    fn: callable
+    args: tuple = ()
+
+    def run(self):
+        return self.fn(*self.args)
+
+
+@dataclass
+class _Attempt:
+    task: Task
+    attempt: int
+    started_at: float = field(default=0.0)
+
+
+class _StageState:
+    """Bookkeeping for one run_stage call."""
+
+    def __init__(self, tasks):
+        self.lock = threading.Lock()
+        self.results = {}
+        self.failures = {}
+        self.attempts_launched = {t.task_id: 0 for t in tasks}
+        self.running = {}  # task_id -> set of attempt numbers
+        self.durations = []
+        self.error = None
+        self.done = threading.Event()
+        self.remaining = {t.task_id for t in tasks}
+        self.speculative_launches = 0
+        self.retries = 0
+
+
+class TaskScheduler:
+    """A pool of worker threads executing stages of tasks."""
+
+    def __init__(self, num_workers: int, max_retries: int = 3,
+                 speculation: bool = True, speculation_multiplier: float = 2.0,
+                 speculation_min_seconds: float = 0.05,
+                 injectors=()):
+        self._max_retries = max_retries
+        self._speculation = speculation
+        self._speculation_multiplier = speculation_multiplier
+        self._speculation_min_seconds = speculation_min_seconds
+        #: Callables ``(task_id, worker_id, attempt)`` run at task start;
+        #: they may sleep (straggler) or raise (failure).
+        self.injectors = list(injectors)
+
+        self._queue = queue.Queue()
+        self._workers = {}
+        self._next_worker_id = 0
+        self._shutdown = threading.Event()
+        self._stage = None
+        self._stage_lock = threading.Lock()
+        for _ in range(num_workers):
+            self._add_worker()
+
+    # ------------------------------------------------------------------
+    # Worker management (rescaling, §2.3)
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Current live worker count."""
+        return sum(1 for alive in self._workers.values() if alive["alive"])
+
+    def _add_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        record = {"alive": True}
+        thread = threading.Thread(
+            target=self._worker_loop, args=(worker_id, record),
+            name=f"worker-{worker_id}", daemon=True,
+        )
+        record["thread"] = thread
+        self._workers[worker_id] = record
+        thread.start()
+        return worker_id
+
+    def add_workers(self, n: int) -> list:
+        """Scale up by ``n`` workers; returns their ids."""
+        return [self._add_worker() for _ in range(n)]
+
+    def remove_workers(self, n: int) -> None:
+        """Scale down by ``n`` workers (they exit after their current task)."""
+        victims = [wid for wid, rec in self._workers.items() if rec["alive"]][:n]
+        for wid in victims:
+            self._workers[wid]["alive"] = False
+
+    def shutdown(self) -> None:
+        """Stop all workers."""
+        self._shutdown.set()
+        for rec in self._workers.values():
+            rec["alive"] = False
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+    def run_stage(self, tasks, timeout: float = 60.0) -> dict:
+        """Run tasks to completion; returns ``{task_id: result}``.
+
+        Raises :class:`TaskFailure` if any task exhausts its retries.
+        Only one stage runs at a time (as within one microbatch epoch).
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        with self._stage_lock:
+            state = _StageState(tasks)
+            self._stage = state
+            for task in tasks:
+                self._enqueue(state, task)
+            speculator = threading.Thread(
+                target=self._speculation_loop, args=(state,), daemon=True
+            )
+            if self._speculation:
+                speculator.start()
+            finished = state.done.wait(timeout)
+            self._stage = None
+            if not finished:
+                raise TimeoutError(f"stage did not finish within {timeout}s")
+            if state.error is not None:
+                raise state.error
+            return dict(state.results)
+
+    def _enqueue(self, state: _StageState, task: Task) -> None:
+        with state.lock:
+            attempt = state.attempts_launched[task.task_id]
+            state.attempts_launched[task.task_id] = attempt + 1
+        self._queue.put((state, _Attempt(task, attempt)))
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_id: int, record: dict) -> None:
+        while record["alive"] and not self._shutdown.is_set():
+            try:
+                state, attempt = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            task = attempt.task
+            with state.lock:
+                if task.task_id not in state.remaining:
+                    continue  # another attempt already finished it
+                attempt.started_at = time.monotonic()
+                state.running.setdefault(task.task_id, {})[attempt.attempt] = attempt
+            try:
+                for injector in self.injectors:
+                    injector(task.task_id, worker_id, attempt.attempt)
+                result = task.run()
+            except Exception as exc:
+                self._on_failure(state, task, attempt, exc)
+            else:
+                self._on_success(state, task, attempt, result)
+
+    def _on_success(self, state: _StageState, task: Task, attempt: _Attempt, result) -> None:
+        with state.lock:
+            if task.task_id in state.remaining:
+                state.remaining.discard(task.task_id)
+                state.results[task.task_id] = result
+                state.durations.append(time.monotonic() - attempt.started_at)
+            state.running.get(task.task_id, {}).pop(attempt.attempt, None)
+            if not state.remaining:
+                state.done.set()
+
+    def _on_failure(self, state: _StageState, task: Task, attempt: _Attempt, exc) -> None:
+        with state.lock:
+            state.running.get(task.task_id, {}).pop(attempt.attempt, None)
+            if task.task_id not in state.remaining:
+                return  # a different attempt already succeeded
+            failures = state.failures.get(task.task_id, 0) + 1
+            state.failures[task.task_id] = failures
+            if failures > self._max_retries:
+                state.error = TaskFailure(
+                    f"task {task.task_id} failed {failures} times: {exc}"
+                )
+                state.done.set()
+                return
+            state.retries += 1
+        self._enqueue(state, task)  # fine-grained recovery: rerun just this task
+
+    # ------------------------------------------------------------------
+    # Speculation (straggler mitigation, §6.2)
+    # ------------------------------------------------------------------
+    def _speculation_loop(self, state: _StageState) -> None:
+        while not state.done.wait(0.01):
+            with state.lock:
+                if not state.durations:
+                    continue
+                median = sorted(state.durations)[len(state.durations) // 2]
+                threshold = max(
+                    median * self._speculation_multiplier,
+                    self._speculation_min_seconds,
+                )
+                now = time.monotonic()
+                candidates = []
+                for task_id in state.remaining:
+                    attempts = state.running.get(task_id, {})
+                    if len(attempts) != 1:
+                        continue  # not running, or already speculated
+                    (attempt,) = attempts.values()
+                    if attempt.started_at and now - attempt.started_at > threshold:
+                        candidates.append(attempt.task)
+                if not self._queue.empty():
+                    candidates = []  # workers are busy; no idle capacity
+                for task in candidates:
+                    state.speculative_launches += 1
+            for task in candidates:
+                self._enqueue(state, task)

@@ -1,0 +1,24 @@
+"""Streaming output sinks.
+
+All sinks satisfy the idempotence contract of §3/§6.1: ``add_batch`` with
+an epoch id the sink has already committed is a no-op (or an atomic
+replace), so the engine may safely rewrite the last epoch after a crash.
+The transactional file sink additionally provides *atomic* multi-file
+commits via a manifest log, modeling Databricks Delta (§6.1 footnote 3).
+"""
+
+from repro.sinks.base import Sink
+from repro.sinks.memory import MemorySink
+from repro.sinks.file import TransactionalFileSink
+from repro.sinks.kafka import KafkaSink
+from repro.sinks.foreach import ForeachSink
+from repro.sinks.console import ConsoleSink
+
+__all__ = [
+    "ConsoleSink",
+    "ForeachSink",
+    "KafkaSink",
+    "MemorySink",
+    "Sink",
+    "TransactionalFileSink",
+]

@@ -1,0 +1,37 @@
+"""Sink interface.
+
+The engine calls ``add_batch(epoch_id, batch, mode)`` once per epoch with
+the epoch's output rows under the query's output mode:
+
+* ``append`` — the rows are new and final; add them;
+* ``update`` — the rows are upserts keyed by ``key_names``;
+* ``complete`` — the rows are the entire result table; replace everything.
+
+``last_committed_epoch`` lets a recovering engine skip re-delivery of
+epochs the sink already has — this plus idempotent ``add_batch`` yields
+exactly-once output end to end (§6.1 step 4).
+"""
+
+from __future__ import annotations
+
+from repro.sql.batch import RecordBatch
+
+
+class Sink:
+    """Base class for output sinks."""
+
+    #: Output modes this sink supports; checked when the query starts.
+    supported_modes = ("append", "update", "complete")
+
+    def set_key_names(self, key_names) -> None:
+        """Told by the engine which output columns identify a row (for
+        update mode).  Default: remember them."""
+        self.key_names = list(key_names) if key_names else []
+
+    def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        """Write one epoch's output.  MUST be idempotent in ``epoch_id``."""
+        raise NotImplementedError
+
+    def last_committed_epoch(self):
+        """Highest epoch id durably written, or None."""
+        return None

@@ -1,0 +1,26 @@
+"""Console sink: print each epoch (debugging, like Spark's console sink)."""
+
+from __future__ import annotations
+
+from repro.sinks.base import Sink
+from repro.sql.batch import RecordBatch
+
+
+class ConsoleSink(Sink):
+    """Print each epoch's rows; useful in examples."""
+
+    def __init__(self, max_rows: int = 20):
+        self._max_rows = max_rows
+        self._epochs = set()
+        self.key_names = []
+
+    def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        if epoch_id in self._epochs:
+            return
+        self._epochs.add(epoch_id)
+        print(f"-------- epoch {epoch_id} ({mode}, {batch.num_rows} rows) --------")
+        for row in batch.to_rows()[: self._max_rows]:
+            print(row)
+
+    def last_committed_epoch(self):
+        return max(self._epochs) if self._epochs else None

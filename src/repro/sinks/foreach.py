@@ -1,0 +1,65 @@
+"""Foreach sink: hand each epoch's rows to a user callback.
+
+The callback receives ``(epoch_id, rows, mode)``; the sink deduplicates by
+epoch so the callback observes exactly-once delivery even across engine
+recovery, provided the same sink instance (or an external system the
+callback writes to idempotently) is reused.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sinks.base import Sink
+from repro.sql.batch import RecordBatch
+
+
+class ForeachBatchSink(Sink):
+    """Invoke ``fn(batch_df, epoch_id)`` once per epoch with the epoch's
+    output as a *batch DataFrame* — the pattern for writing to systems
+    without a native sink while reusing the whole batch API (e.g. run a
+    follow-up aggregation, write to several tables transactionally)."""
+
+    def __init__(self, fn, session):
+        self._fn = fn
+        self._session = session
+        self._epochs = set()
+        self._lock = threading.Lock()
+        self.key_names = []
+
+    def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        with self._lock:
+            if epoch_id in self._epochs:
+                return
+            self._epochs.add(epoch_id)
+        self._fn(self._session.from_batch(batch), epoch_id)
+
+    def last_committed_epoch(self):
+        with self._lock:
+            return max(self._epochs) if self._epochs else None
+
+
+class ForeachSink(Sink):
+    """Invoke ``fn(epoch_id, rows, mode)`` once per epoch."""
+
+    def __init__(self, fn):
+        self._fn = fn
+        self._epochs = set()
+        self._lock = threading.Lock()
+        self.key_names = []
+
+    def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        with self._lock:
+            if epoch_id in self._epochs:
+                return
+            self._epochs.add(epoch_id)
+        self._fn(epoch_id, batch.to_rows(), mode)
+
+    def append_rows(self, rows) -> None:
+        """Continuous-mode write path: deliver rows immediately (§6.3),
+        with epoch -1 marking out-of-epoch delivery."""
+        self._fn(-1, list(rows), "append")
+
+    def last_committed_epoch(self):
+        with self._lock:
+            return max(self._epochs) if self._epochs else None

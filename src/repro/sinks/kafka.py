@@ -1,0 +1,68 @@
+"""Sink publishing results back to the message bus.
+
+Models Kafka output with transactional producers: the broker-side epoch
+registry records which (query, epoch) pairs have been published, so a
+recovering query re-delivering its last epoch produces no duplicates —
+the "stream to stream ETL" pattern of §6.3.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bus import Broker
+from repro.sinks.base import Sink
+from repro.sql.batch import RecordBatch
+
+# Broker-side registries, keyed by (topic, query). Living outside the sink
+# instance models state kept by the external bus (transaction markers),
+# which survives application restarts.
+_registry_lock = threading.Lock()
+_committed_epochs: dict = {}
+
+
+class KafkaSink(Sink):
+    """Publish each epoch's rows to a topic, exactly once per epoch."""
+
+    supported_modes = ("append", "update")
+
+    def __init__(self, broker: Broker, topic_name: str, query_id: str,
+                 partition_key: str = None):
+        self._topic = broker.get_or_create(topic_name)
+        self._query_id = query_id
+        self._registry_key = (topic_name, query_id)
+        self._partition_key = partition_key
+        self.key_names = []
+
+    def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        with _registry_lock:
+            seen = _committed_epochs.setdefault(self._registry_key, set())
+            if epoch_id in seen:
+                return
+        rows = batch.to_rows()
+        if self._partition_key is None or self._topic.num_partitions == 1:
+            self._topic.publish_to(0, rows)
+        else:
+            shards = [[] for _ in range(self._topic.num_partitions)]
+            for row in rows:
+                shards[hash(row[self._partition_key]) % len(shards)].append(row)
+            for index, shard in enumerate(shards):
+                if shard:
+                    self._topic.publish_to(index, shard)
+        with _registry_lock:
+            _committed_epochs[self._registry_key].add(epoch_id)
+
+    def append_rows(self, rows) -> None:
+        """Continuous-mode write path: publish rows immediately (§6.3)."""
+        self._topic.publish_to(0, list(rows))
+
+    def last_committed_epoch(self):
+        with _registry_lock:
+            seen = _committed_epochs.get(self._registry_key)
+            return max(seen) if seen else None
+
+
+def reset_transaction_registry() -> None:
+    """Test helper: forget all broker-side transaction markers."""
+    with _registry_lock:
+        _committed_epochs.clear()

@@ -1,0 +1,25 @@
+"""Streaming input sources.
+
+All sources satisfy the paper's replayability contract (§3, §6.1): data is
+addressed by per-partition integer offsets, and any retained offset range
+can be re-read deterministically, which is what lets the engine recover
+from failures and support manual rollback.
+"""
+
+from repro.sources.base import Source, SourceDescriptor
+from repro.sources.kafka import KafkaSource, KafkaSourceDescriptor
+from repro.sources.file import FileStreamSource, FileSourceDescriptor
+from repro.sources.rate import RateSource, RateSourceDescriptor
+from repro.sources.memory import MemoryStream
+
+__all__ = [
+    "FileSourceDescriptor",
+    "FileStreamSource",
+    "KafkaSource",
+    "KafkaSourceDescriptor",
+    "MemoryStream",
+    "RateSource",
+    "RateSourceDescriptor",
+    "Source",
+    "SourceDescriptor",
+]

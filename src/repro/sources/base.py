@@ -1,0 +1,72 @@
+"""Source interfaces.
+
+A :class:`Source` exposes a partially ordered stream as per-partition
+offset ranges (§4.2: records are totally ordered within a partition,
+unordered across partitions).  The engine's contract with sources is:
+
+* ``latest_offsets`` — what data exists right now (end of each partition);
+* ``get_batch(start, end)`` — *replayable*: the same range must return the
+  same records until ``commit`` allows their disposal;
+* ``commit(end)`` — all data before ``end`` has been durably committed to
+  the sink; the source may release it (e.g. retention trimming).
+
+Offsets are ``{partition_name: int}`` dicts so they serialize directly
+into the human-readable JSON write-ahead log (§1, §6.1).
+"""
+
+from __future__ import annotations
+
+from repro.sql.batch import RecordBatch
+from repro.sql.types import StructType
+
+
+class Source:
+    """Base class for replayable streaming sources."""
+
+    schema: StructType
+
+    def partitions(self) -> list:
+        """Stable partition names."""
+        raise NotImplementedError
+
+    def initial_offsets(self) -> dict:
+        """Offsets representing "before any data"."""
+        raise NotImplementedError
+
+    def latest_offsets(self) -> dict:
+        """End offsets of all data currently available."""
+        raise NotImplementedError
+
+    def get_batch(self, start: dict, end: dict) -> RecordBatch:
+        """Read records with offsets in ``[start, end)`` for each partition.
+
+        Must be deterministic and repeatable for any retained range.
+        """
+        raise NotImplementedError
+
+    def get_partition_batch(self, partition: str, start: int, end: int) -> RecordBatch:
+        """Read one partition's range (used by per-partition task execution
+        and the continuous engine)."""
+        raise NotImplementedError
+
+    def commit(self, end: dict) -> None:
+        """Notify that data before ``end`` is durably processed (optional)."""
+
+    def offsets_delta(self, start: dict, end: dict) -> int:
+        """Number of records in ``[start, end)`` across partitions."""
+        return sum(end[p] - start.get(p, 0) for p in end)
+
+
+class SourceDescriptor:
+    """A serializable-ish recipe for (re)attaching to a source.
+
+    Logical plans hold descriptors rather than live sources so the same
+    plan can be executed as a fresh application after a restart; the
+    engine calls :meth:`create` once per run.
+    """
+
+    name = "source"
+
+    def create(self) -> Source:
+        """Instantiate (or re-attach to) the source."""
+        raise NotImplementedError

@@ -1,0 +1,60 @@
+"""In-memory test source, equivalent to Spark's ``MemoryStream``.
+
+Tests and examples push rows with :meth:`MemoryStream.add_data`; the
+engine reads them back by offset.  The stream retains everything, so any
+epoch can be replayed — convenient for crash-recovery tests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sql.batch import RecordBatch
+from repro.sql.types import StructType
+from repro.sources.base import Source, SourceDescriptor
+
+PARTITION = "0"
+
+
+class MemoryStream(Source, SourceDescriptor):
+    """A single-partition, fully retained in-memory stream.
+
+    Acts as its own descriptor: the object is shared between the test
+    (producer) and the engine (consumer), surviving engine restarts the
+    way an external message bus would.
+    """
+
+    name = "memory"
+
+    def __init__(self, schema):
+        self.schema = schema if isinstance(schema, StructType) else StructType(tuple(schema))
+        self._rows = []
+        self._lock = threading.Lock()
+
+    def add_data(self, rows) -> None:
+        """Append rows (list of dicts) to the stream."""
+        with self._lock:
+            self._rows.extend(rows)
+
+    def create(self) -> "MemoryStream":
+        return self
+
+    def partitions(self) -> list:
+        return [PARTITION]
+
+    def initial_offsets(self) -> dict:
+        return {PARTITION: 0}
+
+    def latest_offsets(self) -> dict:
+        with self._lock:
+            return {PARTITION: len(self._rows)}
+
+    def get_partition_batch(self, partition: str, start: int, end: int) -> RecordBatch:
+        with self._lock:
+            rows = self._rows[start:end]
+        return RecordBatch.from_rows(rows, self.schema)
+
+    def get_batch(self, start: dict, end: dict) -> RecordBatch:
+        return self.get_partition_batch(
+            PARTITION, start.get(PARTITION, 0), end[PARTITION]
+        )

@@ -1,0 +1,213 @@
+"""Query analysis: resolution, validation and streaming support checks.
+
+Mirrors §5.1 of the paper: the first planning stage resolves attributes and
+types (here, by forcing every node's lazily computed schema) and then checks
+that the query can be executed incrementally and that the user's chosen
+output mode is valid for this specific query.
+"""
+
+from __future__ import annotations
+
+from repro.sql import logical as L
+from repro.sql.expressions import AnalysisError, WindowExpr
+
+OUTPUT_MODES = ("append", "update", "complete")
+
+
+def analyze(plan: L.LogicalPlan) -> L.LogicalPlan:
+    """Resolve and type-check every node in the plan.
+
+    Returns the plan unchanged on success; raises
+    :class:`~repro.sql.expressions.AnalysisError` on the first problem.
+    """
+    for node in plan.collect_nodes():
+        node.schema  # forces resolution of every expression in the node
+    _check_no_aggregate_under_filter_inputs(plan)
+    return plan
+
+
+def _check_no_aggregate_under_filter_inputs(plan: L.LogicalPlan) -> None:
+    """Reject shapes the executor does not support, streaming or not."""
+    for node in plan.collect_nodes(L.Sort):
+        if not isinstance(node.child, (L.Aggregate, L.Sort, L.Limit)):
+            # Sorting raw streams is rejected later (streaming check); for
+            # batch we allow sorting anything, so only validate schema here.
+            node.schema
+
+
+def watermarked_columns(plan: L.LogicalPlan) -> dict:
+    """Map of column name -> delay seconds for all watermarks in the plan."""
+    marks = {}
+    for node in plan.collect_nodes(L.WithWatermark):
+        marks[node.column] = node.delay
+    return marks
+
+
+def _aggregate_is_event_time_keyed(agg: L.Aggregate) -> bool:
+    """True when the aggregate's key includes a watermarked event-time.
+
+    Append mode for aggregates is only allowed in this case: the engine can
+    then guarantee a key is final once the watermark passes it (§5.1).
+    """
+    marks = watermarked_columns(agg.child)
+    if not marks:
+        return False
+    if agg.window is not None:
+        return bool(agg.window.time_expr.references() & set(marks))
+    return any(g.references() & set(marks) for g in agg.plain_grouping)
+
+
+class UnsupportedOperationError(AnalysisError):
+    """A query shape or query/output-mode combination the incremental
+    engine cannot run (§5.1)."""
+
+
+def check_streaming_supported(plan: L.LogicalPlan, output_mode: str) -> None:
+    """Validate a streaming query against §5.1/§5.2's supported set.
+
+    Raises :class:`UnsupportedOperationError` when the query cannot be
+    incrementalized or when the output mode is invalid for this query.
+    """
+    if output_mode not in OUTPUT_MODES:
+        raise UnsupportedOperationError(
+            f"unknown output mode {output_mode!r}; use one of {OUTPUT_MODES}"
+        )
+    if not plan.is_streaming:
+        raise UnsupportedOperationError("plan has no streaming source")
+
+    aggregates = [n for n in plan.collect_nodes(L.Aggregate) if n.is_streaming]
+    if len(aggregates) > 1:
+        raise UnsupportedOperationError(
+            "streaming queries support at most one aggregation (§5.2)"
+        )
+
+    _check_sorts(plan, aggregates, output_mode)
+    _check_limits(plan, output_mode)
+    _check_joins(plan)
+    _check_stateful(plan, output_mode)
+    _check_aggregate_modes(plan, aggregates, output_mode)
+    _check_windows_have_watermark_for_append(aggregates, output_mode)
+
+
+def _check_sorts(plan, aggregates, output_mode: str) -> None:
+    sorts = [n for n in plan.collect_nodes(L.Sort) if n.is_streaming]
+    if not sorts:
+        return
+    if output_mode != "complete":
+        raise UnsupportedOperationError(
+            "sorting a streaming result is only supported in complete mode (§5.2)"
+        )
+    if not aggregates:
+        raise UnsupportedOperationError(
+            "sorting is only supported after an aggregation (§5.2)"
+        )
+
+
+def _check_limits(plan, output_mode: str) -> None:
+    limits = [n for n in plan.collect_nodes(L.Limit) if n.is_streaming]
+    if limits and output_mode != "complete":
+        raise UnsupportedOperationError(
+            "limit on a streaming query is only supported in complete mode"
+        )
+
+
+def _check_joins(plan) -> None:
+    for join in plan.collect_nodes(L.Join):
+        left_streaming = join.left.is_streaming
+        right_streaming = join.right.is_streaming
+        if not (left_streaming or right_streaming):
+            continue
+        if left_streaming and right_streaming:
+            _check_stream_stream_join(join)
+        else:
+            # Stream-static join: outer side must be the stream, otherwise
+            # the engine would have to re-emit static rows as the stream
+            # grows, which is not incrementally maintainable.
+            if join.how == "left_outer" and not left_streaming:
+                raise UnsupportedOperationError(
+                    "left_outer join requires the stream on the left side"
+                )
+            if join.how == "right_outer" and not right_streaming:
+                raise UnsupportedOperationError(
+                    "right_outer join requires the stream on the right side"
+                )
+
+
+def _check_stream_stream_join(join: L.Join) -> None:
+    """§5.2: outer stream-stream joins need a watermarked time bound.
+
+    Without a ``within`` bound, an inner join buffers both sides forever
+    (allowed, like Spark, but state is unbounded); an outer join could
+    never finalize unmatched rows, so it is rejected.  With a bound, both
+    time columns must be watermarked so rows become provably unmatchable.
+    """
+    if join.within is None:
+        if join.how != "inner":
+            raise UnsupportedOperationError(
+                "outer stream-stream joins require a within=(left_time, "
+                "right_time, max_skew) bound on watermarked columns: the "
+                "engine can otherwise never know a row will stay "
+                "unmatched (§5.2)"
+            )
+        return
+    left_col, right_col, _skew = join.within
+    left_marks = watermarked_columns(join.left)
+    right_marks = watermarked_columns(join.right)
+    if left_col not in left_marks or right_col not in right_marks:
+        raise UnsupportedOperationError(
+            "the within time columns of a stream-stream join must carry "
+            "watermarks (with_watermark) on their respective sides "
+            "(§4.3.1, §5.2)"
+        )
+
+
+def _check_stateful(plan, output_mode: str) -> None:
+    for node in plan.collect_nodes(L.MapGroupsWithState):
+        if not node.is_streaming:
+            continue
+        if not node.flat and output_mode != "update":
+            raise UnsupportedOperationError(
+                "map_groups_with_state requires update output mode"
+            )
+        if node.flat and output_mode == "complete":
+            raise UnsupportedOperationError(
+                "flat_map_groups_with_state does not support complete mode"
+            )
+
+
+def _check_aggregate_modes(plan, aggregates, output_mode: str) -> None:
+    if output_mode == "complete":
+        if not aggregates:
+            raise UnsupportedOperationError(
+                "complete mode requires an aggregation: the engine only "
+                "retains state proportional to the result size (§5.1)"
+            )
+        return
+    if output_mode == "append":
+        for agg in aggregates:
+            if not _aggregate_is_event_time_keyed(agg):
+                raise UnsupportedOperationError(
+                    "append mode with aggregation requires grouping by a "
+                    "watermarked event-time column: the engine can never "
+                    "know it has stopped receiving records for a plain key "
+                    "(§4.2, §5.1)"
+                )
+
+
+def _check_windows_have_watermark_for_append(aggregates, output_mode: str) -> None:
+    if output_mode != "append":
+        return
+    for agg in aggregates:
+        if agg.window is not None and not _aggregate_is_event_time_keyed(agg):
+            raise UnsupportedOperationError(
+                "windowed aggregation in append mode requires with_watermark "
+                "on the window's time column (§4.3.1)"
+            )
+
+
+def find_window(plan: L.LogicalPlan) -> WindowExpr:
+    """Return the single window expression in the plan, or None."""
+    for agg in plan.collect_nodes(L.Aggregate):
+        if agg.window is not None:
+            return agg.window
+    return None

@@ -1,0 +1,199 @@
+"""Columnar record batches: the engine's in-memory data format.
+
+``RecordBatch`` plays the role of Spark's Tungsten rows: a compact format
+that the compiled (vectorized) operators work on directly.  Each column is a
+numpy array; numeric and boolean columns use native dtypes, strings use
+object arrays.  The per-record baseline engines never use this module —
+that difference is exactly the performance mechanism the paper attributes
+its Yahoo!-benchmark advantage to (§9.1).
+
+Null handling: strings may be ``None`` inside object arrays and doubles may
+be NaN; integer and boolean columns are non-nullable.  Operators that can
+introduce nulls into numeric columns (outer joins) promote them to double.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.types import DataType, DoubleType, StructType
+
+
+def _column_array(values, data_type: DataType) -> np.ndarray:
+    """Build a numpy column of the right dtype from an iterable of values."""
+    if data_type.numpy_dtype is object:
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    return np.asarray(values, dtype=data_type.numpy_dtype)
+
+
+class RecordBatch:
+    """An immutable-by-convention columnar chunk of rows with a schema.
+
+    Columns are numpy arrays of equal length stored in a dict keyed by
+    column name.  Mutating a batch's arrays in place is not supported;
+    operators always build new batches.
+    """
+
+    __slots__ = ("columns", "schema", "num_rows")
+
+    def __init__(self, columns: dict, schema: StructType):
+        self.columns = columns
+        self.schema = schema
+        self.num_rows = len(next(iter(columns.values()))) if columns else 0
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"column/schema mismatch: {sorted(columns)} vs {schema.names}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, schema: StructType) -> "RecordBatch":
+        """An empty batch with the given schema."""
+        cols = {
+            f.name: np.empty(0, dtype=f.data_type.numpy_dtype) for f in schema
+        }
+        return cls(cols, schema)
+
+    @classmethod
+    def from_rows(cls, rows, schema: StructType) -> "RecordBatch":
+        """Build a batch from an iterable of dict-like rows."""
+        rows = list(rows)
+        cols = {}
+        for field in schema:
+            values = [row.get(field.name) for row in rows]
+            cols[field.name] = _column_array(values, field.data_type)
+        return cls(cols, schema)
+
+    @classmethod
+    def from_columns(cls, schema: StructType, **named_arrays) -> "RecordBatch":
+        """Build a batch from keyword numpy arrays, coercing dtypes."""
+        cols = {}
+        for field in schema:
+            arr = named_arrays[field.name]
+            if field.data_type.numpy_dtype is object:
+                if not (isinstance(arr, np.ndarray) and arr.dtype == object):
+                    out = np.empty(len(arr), dtype=object)
+                    out[:] = list(arr)
+                    arr = out
+            else:
+                arr = np.asarray(arr, dtype=field.data_type.numpy_dtype)
+            cols[field.name] = arr
+        return cls(cols, schema)
+
+    @classmethod
+    def concat(cls, batches, schema: StructType = None) -> "RecordBatch":
+        """Concatenate batches that share a schema."""
+        batches = list(batches)
+        batches = [b for b in batches if b.num_rows > 0] or batches[:1]
+        if not batches:
+            if schema is None:
+                raise ValueError("cannot concat zero batches without a schema")
+            return cls.empty(schema)
+        schema = batches[0].schema
+        if len(batches) == 1:
+            return batches[0]
+        cols = {
+            name: np.concatenate([b.columns[name] for b in batches])
+            for name in schema.names
+        }
+        return cls(cols, schema)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array for ``name``."""
+        return self.columns[name]
+
+    def to_rows(self) -> list:
+        """Materialize as a list of :class:`repro.sql.row.Row`."""
+        from repro.sql.row import Row
+
+        names = self.schema.names
+        cols = [self.columns[n] for n in names]
+        out = []
+        for i in range(self.num_rows):
+            out.append(Row(zip(names, (self._pyvalue(c[i]) for c in cols))))
+        return out
+
+    @staticmethod
+    def _pyvalue(value):
+        """Convert a numpy scalar to the natural Python value."""
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, float) and value != value:  # NaN -> None
+            return None
+        return value
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def select(self, names) -> "RecordBatch":
+        """Keep only the named columns, in the given order."""
+        schema = self.schema.select(names)
+        return RecordBatch({n: self.columns[n] for n in names}, schema)
+
+    def rename(self, mapping: dict) -> "RecordBatch":
+        """Rename columns according to ``{old: new}``."""
+        fields = []
+        cols = {}
+        for field in self.schema:
+            new = mapping.get(field.name, field.name)
+            fields.append((new, field.data_type, field.nullable))
+            cols[new] = self.columns[field.name]
+        return RecordBatch(cols, StructType(tuple(fields)))
+
+    def with_column(self, name: str, array: np.ndarray, data_type: DataType) -> "RecordBatch":
+        """Return a batch with one column added or replaced."""
+        cols = dict(self.columns)
+        cols[name] = array
+        if name in self.schema:
+            fields = tuple(
+                (f.name, data_type if f.name == name else f.data_type)
+                for f in self.schema
+            )
+            schema = StructType(fields)
+        else:
+            schema = self.schema.add(name, data_type)
+        return RecordBatch(cols, schema)
+
+    def filter(self, mask: np.ndarray) -> "RecordBatch":
+        """Keep only the rows where ``mask`` is True."""
+        if mask.all():
+            return self
+        cols = {n: a[mask] for n, a in self.columns.items()}
+        return RecordBatch(cols, self.schema)
+
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Gather rows by integer position (repeats allowed)."""
+        cols = {n: a[indices] for n, a in self.columns.items()}
+        return RecordBatch(cols, self.schema)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Rows in ``[start, stop)``."""
+        cols = {n: a[start:stop] for n, a in self.columns.items()}
+        return RecordBatch(cols, self.schema)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"RecordBatch({self.num_rows} rows, {self.schema!r})"
+
+
+def promote_nullable(schema: StructType) -> StructType:
+    """Promote non-nullable numeric columns to double so they can hold NaN.
+
+    Used by outer joins, which pad unmatched rows with nulls.
+    """
+    fields = []
+    for f in schema:
+        dtype = f.data_type
+        if dtype.numpy_dtype is not object and not isinstance(dtype, DoubleType):
+            dtype = DoubleType()
+        fields.append((f.name, dtype, True))
+    return StructType(tuple(fields))

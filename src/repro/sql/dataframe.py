@@ -1,0 +1,461 @@
+"""The DataFrame API: declarative relational queries over tables and streams.
+
+This mirrors Spark's DataFrame API (§4.1): users express a static query and
+— if any input is a stream — the engine incrementalizes it automatically.
+The same DataFrame methods work for batch and streaming plans; only the
+final write step differs (``write`` vs ``write_stream``)::
+
+    data = session.read_stream.json("/in")
+    counts = data.group_by("country").count()
+    query = (counts.write_stream.format("memory").query_name("counts")
+             .output_mode("complete").start())
+"""
+
+from __future__ import annotations
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.expressions import AnalysisError
+from repro.sql.types import StructType
+
+
+class Column:
+    """A user-facing expression handle with operator overloading.
+
+    Wraps an :class:`~repro.sql.expressions.Expression`; all Python
+    operators build new expressions, so ``col("a") + 1 > col("b")`` works.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: E.Expression):
+        self.expr = expr
+
+    def _wrap(self, expr) -> "Column":
+        return Column(expr)
+
+    # Arithmetic / comparison / boolean operators delegate to Expression.
+    def __add__(self, other):
+        return self._wrap(self.expr + _expr(other))
+
+    def __radd__(self, other):
+        return self._wrap(_expr(other) + self.expr)
+
+    def __sub__(self, other):
+        return self._wrap(self.expr - _expr(other))
+
+    def __rsub__(self, other):
+        return self._wrap(_expr(other) - self.expr)
+
+    def __mul__(self, other):
+        return self._wrap(self.expr * _expr(other))
+
+    def __rmul__(self, other):
+        return self._wrap(_expr(other) * self.expr)
+
+    def __truediv__(self, other):
+        return self._wrap(self.expr / _expr(other))
+
+    def __mod__(self, other):
+        return self._wrap(self.expr % _expr(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._wrap(self.expr == _expr(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._wrap(self.expr != _expr(other))
+
+    def __lt__(self, other):
+        return self._wrap(self.expr < _expr(other))
+
+    def __le__(self, other):
+        return self._wrap(self.expr <= _expr(other))
+
+    def __gt__(self, other):
+        return self._wrap(self.expr > _expr(other))
+
+    def __ge__(self, other):
+        return self._wrap(self.expr >= _expr(other))
+
+    def __and__(self, other):
+        return self._wrap(self.expr & _expr(other))
+
+    def __or__(self, other):
+        return self._wrap(self.expr | _expr(other))
+
+    def __invert__(self):
+        return self._wrap(~self.expr)
+
+    def __hash__(self):
+        return id(self)
+
+    def alias(self, name: str) -> "Column":
+        """Name the output column."""
+        return self._wrap(self.expr.alias(name))
+
+    def cast(self, dtype) -> "Column":
+        """Cast to another type (name or DataType)."""
+        return self._wrap(self.expr.cast(dtype))
+
+    def is_null(self) -> "Column":
+        return self._wrap(self.expr.is_null())
+
+    def is_not_null(self) -> "Column":
+        return self._wrap(self.expr.is_not_null())
+
+    def isin(self, values) -> "Column":
+        return self._wrap(self.expr.isin(values))
+
+    def like(self, pattern: str) -> "Column":
+        """SQL LIKE with % and _ wildcards."""
+        return self._wrap(E.Like(self.expr, pattern))
+
+    def when(self, condition, value) -> "Column":
+        """Extend a CASE WHEN chain started with ``functions.when``."""
+        if not isinstance(self.expr, E.CaseWhen):
+            raise AnalysisError(".when() only follows functions.when()")
+        branches = self.expr.branches + [(_expr(condition), _expr(value))]
+        return self._wrap(E.CaseWhen(branches))
+
+    def otherwise(self, value) -> "Column":
+        """Finish a CASE WHEN chain with a default value."""
+        if not isinstance(self.expr, E.CaseWhen):
+            raise AnalysisError(".otherwise() only follows functions.when()")
+        return self._wrap(E.CaseWhen(self.expr.branches, _expr(value)))
+
+    def __repr__(self) -> str:
+        return f"Column<{self.expr}>"
+
+
+def _expr(value) -> E.Expression:
+    """Coerce a Column / string column name / literal into an expression."""
+    if isinstance(value, Column):
+        return value.expr
+    if isinstance(value, E.Expression):
+        return value
+    return E.Literal(value)
+
+
+def _name_or_column(value) -> E.Expression:
+    """Like ``_expr`` but interprets bare strings as column references."""
+    if isinstance(value, str):
+        return E.ColumnRef(value)
+    return _expr(value)
+
+
+class DataFrame:
+    """An immutable, lazily evaluated relational query.
+
+    A DataFrame wraps a logical plan.  Transformations return new
+    DataFrames; actions (``collect``, ``show``) analyze, optimize and run
+    the plan.  If the plan reads any streaming source, actions are
+    disallowed — use :attr:`write_stream` to start a streaming query.
+    """
+
+    def __init__(self, plan: L.LogicalPlan, session):
+        self._plan = plan
+        self._session = session
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> L.LogicalPlan:
+        """The underlying logical plan."""
+        return self._plan
+
+    @property
+    def schema(self) -> StructType:
+        """The resolved output schema."""
+        return self._plan.schema
+
+    @property
+    def columns(self) -> list:
+        """Output column names."""
+        return self.schema.names
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when the plan reads at least one streaming source."""
+        return self._plan.is_streaming
+
+    def explain(self, extended: bool = False) -> str:
+        """Return (and print) the logical plan tree.
+
+        ``extended=True`` also shows the optimized plan (§5.3) — useful
+        for seeing predicate pushdown and column pruning at work.
+        """
+        text = self._plan.explain_string()
+        if extended:
+            from repro.sql.analysis import analyze
+            from repro.sql.optimizer import optimize
+
+            optimized = optimize(analyze(self._plan))
+            text = (
+                "== Analyzed logical plan ==\n" + text +
+                "\n== Optimized logical plan ==\n" + optimized.explain_string()
+            )
+        print(text)
+        return text
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def _derive(self, plan: L.LogicalPlan) -> "DataFrame":
+        return DataFrame(plan, self._session)
+
+    def select(self, *columns) -> "DataFrame":
+        """Project columns/expressions (SELECT clause)."""
+        exprs = [_name_or_column(c) for c in columns]
+        return self._derive(L.Project(exprs, self._plan))
+
+    def where(self, condition) -> "DataFrame":
+        """Filter rows by a boolean Column (WHERE clause)."""
+        return self._derive(L.Filter(_expr(condition), self._plan))
+
+    filter = where
+
+    def with_column(self, name: str, column) -> "DataFrame":
+        """Add or replace a column."""
+        exprs = []
+        replaced = False
+        for existing in self.columns:
+            if existing == name:
+                exprs.append(_expr(column).alias(name))
+                replaced = True
+            else:
+                exprs.append(E.ColumnRef(existing))
+        if not replaced:
+            exprs.append(_expr(column).alias(name))
+        return self._derive(L.Project(exprs, self._plan))
+
+    def with_column_renamed(self, old: str, new: str) -> "DataFrame":
+        """Rename one column."""
+        exprs = [
+            E.ColumnRef(n).alias(new) if n == old else E.ColumnRef(n)
+            for n in self.columns
+        ]
+        return self._derive(L.Project(exprs, self._plan))
+
+    def drop(self, *names) -> "DataFrame":
+        """Remove columns."""
+        keep = [n for n in self.columns if n not in names]
+        return self.select(*keep)
+
+    def group_by(self, *columns) -> "GroupedData":
+        """Group by columns and/or a ``window()`` expression."""
+        return GroupedData([_name_or_column(c) for c in columns], self)
+
+    def agg(self, *aggregates) -> "DataFrame":
+        """Global (ungrouped) aggregation over the whole relation."""
+        grouped = GroupedData([E.Literal(1).alias("__all__")], self)
+        result = grouped.agg(*aggregates)
+        keep = [n for n in result.columns if n != "__all__"]
+        return result.select(*keep)
+
+    def group_by_key(self, *key_columns) -> "KeyedData":
+        """Group by key columns for custom stateful processing (§4.3.2)."""
+        return KeyedData(list(key_columns), self)
+
+    def join(self, other: "DataFrame", on, how: str = "inner",
+             within=None) -> "DataFrame":
+        """Equi-join with another DataFrame on shared column names.
+
+        ``within=(left_time_col, right_time_col, max_skew)`` adds the
+        event-time condition ``|left.t - right.t2| <= max_skew``; for
+        stream-stream joins this is what bounds state and enables outer
+        results (§5.2).
+        """
+        return self._derive(L.Join(self._plan, other._plan, on, how,
+                                   within=within))
+
+    def union(self, other: "DataFrame") -> "DataFrame":
+        """Concatenate with another DataFrame of the same schema."""
+        return self._derive(L.Union(self._plan, other._plan))
+
+    def distinct(self) -> "DataFrame":
+        """Drop fully duplicate rows."""
+        return self._derive(L.Deduplicate(self.columns, self._plan))
+
+    def drop_duplicates(self, subset=None) -> "DataFrame":
+        """Drop rows duplicated on a subset of columns (first wins)."""
+        return self._derive(L.Deduplicate(subset or self.columns, self._plan))
+
+    def order_by(self, *orders) -> "DataFrame":
+        """Sort by column names; prefix with ``-`` for descending."""
+        parsed = []
+        for order in orders:
+            if isinstance(order, str) and order.startswith("-"):
+                parsed.append((order[1:], False))
+            elif isinstance(order, str):
+                parsed.append((order, True))
+            else:
+                name, ascending = order
+                parsed.append((name, ascending))
+        return self._derive(L.Sort(parsed, self._plan))
+
+    sort = order_by
+
+    def limit(self, n: int) -> "DataFrame":
+        """Keep the first n rows."""
+        return self._derive(L.Limit(n, self._plan))
+
+    def with_watermark(self, column: str, delay) -> "DataFrame":
+        """Declare an event-time column with a lateness threshold (§4.3.1)."""
+        return self._derive(L.WithWatermark(column, delay, self._plan))
+
+    # ------------------------------------------------------------------
+    # Actions (batch only)
+    # ------------------------------------------------------------------
+    def _require_batch(self, action: str) -> None:
+        if self.is_streaming:
+            raise AnalysisError(
+                f"{action}() is not supported on a streaming DataFrame; "
+                "start it with write_stream instead"
+            )
+
+    def to_batch(self):
+        """Execute and return the result as a RecordBatch."""
+        self._require_batch("to_batch")
+        from repro.sql.analysis import analyze
+        from repro.sql.optimizer import optimize
+        from repro.sql.physical import execute
+
+        plan = optimize(analyze(self._plan))
+        return execute(plan)
+
+    def collect(self) -> list:
+        """Execute and return the result as a list of Rows."""
+        return self.to_batch().to_rows()
+
+    def count_rows(self) -> int:
+        """Execute and return the number of result rows."""
+        return self.to_batch().num_rows
+
+    def take(self, n: int) -> list:
+        """Execute and return the first n rows."""
+        return self.limit(n).collect()
+
+    def first(self):
+        """Execute and return the first row (None if empty)."""
+        rows = self.take(1)
+        return rows[0] if rows else None
+
+    def is_empty(self) -> bool:
+        """True if the result has no rows."""
+        return self.first() is None
+
+    def cache(self) -> "DataFrame":
+        """Materialize the result once and return a DataFrame over it.
+
+        Useful when one intermediate result feeds several interactive
+        queries (the §8.1 analyst workflow).  Batch only.
+        """
+        return self._session.from_batch(self.to_batch())
+
+    def show(self, n: int = 20) -> None:
+        """Print up to n result rows."""
+        for row in self.collect()[:n]:
+            print(row)
+
+    def create_or_replace_temp_view(self, name: str) -> None:
+        """Register this DataFrame in the session catalog for SQL access."""
+        self._session.catalog[name] = self
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def write(self):
+        """Batch writer (JSON-lines directories, tables)."""
+        from repro.sql.writer import DataFrameWriter
+
+        self._require_batch("write")
+        return DataFrameWriter(self)
+
+    @property
+    def write_stream(self):
+        """Streaming writer: configure sink/mode/trigger, then ``start()``."""
+        from repro.streaming.writer import DataStreamWriter
+
+        if not self.is_streaming:
+            raise AnalysisError(
+                "write_stream requires a streaming DataFrame; use write instead"
+            )
+        return DataStreamWriter(self)
+
+
+class GroupedData:
+    """Result of ``DataFrame.group_by``: choose aggregates to compute."""
+
+    def __init__(self, grouping, df: DataFrame):
+        self._grouping = grouping
+        self._df = df
+
+    def agg(self, *aggregates) -> DataFrame:
+        """Aggregate with explicit functions, e.g. ``agg(F.count(), F.avg("x"))``."""
+        pairs = []
+        for agg in aggregates:
+            expr = _expr(agg)
+            name = expr.output_name
+            fn = expr.child if isinstance(expr, E.Alias) else expr
+            if not isinstance(fn, E.AggregateFunction):
+                raise AnalysisError(f"agg() arguments must be aggregates, got {expr}")
+            pairs.append((fn, name))
+        if not pairs:
+            raise AnalysisError("agg() requires at least one aggregate")
+        return self._df._derive(L.Aggregate(self._grouping, pairs, self._df._plan))
+
+    def count(self) -> DataFrame:
+        """Count rows per group."""
+        return self.agg(Column(E.Count(None)))
+
+    def sum(self, column) -> DataFrame:  # noqa: A003
+        """Sum a column per group."""
+        return self.agg(Column(E.Sum(_name_or_column(column))))
+
+    def avg(self, column) -> DataFrame:
+        """Average a column per group."""
+        return self.agg(Column(E.Avg(_name_or_column(column))))
+
+    def min(self, column) -> DataFrame:  # noqa: A003
+        """Minimum of a column per group."""
+        return self.agg(Column(E.Min(_name_or_column(column))))
+
+    def max(self, column) -> DataFrame:  # noqa: A003
+        """Maximum of a column per group."""
+        return self.agg(Column(E.Max(_name_or_column(column))))
+
+
+class KeyedData:
+    """Result of ``DataFrame.group_by_key``: attach custom stateful logic."""
+
+    def __init__(self, key_columns, df: DataFrame):
+        self._key_columns = key_columns
+        self._df = df
+
+    def map_groups_with_state(self, func, output_schema, timeout: str = "none") -> DataFrame:
+        """Track and update per-key state; one output row per updated key.
+
+        ``func(key, rows, state)`` returns a dict of output values (merged
+        with the key columns), as in Figure 3 of the paper.
+        """
+        schema = _as_schema(output_schema)
+        return self._df._derive(L.MapGroupsWithState(
+            self._key_columns, func, schema, self._df._plan,
+            flat=False, timeout=timeout,
+        ))
+
+    def flat_map_groups_with_state(self, func, output_schema, timeout: str = "none") -> DataFrame:
+        """Like ``map_groups_with_state`` but zero-or-more output rows."""
+        schema = _as_schema(output_schema)
+        return self._df._derive(L.MapGroupsWithState(
+            self._key_columns, func, schema, self._df._plan,
+            flat=True, timeout=timeout,
+        ))
+
+
+def _as_schema(schema) -> StructType:
+    if isinstance(schema, StructType):
+        return schema
+    return StructType(tuple(schema))

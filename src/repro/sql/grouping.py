@@ -1,0 +1,50 @@
+"""Group encoding: map key columns to dense integer group codes.
+
+Used by both the batch hash aggregate and the streaming stateful aggregate;
+codes feed the vectorized per-group partial kernels on
+:class:`~repro.sql.expressions.AggregateFunction`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def encode_groups(arrays) -> tuple:
+    """Encode parallel key arrays into ``(codes, unique_key_tuples)``.
+
+    ``codes[i]`` is the dense id of row i's key; ``unique_key_tuples[c]``
+    is the Python tuple for code ``c``.  All-numeric keys take a fully
+    vectorized path through a structured-array ``np.unique``.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError("encode_groups requires at least one key array")
+    n = len(arrays[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64), []
+
+    if all(a.dtype != object for a in arrays):
+        if len(arrays) == 1:
+            uniques, codes = np.unique(arrays[0], return_inverse=True)
+            return codes.astype(np.int64, copy=False), [(k,) for k in uniques.tolist()]
+        packed = np.empty(n, dtype=[(f"k{i}", a.dtype) for i, a in enumerate(arrays)])
+        for i, a in enumerate(arrays):
+            packed[f"k{i}"] = a
+        uniques, codes = np.unique(packed, return_inverse=True)
+        return codes.astype(np.int64, copy=False), [tuple(k) for k in uniques.tolist()]
+
+    # General path: Python dict over key tuples (needed for string keys).
+    lists = [a.tolist() for a in arrays]
+    keys = lists[0] if len(lists) == 1 else list(zip(*lists))
+    seen = {}
+    codes = np.empty(n, dtype=np.int64)
+    uniques = []
+    for i, key in enumerate(keys):
+        code = seen.get(key)
+        if code is None:
+            code = len(uniques)
+            seen[key] = code
+            uniques.append(key if isinstance(key, tuple) else (key,))
+        codes[i] = code
+    return codes, uniques

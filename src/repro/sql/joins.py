@@ -1,0 +1,201 @@
+"""Equi-join kernels shared by the batch executor and streaming operators.
+
+Two paths, mirroring how an analytical engine specializes joins:
+
+* a vectorized fast path for joins against a build side with *unique* keys
+  (the dimension-table pattern: the Yahoo! benchmark's ads -> campaigns
+  join), implemented with sort + searchsorted;
+* a general hash path supporting duplicate keys on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.batch import RecordBatch, promote_nullable
+from repro.sql.types import StructType
+
+
+def key_tuples(batch: RecordBatch, names) -> list:
+    """Materialize join keys as a list of Python tuples (general path)."""
+    arrays = [batch.columns[n] for n in names]
+    if len(arrays) == 1:
+        return arrays[0].tolist()
+    return list(zip(*(a.tolist() for a in arrays)))
+
+
+def _single_numeric_key(batch: RecordBatch, names) -> np.ndarray:
+    """Return the key as one numeric array if eligible for the fast path."""
+    if len(names) != 1:
+        return None
+    arr = batch.columns[names[0]]
+    if arr.dtype == object:
+        return None
+    return arr
+
+
+def join_indices(left: RecordBatch, right: RecordBatch, on, how: str = "inner"):
+    """Compute matching row indices for an equi-join.
+
+    Returns ``(left_idx, right_idx, left_unmatched, right_unmatched)``:
+    aligned index arrays for matched pairs plus the unmatched row indices
+    needed by the requested outer side (empty arrays otherwise).
+    """
+    left_key = _single_numeric_key(left, on)
+    right_key = _single_numeric_key(right, on)
+    if left_key is not None and right_key is not None and len(right_key):
+        unique_keys = np.unique(right_key)
+        if len(unique_keys) == len(right_key):
+            return _unique_key_join(left_key, right_key, how)
+    return _hash_join(left, right, on, how)
+
+
+def _unique_key_join(left_key: np.ndarray, right_key: np.ndarray, how: str):
+    """Vectorized join when the right side's keys are unique."""
+    order = np.argsort(right_key, kind="stable")
+    sorted_keys = right_key[order]
+    pos = np.searchsorted(sorted_keys, left_key)
+    pos_clipped = np.minimum(pos, len(sorted_keys) - 1)
+    matched = sorted_keys[pos_clipped] == left_key
+    left_idx = np.nonzero(matched)[0]
+    right_idx = order[pos_clipped[matched]]
+
+    left_unmatched = np.empty(0, dtype=np.int64)
+    right_unmatched = np.empty(0, dtype=np.int64)
+    if how == "left_outer":
+        left_unmatched = np.nonzero(~matched)[0]
+    elif how == "right_outer":
+        hit = np.zeros(len(right_key), dtype=bool)
+        hit[right_idx] = True
+        right_unmatched = np.nonzero(~hit)[0]
+    return left_idx, right_idx, left_unmatched, right_unmatched
+
+
+def _hash_join(left: RecordBatch, right: RecordBatch, on, how: str):
+    """General hash join supporting duplicate keys on both sides."""
+    build = {}
+    for i, key in enumerate(key_tuples(right, on)):
+        build.setdefault(key, []).append(i)
+
+    left_idx, right_idx = [], []
+    left_unmatched = []
+    hit_right = np.zeros(right.num_rows, dtype=bool)
+    for i, key in enumerate(key_tuples(left, on)):
+        matches = build.get(key)
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+                hit_right[j] = True
+        elif how == "left_outer":
+            left_unmatched.append(i)
+
+    right_unmatched = np.nonzero(~hit_right)[0] if how == "right_outer" \
+        else np.empty(0, dtype=np.int64)
+    return (
+        np.asarray(left_idx, dtype=np.int64),
+        np.asarray(right_idx, dtype=np.int64),
+        np.asarray(left_unmatched, dtype=np.int64),
+        right_unmatched,
+    )
+
+
+def apply_time_bound(left: RecordBatch, right: RecordBatch, how: str, within,
+                     left_idx, right_idx, left_unmatched, right_unmatched):
+    """Filter matched pairs by ``|left.t - right.t2| <= skew`` and move
+    rows whose every match failed the bound to the unmatched set (so
+    outer joins emit them null-padded)."""
+    left_col, right_col, skew = within
+    if not len(left_idx):
+        return left_idx, right_idx, left_unmatched, right_unmatched
+    lt = np.asarray(left.columns[left_col], dtype=np.float64)[left_idx]
+    rt = np.asarray(right.columns[right_col], dtype=np.float64)[right_idx]
+    keep = np.abs(lt - rt) <= skew
+    kept_left = left_idx[keep]
+    kept_right = right_idx[keep]
+    if how == "left_outer":
+        had_match = np.zeros(left.num_rows, dtype=bool)
+        had_match[kept_left] = True
+        candidates = np.unique(left_idx[~keep])
+        extra = candidates[~had_match[candidates]]
+        left_unmatched = np.union1d(left_unmatched, extra).astype(np.int64)
+    elif how == "right_outer":
+        had_match = np.zeros(right.num_rows, dtype=bool)
+        had_match[kept_right] = True
+        candidates = np.unique(right_idx[~keep])
+        extra = candidates[~had_match[candidates]]
+        right_unmatched = np.union1d(right_unmatched, extra).astype(np.int64)
+    return kept_left, kept_right, left_unmatched, right_unmatched
+
+
+def _null_column(length: int, data_type) -> np.ndarray:
+    """A column of nulls of the given (nullable-promoted) type."""
+    if data_type.numpy_dtype is object:
+        arr = np.empty(length, dtype=object)
+        arr[:] = None
+        return arr
+    return np.full(length, np.nan, dtype=np.float64)
+
+
+def assemble_join_output(left: RecordBatch, right: RecordBatch, on, how: str,
+                         output_schema: StructType,
+                         left_idx, right_idx, left_unmatched, right_unmatched) -> RecordBatch:
+    """Materialize the join result batch given matched/unmatched indices.
+
+    Join keys appear once; on outer joins, the unmatched side's columns are
+    null-padded (numeric columns are promoted to double by the schema).
+    """
+    right_rest = [n for n in right.schema.names if n not in on]
+    left_names = left.schema.names
+    columns = {}
+
+    for name in left_names:
+        matched_part = left.columns[name][left_idx]
+        parts = [matched_part]
+        if len(left_unmatched):
+            parts.append(left.columns[name][left_unmatched])
+        if len(right_unmatched):
+            if name in on:
+                parts.append(right.columns[name][right_unmatched])
+            else:
+                parts.append(_null_column(len(right_unmatched), output_schema.type_of(name)))
+        col = _concat_casted(parts, output_schema.type_of(name))
+        columns[name] = col
+
+    for name in right_rest:
+        parts = [right.columns[name][right_idx]]
+        if len(left_unmatched):
+            parts.append(_null_column(len(left_unmatched), output_schema.type_of(name)))
+        if len(right_unmatched):
+            parts.append(right.columns[name][right_unmatched])
+        columns[name] = _concat_casted(parts, output_schema.type_of(name))
+
+    return RecordBatch(columns, output_schema)
+
+
+def _concat_casted(parts, data_type) -> np.ndarray:
+    """Concatenate parts, coercing to the output column type."""
+    target = data_type.numpy_dtype
+    if target is object:
+        casted = []
+        for p in parts:
+            if p.dtype != object:
+                out = np.empty(len(p), dtype=object)
+                out[:] = p.tolist()
+                p = out
+            casted.append(p)
+        return np.concatenate(casted) if casted else np.empty(0, dtype=object)
+    casted = [p.astype(target) if p.dtype != target else p for p in parts]
+    return np.concatenate(casted)
+
+
+def execute_join(left: RecordBatch, right: RecordBatch, on, how: str) -> RecordBatch:
+    """Full equi-join of two batches, producing the logical-plan schema."""
+    from repro.sql.logical import Join
+    from repro.sql.logical import Scan
+
+    output_schema = Join(
+        Scan(left.schema, None, False), Scan(right.schema, None, False), on, how
+    ).schema
+    indices = join_indices(left, right, on, how)
+    return assemble_join_output(left, right, on, how, output_schema, *indices)

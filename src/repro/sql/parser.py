@@ -1,0 +1,463 @@
+"""A SQL SELECT dialect over registered temp views.
+
+The paper's API is "SQL or DataFrames" (§4.1); this parser provides the
+SQL half for the subset of queries the engine supports::
+
+    SELECT campaign_id, WINDOW(event_time, '10 seconds'), COUNT(*) AS n
+    FROM events
+    WHERE event_type = 'view'
+    GROUP BY campaign_id, WINDOW(event_time, '10 seconds')
+    ORDER BY n DESC
+    LIMIT 10
+
+Grammar (informal)::
+
+    SELECT select_item [, ...]
+    FROM view [ [LEFT|RIGHT] JOIN view USING (col [, ...]) ]*
+    [WHERE expr] [GROUP BY expr [, ...]]
+    [ORDER BY col [ASC|DESC] [, ...]] [LIMIT n]
+
+Both batch views and streaming DataFrames can be registered; SQL over a
+streaming view yields a streaming DataFrame, exactly as in Spark.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.expressions import AnalysisError
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<number>\d+\.\d+|\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*|/|%|\+|-)
+    )
+""", re.VERBOSE)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "as",
+    "and", "or", "not", "in", "is", "null", "join", "left", "right",
+    "using", "asc", "desc", "distinct", "having", "true", "false",
+    "between", "case", "when", "then", "else", "end", "like",
+}
+
+_AGGREGATES = {
+    "count": E.Count, "sum": E.Sum, "avg": E.Avg, "min": E.Min, "max": E.Max,
+    "collect_set": E.CollectSet, "first": E.First, "last": E.Last,
+    "count_distinct": E.CountDistinct,
+    "approx_count_distinct": E.ApproxCountDistinct,
+}
+
+
+class SqlParseError(AnalysisError):
+    """Raised for malformed SQL."""
+
+
+#: Sentinel for ``SELECT *`` (expressions overload ==, so use identity).
+_STAR = object()
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            if text[pos:].strip() == "":
+                break
+            raise SqlParseError(f"cannot tokenize SQL at: {text[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.lastgroup == "number":
+            value = match.group("number")
+            tokens.append(("number", float(value) if "." in value else int(value)))
+        elif match.lastgroup == "string":
+            tokens.append(("string", match.group("string")[1:-1].replace("''", "'")))
+        elif match.lastgroup == "ident":
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(("keyword", word.lower()))
+            else:
+                tokens.append(("ident", word))
+        else:
+            tokens.append(("op", match.group("op")))
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a DataFrame."""
+
+    def __init__(self, text: str, session):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+        self._session = session
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _next(self):
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value=None):
+        token = self._peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            raise SqlParseError(
+                f"expected {value or kind}, found {self._peek()[1]!r}"
+            )
+        return token
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self):
+        self._expect("keyword", "select")
+        distinct = self._accept("keyword", "distinct") is not None
+        items = self._select_list()
+        self._expect("keyword", "from")
+        df = self._table_source()
+        plan = df.plan
+
+        condition = None
+        if self._accept("keyword", "where"):
+            condition = self._expr()
+            plan = L.Filter(condition, plan)
+
+        grouping = None
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            grouping = self._expr_list()
+
+        having = None
+        if self._accept("keyword", "having"):
+            if grouping is None:
+                raise SqlParseError("HAVING requires GROUP BY")
+            having = self._expr()
+
+        plan = self._apply_select(plan, items, grouping, distinct)
+        if having is not None:
+            # HAVING may reference select-list aliases (including
+            # aggregate aliases), which exist after the re-projection.
+            plan = L.Filter(having, plan)
+
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            orders = []
+            while True:
+                name = self._expect("ident")[1]
+                ascending = True
+                if self._accept("keyword", "desc"):
+                    ascending = False
+                else:
+                    self._accept("keyword", "asc")
+                orders.append((name, ascending))
+                if not self._accept("op", ","):
+                    break
+            plan = L.Sort(orders, plan)
+
+        if self._accept("keyword", "limit"):
+            plan = L.Limit(int(self._expect("number")[1]), plan)
+
+        self._expect("eof")
+        from repro.sql.dataframe import DataFrame
+
+        return DataFrame(plan, self._session)
+
+    def _table_source(self):
+        name = self._expect("ident")[1]
+        df = self._session.table(name)
+        while True:
+            how = "inner"
+            if self._accept("keyword", "left"):
+                how = "left_outer"
+                self._expect("keyword", "join")
+            elif self._accept("keyword", "right"):
+                how = "right_outer"
+                self._expect("keyword", "join")
+            elif not self._accept("keyword", "join"):
+                break
+            other = self._session.table(self._expect("ident")[1])
+            self._expect("keyword", "using")
+            self._expect("op", "(")
+            keys = [self._expect("ident")[1]]
+            while self._accept("op", ","):
+                keys.append(self._expect("ident")[1])
+            self._expect("op", ")")
+            df = df.join(other, on=keys, how=how)
+        return df
+
+    def _select_list(self) -> list:
+        if self._accept("op", "*"):
+            return [(_STAR, None)]
+        items = []
+        while True:
+            expr = self._expr()
+            alias = None
+            if self._accept("keyword", "as"):
+                alias = self._expect("ident")[1]
+            elif self._peek()[0] == "ident":
+                alias = self._next()[1]
+            items.append((expr, alias))
+            if not self._accept("op", ","):
+                break
+        return items
+
+    def _apply_select(self, plan, items, grouping, distinct):
+        # NOTE: expressions overload ``==`` to build comparisons, so the
+        # star marker must be checked by identity, never equality.
+        if len(items) == 1 and items[0][0] is _STAR:
+            if grouping is not None:
+                raise SqlParseError("SELECT * cannot be combined with GROUP BY")
+            if distinct:
+                return L.Deduplicate(plan.schema.names, plan)
+            return plan
+
+        has_aggregate = any(
+            _contains_aggregate(expr) for expr, _alias in items
+        )
+        if grouping is None and not has_aggregate:
+            exprs = [
+                E.Alias(expr, alias) if alias else expr for expr, alias in items
+            ]
+            projected = L.Project(exprs, plan)
+            if distinct:
+                return L.Deduplicate(projected.schema.names, projected)
+            return projected
+
+        grouping = grouping or []
+        grouping_keys = {str(g) for g in grouping}
+        aggregates = []
+        output = []  # (kind, payload) preserving select order
+        for expr, alias in items:
+            if _contains_aggregate(expr):
+                if not isinstance(expr, E.AggregateFunction):
+                    raise SqlParseError(
+                        "aggregates cannot be nested in expressions in this dialect"
+                    )
+                name = alias or expr.output_name
+                aggregates.append((expr, name))
+                output.append(("agg", name))
+            else:
+                if str(expr) not in grouping_keys and not isinstance(expr, E.WindowExpr):
+                    raise SqlParseError(
+                        f"non-aggregate select item {expr} must appear in GROUP BY"
+                    )
+                output.append(("key", (expr, alias)))
+        if not aggregates:
+            raise SqlParseError("GROUP BY requires at least one aggregate")
+        agg_plan = L.Aggregate(grouping, aggregates, plan)
+
+        # Re-project to the user's select order / aliases.
+        exprs = []
+        for kind, payload in output:
+            if kind == "agg":
+                exprs.append(E.ColumnRef(payload))
+            else:
+                expr, alias = payload
+                if isinstance(expr, E.WindowExpr):
+                    exprs.append(E.ColumnRef("window_start"))
+                    exprs.append(E.ColumnRef("window_end"))
+                else:
+                    ref = E.ColumnRef(expr.output_name)
+                    exprs.append(E.Alias(ref, alias) if alias else ref)
+        return L.Project(exprs, agg_plan)
+
+    def _expr_list(self) -> list:
+        exprs = [self._expr()]
+        while self._accept("op", ","):
+            exprs.append(self._expr())
+        return exprs
+
+    # -- expression grammar -----------------------------------------------
+    def _expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self._accept("keyword", "or"):
+            left = E.BooleanOp(left, self._and_expr(), "or")
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self._accept("keyword", "and"):
+            left = E.BooleanOp(left, self._not_expr(), "and")
+        return left
+
+    def _not_expr(self):
+        if self._accept("keyword", "not"):
+            return E.Not(self._not_expr())
+        return self._comparison()
+
+    _CMP_MAP = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=",
+                ">": ">", ">=": ">="}
+
+    def _comparison(self):
+        left = self._additive()
+        token = self._peek()
+        if token[0] == "op" and token[1] in self._CMP_MAP:
+            self._next()
+            return E.Comparison(left, self._additive(), self._CMP_MAP[token[1]])
+        if self._accept("keyword", "between"):
+            low = self._additive()
+            self._expect("keyword", "and")  # the AND belongs to BETWEEN
+            high = self._additive()
+            return E.BooleanOp(
+                E.Comparison(left, low, ">="),
+                E.Comparison(left, high, "<="), "and",
+            )
+        if self._accept("keyword", "like"):
+            pattern = self._expect("string")[1]
+            return E.Like(left, pattern)
+        if self._accept("keyword", "not"):
+            if self._accept("keyword", "like"):
+                return E.Not(E.Like(left, self._expect("string")[1]))
+            if self._accept("keyword", "in"):
+                self._expect("op", "(")
+                values = [self._literal_value()]
+                while self._accept("op", ","):
+                    values.append(self._literal_value())
+                self._expect("op", ")")
+                return E.Not(E.In(left, values))
+            if self._accept("keyword", "between"):
+                low = self._additive()
+                self._expect("keyword", "and")
+                high = self._additive()
+                return E.Not(E.BooleanOp(
+                    E.Comparison(left, low, ">="),
+                    E.Comparison(left, high, "<="), "and",
+                ))
+            raise SqlParseError("expected LIKE, IN or BETWEEN after NOT")
+        if self._accept("keyword", "is"):
+            negated = self._accept("keyword", "not") is not None
+            self._expect("keyword", "null")
+            expr = E.IsNull(left)
+            return E.Not(expr) if negated else expr
+        if self._accept("keyword", "in"):
+            self._expect("op", "(")
+            values = [self._literal_value()]
+            while self._accept("op", ","):
+                values.append(self._literal_value())
+            self._expect("op", ")")
+            return E.In(left, values)
+        return left
+
+    def _literal_value(self):
+        token = self._next()
+        if token[0] in ("number", "string"):
+            return token[1]
+        if token == ("keyword", "true"):
+            return True
+        if token == ("keyword", "false"):
+            return False
+        raise SqlParseError(f"expected a literal, found {token[1]!r}")
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            if self._accept("op", "+"):
+                left = E.Arithmetic(left, self._multiplicative(), "+")
+            elif self._accept("op", "-"):
+                left = E.Arithmetic(left, self._multiplicative(), "-")
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            if self._accept("op", "*"):
+                left = E.Arithmetic(left, self._unary(), "*")
+            elif self._accept("op", "/"):
+                left = E.Arithmetic(left, self._unary(), "/")
+            elif self._accept("op", "%"):
+                left = E.Arithmetic(left, self._unary(), "%")
+            else:
+                return left
+
+    def _unary(self):
+        if self._accept("op", "-"):
+            return E.Arithmetic(E.Literal(0), self._unary(), "-")
+        return self._primary()
+
+    def _primary(self):
+        token = self._next()
+        if token[0] == "number" or token[0] == "string":
+            return E.Literal(token[1])
+        if token == ("keyword", "true"):
+            return E.Literal(True)
+        if token == ("keyword", "false"):
+            return E.Literal(False)
+        if token == ("keyword", "null"):
+            return E.Literal(None)
+        if token == ("op", "("):
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        if token == ("keyword", "case"):
+            return self._case_expression()
+        if token[0] == "ident":
+            name = token[1]
+            if self._accept("op", "("):
+                return self._function_call(name.lower())
+            return E.ColumnRef(name)
+        raise SqlParseError(f"unexpected token {token[1]!r}")
+
+    def _function_call(self, name: str):
+        if name == "window":
+            time_expr = self._expr()
+            self._expect("op", ",")
+            duration = self._literal_value()
+            slide = None
+            if self._accept("op", ","):
+                slide = self._literal_value()
+            self._expect("op", ")")
+            return E.WindowExpr(time_expr, duration, slide)
+        if name in _AGGREGATES:
+            if name == "count" and self._accept("op", "*"):
+                self._expect("op", ")")
+                return E.Count(None)
+            arg = self._expr()
+            self._expect("op", ")")
+            return _AGGREGATES[name](arg)
+        if name in E._SCALAR_FUNCTIONS:
+            args = [self._expr()]
+            while self._accept("op", ","):
+                args.append(self._expr())
+            self._expect("op", ")")
+            return E.ScalarFunction(name, args)
+        raise SqlParseError(f"unknown function {name!r}")
+
+    def _case_expression(self):
+        branches = []
+        while self._accept("keyword", "when"):
+            condition = self._expr()
+            self._expect("keyword", "then")
+            branches.append((condition, self._expr()))
+        if not branches:
+            raise SqlParseError("CASE requires at least one WHEN clause")
+        otherwise = None
+        if self._accept("keyword", "else"):
+            otherwise = self._expr()
+        self._expect("keyword", "end")
+        return E.CaseWhen(branches, otherwise)
+
+
+def _contains_aggregate(expr: E.Expression) -> bool:
+    if isinstance(expr, E.AggregateFunction):
+        return True
+    return any(_contains_aggregate(c) for c in expr.children)
+
+
+def parse_select(text: str, session):
+    """Parse a SELECT statement into a DataFrame over the session catalog."""
+    return _Parser(text, session).parse()

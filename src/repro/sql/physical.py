@@ -1,0 +1,252 @@
+"""Batch physical execution of analyzed logical plans.
+
+This is the "run the same query as a batch job" half of the paper's hybrid
+story (§2.2, §7.3): the streaming engine reuses exactly these operators for
+each epoch's new data, swapping the aggregate for its stateful incremental
+counterpart.
+
+``execute(plan, overrides)`` evaluates a plan to a single
+:class:`~repro.sql.batch.RecordBatch`.  ``overrides`` lets callers inject
+data for specific scan nodes — the streaming engine uses it to run the
+epoch's new input through the plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.batch import RecordBatch
+from repro.sql.codegen import compile_expression
+from repro.sql.grouping import encode_groups
+from repro.sql.joins import assemble_join_output, join_indices
+
+
+def execute(plan: L.LogicalPlan, overrides: dict = None) -> RecordBatch:
+    """Evaluate a logical plan, returning one result batch.
+
+    ``overrides`` maps a :class:`~repro.sql.logical.Scan` node (by object
+    identity) to a RecordBatch to use as its data.
+    """
+    overrides = overrides or {}
+    return _execute(plan, overrides)
+
+
+def _execute(plan: L.LogicalPlan, overrides: dict) -> RecordBatch:
+    if isinstance(plan, L.Scan):
+        return _execute_scan(plan, overrides)
+    if isinstance(plan, L.Project):
+        return _execute_project(plan, overrides)
+    if isinstance(plan, L.Filter):
+        return _execute_filter(plan, overrides)
+    if isinstance(plan, L.Aggregate):
+        return _execute_aggregate(plan, overrides)
+    if isinstance(plan, L.Join):
+        return _execute_join(plan, overrides)
+    if isinstance(plan, L.Sort):
+        return _execute_sort(plan, overrides)
+    if isinstance(plan, L.Limit):
+        return _execute(plan.child, overrides).slice(0, plan.n)
+    if isinstance(plan, L.Deduplicate):
+        return _execute_dedup(plan, overrides)
+    if isinstance(plan, L.Union):
+        left = _execute(plan.left, overrides)
+        right = _execute(plan.right, overrides)
+        return RecordBatch.concat([left, right.select(left.schema.names)], plan.schema)
+    if isinstance(plan, L.WithWatermark):
+        # Watermarks only affect streaming state management; in batch
+        # execution they are a no-op passthrough (§4.3.1).
+        return _execute(plan.child, overrides)
+    if isinstance(plan, L.MapGroupsWithState):
+        return _execute_map_groups(plan, overrides)
+    raise NotImplementedError(f"no batch executor for {type(plan).__name__}")
+
+
+def _execute_scan(plan: L.Scan, overrides: dict) -> RecordBatch:
+    if plan in overrides or id(plan) in overrides:
+        return overrides.get(plan, overrides.get(id(plan)))
+    provider = plan.provider
+    if provider is None:
+        raise RuntimeError(f"scan {plan.name!r} has no data (missing override?)")
+    batches = provider.read_batches()
+    return RecordBatch.concat(list(batches), plan.schema)
+
+
+def _execute_project(plan: L.Project, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    child_schema = plan.child.schema
+    out_schema = plan.schema
+    columns = {}
+    for expr, field in zip(plan.exprs, out_schema):
+        fn = compile_expression(expr, child_schema)
+        columns[field.name] = _coerce(fn(child), field.data_type)
+    return RecordBatch(columns, out_schema)
+
+
+def _coerce(array: np.ndarray, data_type) -> np.ndarray:
+    target = data_type.numpy_dtype
+    if target is object or array.dtype == object:
+        return array
+    if array.dtype != target:
+        return array.astype(target)
+    return array
+
+
+def _execute_filter(plan: L.Filter, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    mask = compile_expression(plan.condition, plan.child.schema)(child)
+    return child.filter(mask)
+
+
+def _execute_join(plan: L.Join, overrides: dict) -> RecordBatch:
+    from repro.sql.joins import apply_time_bound
+
+    left = _execute(plan.left, overrides)
+    right = _execute(plan.right, overrides)
+    indices = join_indices(left, right, plan.on, plan.how)
+    if plan.within is not None:
+        indices = apply_time_bound(left, right, plan.how, plan.within, *indices)
+    return assemble_join_output(
+        left, right, plan.on, plan.how, plan.schema, *indices
+    )
+
+
+def _execute_sort(plan: L.Sort, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    if child.num_rows == 0:
+        return child
+    # Lexicographic sort: least-significant key first for np.lexsort.
+    keys = []
+    for name, ascending in reversed(plan.orders):
+        col = child.columns[name]
+        if col.dtype == object:
+            # Rank-encode object columns so lexsort can handle them.
+            _, inverse = np.unique(np.array([str(v) for v in col]), return_inverse=True)
+            col = inverse
+        keys.append(col if ascending else _descending_key(col))
+    order = np.lexsort(keys)
+    return child.take(order)
+
+
+def _descending_key(col: np.ndarray) -> np.ndarray:
+    if col.dtype.kind in "iu":
+        return -col.astype(np.int64)
+    return -col.astype(np.float64)
+
+
+def _execute_dedup(plan: L.Deduplicate, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    if child.num_rows == 0:
+        return child
+    codes, uniques = encode_groups([child.columns[n] for n in plan.subset])
+    first_idx = np.full(len(uniques), -1, dtype=np.int64)
+    # Keep the first occurrence of each key, preserving arrival order.
+    for i, code in enumerate(codes.tolist()):
+        if first_idx[code] < 0:
+            first_idx[code] = i
+    return child.take(np.sort(first_idx))
+
+
+def group_rows_expanded(plan: L.Aggregate, batch: RecordBatch):
+    """Window-expand a batch and encode group codes.
+
+    Returns ``(expanded_batch_or_None, codes, unique_keys)`` where unique
+    keys are tuples ordered (plain grouping values..., window_start).
+    Shared with the streaming stateful aggregate.
+    """
+    child_schema = plan.child.schema
+    key_arrays = []
+    if plan.window is not None:
+        row_idx, starts = plan.window.assign_batch(batch)
+        batch = batch.take(row_idx)
+        for g in plan.plain_grouping:
+            key_arrays.append(compile_expression(g, child_schema)(batch))
+        key_arrays.append(starts)
+    else:
+        for g in plan.plain_grouping:
+            key_arrays.append(compile_expression(g, child_schema)(batch))
+    codes, uniques = encode_groups(key_arrays)
+    return batch, codes, uniques
+
+
+def aggregate_result_batch(plan: L.Aggregate, keys, buffers) -> RecordBatch:
+    """Build the aggregate output batch from final (key, buffers) pairs.
+
+    ``keys`` is a list of key tuples (window start last when windowed);
+    ``buffers`` is a parallel list of per-aggregate buffer lists.
+    """
+    schema = plan.schema
+    num_plain = len(plan.plain_grouping)
+    columns = {}
+    for i, g in enumerate(plan.plain_grouping):
+        field = schema.fields[i]
+        values = [k[i] for k in keys]
+        columns[field.name] = _column_from_values(values, field.data_type)
+    if plan.window is not None:
+        starts = np.array([k[num_plain] for k in keys], dtype=np.float64)
+        columns["window_start"] = starts
+        columns["window_end"] = starts + plan.window.duration
+    agg_offset = num_plain + (2 if plan.window is not None else 0)
+    for j, (fn, name) in enumerate(plan.aggregates):
+        field = schema.fields[agg_offset + j]
+        values = [fn.finish(b[j]) for b in buffers]
+        columns[name] = _column_from_values(values, field.data_type)
+    return RecordBatch(columns, schema)
+
+
+def _column_from_values(values, data_type) -> np.ndarray:
+    if data_type.numpy_dtype is object:
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    if any(v is None for v in values):
+        return np.array(
+            [np.nan if v is None else v for v in values], dtype=np.float64
+        )
+    return np.asarray(values, dtype=data_type.numpy_dtype)
+
+
+def _execute_aggregate(plan: L.Aggregate, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    expanded, codes, uniques = group_rows_expanded(plan, child)
+    buffers = []
+    num_groups = len(uniques)
+    partials_per_agg = [
+        fn.batch_partials(expanded, codes, num_groups) for fn, _name in plan.aggregates
+    ]
+    for g in range(num_groups):
+        buffers.append([partials[g] for partials in partials_per_agg])
+    # Merge with fresh init buffers so finish() semantics match streaming.
+    merged = []
+    for buf in buffers:
+        merged.append([
+            fn.merge(fn.init(), partial)
+            for (fn, _name), partial in zip(plan.aggregates, buf)
+        ])
+    return aggregate_result_batch(plan, uniques, merged)
+
+
+def _execute_map_groups(plan: L.MapGroupsWithState, overrides: dict) -> RecordBatch:
+    """Batch-mode stateful operator: the update function runs once per key
+    with all of its rows and fresh state (§4.3.2)."""
+    from repro.streaming.stateful import GroupState, normalize_func_output
+
+    child = _execute(plan.child, overrides)
+    key_arrays = [child.columns[n] for n in plan.key_columns]
+    out_rows = []
+    if child.num_rows:
+        codes, uniques = encode_groups(key_arrays)
+        rows = child.to_rows()
+        grouped = {}
+        for code, row in zip(codes.tolist(), rows):
+            grouped.setdefault(code, []).append(row)
+        for code, group_rows in grouped.items():
+            key = uniques[code]
+            key_value = key[0] if len(plan.key_columns) == 1 else key
+            state = GroupState(watermark=None, processing_time=None)
+            result = plan.func(key_value, iter(group_rows), state)
+            out_rows.extend(
+                normalize_func_output(result, plan.flat, plan.key_columns, key)
+            )
+    return RecordBatch.from_rows(out_rows, plan.schema)

@@ -1,0 +1,43 @@
+"""Row representation used at API boundaries and in the per-record engines.
+
+Inside the vectorized engine data lives in :class:`repro.sql.batch.RecordBatch`
+columnar form; rows only materialize when users collect results, when sources
+ingest external records, or in the per-record baseline engines
+(:mod:`repro.baselines`) that deliberately avoid vectorization.
+"""
+
+from __future__ import annotations
+
+
+class Row(dict):
+    """An ordered mapping from column name to value.
+
+    ``Row`` is a thin dict subclass: it keeps dict performance (important in
+    the per-record baselines) while adding attribute access and a stable
+    repr.  Rows compare equal to plain dicts with the same contents.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.items())
+        return f"Row({inner})"
+
+
+def rows_equal_unordered(left, right) -> bool:
+    """Compare two collections of rows ignoring order.
+
+    Useful in tests: streaming results arrive in nondeterministic order but
+    must match a batch-computed reference set.
+    """
+
+    def key(row):
+        return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+    return sorted(map(key, left)) == sorted(map(key, right))

@@ -1,0 +1,215 @@
+"""Session: the entry point, analogous to ``SparkSession``.
+
+Holds the catalog of temp views, constructs batch and streaming
+DataFrames, and runs SQL.  Batch and streaming queries share the same
+DataFrame type — the paper's central usability claim (§2.2, §7.3)::
+
+    session = Session()
+    static = session.create_dataframe(rows, schema)
+    stream = session.read_stream.kafka(broker, "events", schema)
+    joined = stream.join(static, on="ad_id")   # one API for both
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sql import logical as L
+from repro.sql.batch import RecordBatch
+from repro.sql.dataframe import DataFrame
+from repro.sql.types import StructType
+from repro.storage import list_files, read_jsonl
+
+
+class _InMemoryProvider:
+    """Batch scan provider over pre-materialized batches."""
+
+    def __init__(self, batches):
+        self._batches = list(batches)
+
+    def read_batches(self):
+        return self._batches
+
+
+class _JsonDirectoryProvider:
+    """Batch scan provider reading a JSON-lines file or directory."""
+
+    def __init__(self, path: str, schema: StructType):
+        self._path = path
+        self._schema = schema
+
+    def read_batches(self):
+        if os.path.isdir(self._path):
+            rows = []
+            for name in list_files(self._path, ".jsonl"):
+                rows.extend(read_jsonl(os.path.join(self._path, name)))
+        else:
+            rows = read_jsonl(self._path)
+        return [RecordBatch.from_rows(rows, self._schema)]
+
+
+class _FileSinkProvider:
+    """Batch scan provider over a TransactionalFileSink's committed table."""
+
+    def __init__(self, sink, schema: StructType):
+        self._sink = sink
+        self._schema = schema
+
+    def read_batches(self):
+        return [self._sink.read_batch(self._schema)]
+
+
+class DataReader:
+    """Builder for batch inputs (``session.read``)."""
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    def json(self, path: str, schema) -> DataFrame:
+        """Read a JSON-lines file or directory of ``*.jsonl`` files."""
+        schema = _as_schema(schema)
+        scan = L.Scan(schema, _JsonDirectoryProvider(path, schema), False, name=path)
+        return DataFrame(scan, self._session)
+
+    def file_sink(self, sink, schema) -> DataFrame:
+        """Read the committed contents of a transactional file sink —
+        consistent snapshots of streaming output (§3)."""
+        schema = _as_schema(schema)
+        scan = L.Scan(schema, _FileSinkProvider(sink, schema), False, name="file_sink")
+        return DataFrame(scan, self._session)
+
+    def table(self, name: str) -> DataFrame:
+        """Read a registered temp view."""
+        return self._session.table(name)
+
+
+class DataStreamReader:
+    """Builder for streaming inputs (``session.read_stream``)."""
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    def _df(self, descriptor) -> DataFrame:
+        scan = L.Scan(descriptor.schema, descriptor, True, name=descriptor.name)
+        return DataFrame(scan, self._session)
+
+    def kafka(self, broker, topic: str, schema, records_are_json: bool = False) -> DataFrame:
+        """Stream from a bus topic (replayable, partitioned)."""
+        from repro.sources.kafka import KafkaSourceDescriptor
+
+        return self._df(KafkaSourceDescriptor(
+            broker, topic, _as_schema(schema), records_are_json
+        ))
+
+    def json(self, directory: str, schema) -> DataFrame:
+        """Stream from a growing directory of JSON-lines files (§4.1)."""
+        from repro.sources.file import FileSourceDescriptor
+
+        return self._df(FileSourceDescriptor(directory, _as_schema(schema)))
+
+    def rate(self, rows_per_second: float) -> DataFrame:
+        """Synthetic benchmark stream: (timestamp, value) rows."""
+        from repro.sources.rate import RateSourceDescriptor
+
+        return self._df(RateSourceDescriptor(rows_per_second))
+
+    def memory(self, stream) -> DataFrame:
+        """Stream from a :class:`repro.sources.memory.MemoryStream`."""
+        return self._df(stream)
+
+    def source(self, descriptor) -> DataFrame:
+        """Stream from any custom :class:`SourceDescriptor`."""
+        return self._df(descriptor)
+
+
+class Session:
+    """Entry point: catalog, data readers and SQL."""
+
+    def __init__(self):
+        self.catalog = {}
+        self._streams = None
+
+    @property
+    def streams(self):
+        """The session's StreamingQueryManager (§1: manage multiple
+        streaming queries dynamically)."""
+        if self._streams is None:
+            from repro.streaming.manager import StreamingQueryManager
+
+            self._streams = StreamingQueryManager()
+        return self._streams
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_dataframe(self, rows, schema=None) -> DataFrame:
+        """Build a batch DataFrame from in-memory rows (list of dicts).
+
+        Without an explicit schema, column types are inferred from the
+        first row with a non-null value per field (every row must carry
+        the same keys).
+        """
+        rows = list(rows)
+        if schema is None:
+            schema = _infer_schema(rows)
+        schema = _as_schema(schema)
+        batch = RecordBatch.from_rows(rows, schema)
+        scan = L.Scan(schema, _InMemoryProvider([batch]), False, name="local")
+        return DataFrame(scan, self)
+
+    def from_batch(self, batch: RecordBatch) -> DataFrame:
+        """Wrap an existing RecordBatch as a batch DataFrame."""
+        scan = L.Scan(batch.schema, _InMemoryProvider([batch]), False, name="local")
+        return DataFrame(scan, self)
+
+    @property
+    def read(self) -> DataReader:
+        """Batch input builder."""
+        return DataReader(self)
+
+    @property
+    def read_stream(self) -> DataStreamReader:
+        """Streaming input builder."""
+        return DataStreamReader(self)
+
+    # ------------------------------------------------------------------
+    # Catalog & SQL
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> DataFrame:
+        """Look up a registered temp view."""
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise KeyError(
+                f"no such view {name!r}; registered: {sorted(self.catalog)}"
+            ) from None
+
+    def sql(self, text: str) -> DataFrame:
+        """Run a SQL SELECT over registered temp views."""
+        from repro.sql.parser import parse_select
+
+        return parse_select(text, self)
+
+
+def _as_schema(schema) -> StructType:
+    if isinstance(schema, StructType):
+        return schema
+    return StructType(tuple(schema))
+
+
+def _infer_schema(rows) -> StructType:
+    """Infer a schema from row dicts (first non-null value per field)."""
+    from repro.sql.types import infer_type
+
+    if not rows:
+        raise ValueError("cannot infer a schema from zero rows")
+    names = list(rows[0])
+    fields = []
+    for name in names:
+        sample = next((r[name] for r in rows if r.get(name) is not None), None)
+        if sample is None:
+            raise ValueError(
+                f"cannot infer a type for column {name!r}: all values null"
+            )
+        fields.append((name, infer_type(sample)))
+    return StructType(tuple(fields))

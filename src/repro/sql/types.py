@@ -1,0 +1,244 @@
+"""Schema and data type definitions for the relational engine.
+
+Types mirror the subset of Spark SQL's type system that the paper's examples
+and evaluation exercise.  Timestamps are represented as float seconds since
+the Unix epoch, which keeps event-time arithmetic (watermarks, windows)
+simple and fully vectorizable with numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DataType:
+    """Base class for all column data types.
+
+    Instances are stateless and compare equal by class, so the singletons
+    exported from this module (``IntegerType``, ``StringType``, ...) can be
+    used interchangeably with freshly constructed instances.
+    """
+
+    #: numpy dtype used for columnar storage of this type.
+    numpy_dtype: object = object
+
+    #: Python types accepted as values of this type.
+    python_types: tuple = ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+    @property
+    def simple_name(self) -> str:
+        """Lower-case name without the ``Type`` suffix, e.g. ``"integer"``."""
+        return type(self).__name__[: -len("Type")].lower()
+
+    def accepts(self, value: object) -> bool:
+        """Return True if ``value`` is a valid instance of this type."""
+        if value is None:
+            return True
+        return isinstance(value, self.python_types)
+
+
+class NumericType(DataType):
+    """Marker base class for types usable in arithmetic and aggregation."""
+
+
+class IntegralType(NumericType):
+    """Marker base class for integer types."""
+
+
+class IntegerType(IntegralType):
+    """32-bit signed integer (stored as int64 internally)."""
+
+    numpy_dtype = np.int64
+    python_types = (int, np.integer)
+
+
+class LongType(IntegralType):
+    """64-bit signed integer."""
+
+    numpy_dtype = np.int64
+    python_types = (int, np.integer)
+
+
+class DoubleType(NumericType):
+    """64-bit floating point."""
+
+    numpy_dtype = np.float64
+    python_types = (int, float, np.integer, np.floating)
+
+
+class StringType(DataType):
+    """UTF-8 string, stored in object arrays."""
+
+    numpy_dtype = object
+    python_types = (str,)
+
+
+class BooleanType(DataType):
+    """Boolean."""
+
+    numpy_dtype = np.bool_
+    python_types = (bool, np.bool_)
+
+
+class TimestampType(NumericType):
+    """Event or processing time: float seconds since the Unix epoch."""
+
+    numpy_dtype = np.float64
+    python_types = (int, float, np.integer, np.floating)
+
+
+# Singleton instances, following Spark SQL's convention of exposing types
+# both as classes and ready-made instances.
+INTEGER = IntegerType()
+LONG = LongType()
+DOUBLE = DoubleType()
+STRING = StringType()
+BOOLEAN = BooleanType()
+TIMESTAMP = TimestampType()
+
+_NAME_TO_TYPE = {
+    "int": INTEGER,
+    "integer": INTEGER,
+    "long": LONG,
+    "bigint": LONG,
+    "double": DOUBLE,
+    "float": DOUBLE,
+    "string": STRING,
+    "boolean": BOOLEAN,
+    "bool": BOOLEAN,
+    "timestamp": TIMESTAMP,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a type singleton from its SQL-ish name (``"string"``, ...)."""
+    try:
+        return _NAME_TO_TYPE[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown data type name: {name!r}") from None
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the engine type of a single Python value."""
+    if isinstance(value, (bool, np.bool_)):
+        return BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        return LONG
+    if isinstance(value, (float, np.floating)):
+        return DOUBLE
+    if isinstance(value, str):
+        return STRING
+    raise TypeError(f"cannot infer engine type for value {value!r}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the widened type for a binary numeric operation.
+
+    Raises TypeError when the two types cannot be combined.
+    """
+    if left == right:
+        return left
+    numeric = (left, right)
+    if all(isinstance(t, NumericType) for t in numeric):
+        if any(isinstance(t, (DoubleType, TimestampType)) for t in numeric):
+            # timestamp +/- numeric stays a plain double unless both sides
+            # are timestamps (difference of timestamps is a duration).
+            return DOUBLE
+        return LONG
+    raise TypeError(f"incompatible types: {left} and {right}")
+
+
+@dataclass(frozen=True)
+class StructField:
+    """A named, typed field in a schema."""
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+
+    def __repr__(self) -> str:
+        return f"StructField({self.name!r}, {self.data_type!r})"
+
+
+@dataclass(frozen=True)
+class StructType:
+    """An ordered collection of named fields; the schema of a relation."""
+
+    fields: tuple = field(default_factory=tuple)
+
+    def __init__(self, fields=()):
+        normalized = []
+        for f in fields:
+            if isinstance(f, StructField):
+                normalized.append(f)
+            elif isinstance(f, tuple) and len(f) in (2, 3):
+                name, dtype = f[0], f[1]
+                if isinstance(dtype, str):
+                    dtype = type_from_name(dtype)
+                nullable = f[2] if len(f) == 3 else True
+                normalized.append(StructField(name, dtype, nullable))
+            else:
+                raise TypeError(f"invalid field spec: {f!r}")
+        object.__setattr__(self, "fields", tuple(normalized))
+
+    @property
+    def names(self) -> list:
+        """Field names in schema order."""
+        return [f.name for f in self.fields]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def field(self, name: str) -> StructField:
+        """Return the field with the given name, raising KeyError if absent."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no field named {name!r} in schema {self.names}")
+
+    def type_of(self, name: str) -> DataType:
+        """Return the data type of the named field."""
+        return self.field(name).data_type
+
+    def add(self, name: str, data_type: DataType, nullable: bool = True) -> "StructType":
+        """Return a new schema with one extra field appended."""
+        if isinstance(data_type, str):
+            data_type = type_from_name(data_type)
+        return StructType(self.fields + (StructField(name, data_type, nullable),))
+
+    def select(self, names) -> "StructType":
+        """Return a new schema containing only the named fields, in order."""
+        return StructType(tuple(self.field(n) for n in names))
+
+    def merge(self, other: "StructType") -> "StructType":
+        """Concatenate two schemas, raising on duplicate field names."""
+        duplicates = set(self.names) & set(other.names)
+        if duplicates:
+            raise ValueError(f"duplicate field names when merging schemas: {sorted(duplicates)}")
+        return StructType(self.fields + other.fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}: {f.data_type.simple_name}" for f in self.fields)
+        return f"StructType({inner})"
+
+
+def schema_of(**named_types) -> StructType:
+    """Convenience constructor: ``schema_of(a="long", b="string")``."""
+    return StructType(tuple((name, dtype) for name, dtype in named_types.items()))

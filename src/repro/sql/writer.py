@@ -1,0 +1,42 @@
+"""Batch output writer (``df.write``).
+
+Writes go through the same transactional file sink used by streaming
+queries, so a batch backfill and a streaming job can target the same
+table — the paper's hybrid batch/streaming story (§7.3).
+"""
+
+from __future__ import annotations
+
+
+class DataFrameWriter:
+    """Builder for writing a batch DataFrame."""
+
+    def __init__(self, df):
+        self._df = df
+        self._mode = "append"
+
+    def mode(self, mode: str) -> "DataFrameWriter":
+        """``append`` (default) or ``overwrite``."""
+        if mode not in ("append", "overwrite"):
+            raise ValueError(f"unknown write mode {mode!r}")
+        self._mode = mode
+        return self
+
+    def json(self, directory: str) -> None:
+        """Write as a transactional JSON-lines table in ``directory``.
+
+        Each call commits one epoch in the sink's manifest log; overwrite
+        commits a complete-mode epoch that replaces prior data.
+        """
+        from repro.sinks.file import TransactionalFileSink
+
+        sink = TransactionalFileSink(directory, writer_id="batch")
+        last = sink.last_committed_epoch()
+        epoch = (last + 1) if last is not None else 0
+        sink_mode = "complete" if self._mode == "overwrite" else "append"
+        sink.add_batch(epoch, self._df.to_batch(), sink_mode)
+
+    def save_as_table(self, name: str) -> None:
+        """Materialize and register as a temp view."""
+        batch = self._df.to_batch()
+        self._df._session.from_batch(batch).create_or_replace_temp_view(name)

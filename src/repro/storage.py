@@ -1,0 +1,73 @@
+"""Filesystem helpers: JSON-lines data files and atomic writes.
+
+The paper's deployments use Parquet on S3/HDFS; our durable format is
+JSON-lines (human-readable, like the paper's write-ahead log, §1) with
+atomic rename-based commits, preserving the properties the engine relies
+on: durability, atomic visibility of a completed file, and idempotent
+re-writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write a file so readers never observe a partial write.
+
+    Writes to a temp file in the same directory, fsyncs, then renames —
+    the same recipe the real Structured Streaming HDFS log uses.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_json(path: str, payload) -> None:
+    """Atomically write a JSON document (pretty-printed, human-readable)."""
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_json(path: str):
+    """Read one JSON document."""
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def write_jsonl(path: str, rows) -> None:
+    """Atomically write rows as JSON-lines."""
+    atomic_write_text(path, "".join(json.dumps(row) + "\n" for row in rows))
+
+
+def read_jsonl(path: str) -> list:
+    """Read a JSON-lines file into a list of dicts."""
+    rows = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def list_files(directory: str, suffix: str = "") -> list:
+    """Sorted non-hidden files in a directory (empty if missing)."""
+    if not os.path.isdir(directory):
+        return []
+    names = [
+        n for n in os.listdir(directory)
+        if not n.startswith(".") and n.endswith(suffix)
+    ]
+    return sorted(names)

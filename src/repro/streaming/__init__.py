@@ -1,0 +1,41 @@
+"""Structured Streaming: the paper's primary contribution.
+
+The public surface is reached through the DataFrame API
+(``df.write_stream`` returns a :class:`~repro.streaming.writer.
+DataStreamWriter`; ``start()`` returns a :class:`~repro.streaming.query.
+StreamingQuery`), but the pieces are importable directly:
+
+* :mod:`repro.streaming.incrementalizer` — static plan -> incremental
+  operator tree (§5.2);
+* :mod:`repro.streaming.operators` / :mod:`repro.streaming.stateful` —
+  stateful aggregation, joins, dedup, ``map_groups_with_state`` (§4.3);
+* :mod:`repro.streaming.microbatch` / :mod:`repro.streaming.continuous`
+  — the two execution modes (§6.2, §6.3);
+* :mod:`repro.streaming.wal` / :mod:`repro.streaming.state` — the
+  write-ahead log and versioned state store behind exactly-once
+  recovery, rollback and code updates (§6.1, §7).
+"""
+
+from repro.streaming.manager import StreamingQueryManager
+from repro.streaming.query import StreamingQuery
+from repro.streaming.sessions import session_windows
+from repro.streaming.triggers import (
+    AvailableNowTrigger,
+    ContinuousTrigger,
+    ManualTrigger,
+    OnceTrigger,
+    ProcessingTimeTrigger,
+)
+from repro.streaming.writer import DataStreamWriter
+
+__all__ = [
+    "AvailableNowTrigger",
+    "ContinuousTrigger",
+    "DataStreamWriter",
+    "ManualTrigger",
+    "OnceTrigger",
+    "ProcessingTimeTrigger",
+    "StreamingQuery",
+    "StreamingQueryManager",
+    "session_windows",
+]

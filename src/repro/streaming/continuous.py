@@ -1,0 +1,246 @@
+"""Continuous processing mode (§6.3).
+
+Instead of scheduling an epoch job per trigger, the engine launches one
+*long-lived* worker per input partition.  Each worker polls its
+partition, pushes new records through the compiled stateless pipeline
+and writes them to the sink immediately — latency is polling interval +
+per-chunk compute, not task-scheduling overhead.  A master thread
+periodically snapshots the workers' positions into the write-ahead log
+as epochs (§6.3: "the master is not on the critical path"), so rollback
+and restart still work; replay after a crash is at-least-once within
+the last epoch.
+
+Like the first released version in Spark 2.3, only *map-like* queries
+are supported: projections, filters and stream-static joins — no shuffle
+(stateful) operators.  The declarative API is what makes this engine
+swappable for the microbatch one without changing user queries (the
+paper's argument for API/execution separation).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.streaming.incrementalizer import incrementalize
+from repro.streaming.operators import EpochContext
+from repro.streaming.progress import EpochProgress, ProgressReporter
+from repro.streaming.state import StateStore
+from repro.streaming.wal import WriteAheadLog
+from repro.streaming.watermark import WatermarkTracker
+
+
+class UnsupportedContinuousQueryError(Exception):
+    """Raised for queries the continuous engine cannot run (non-map-like)."""
+
+
+class _PartitionWorker:
+    """Long-lived operator instance for one input partition."""
+
+    def __init__(self, engine: "ContinuousEngine", partition: str, start_offset: int):
+        self.engine = engine
+        self.partition = partition
+        self.position = start_offset
+        self.rows_written = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"continuous-{partition}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self) -> None:
+        self._thread.join(timeout=10)
+
+    def _run(self) -> None:
+        engine = self.engine
+        source = engine.source
+        max_chunk = engine.max_chunk
+        poll = engine.poll_interval
+        try:
+            while not engine._stop_event.is_set():
+                end = source.latest_offsets().get(self.partition, self.position)
+                if end <= self.position:
+                    time.sleep(poll)
+                    continue
+                hi = min(end, self.position + max_chunk)
+                batch = source.get_partition_batch(
+                    self.partition, self.position, hi)
+                out = engine.pipeline(batch)
+                if out.num_rows:
+                    engine.sink.append_rows(out.to_rows())
+                self.rows_written += out.num_rows
+                self.position = hi
+        except Exception as exc:
+            # Surface the failure to the query handle instead of dying
+            # silently; the paper's model simply relaunches the task, but
+            # a deterministic error (bad UDF) must reach the user (§7.1).
+            engine._worker_error = exc
+            engine._stop_event.set()
+
+
+class ContinuousEngine:
+    """Continuous-mode execution of a map-like streaming query."""
+
+    def __init__(self, plan, sink, output_mode: str, checkpoint_dir: str,
+                 epoch_interval: float = 1.0, max_chunk: int = 1024,
+                 poll_interval: float = 0.0002):
+        if output_mode != "append":
+            raise UnsupportedContinuousQueryError(
+                "continuous processing supports append mode only"
+            )
+        self.sink = sink
+        self.output_mode = output_mode
+        self.epoch_interval = epoch_interval
+        self.max_chunk = max_chunk
+        self.poll_interval = poll_interval
+
+        self.state_store = StateStore(checkpoint_dir)
+        self.plan = incrementalize(plan, output_mode, self.state_store)
+        if self.plan.stateful_ops:
+            raise UnsupportedContinuousQueryError(
+                "continuous processing supports map-like queries only "
+                "(no aggregations/joins between streams/stateful ops), "
+                "as in Spark 2.3 (§6.3)"
+            )
+        if len(self.plan.sources) != 1:
+            raise UnsupportedContinuousQueryError(
+                "continuous processing supports exactly one input stream"
+            )
+        if not hasattr(sink, "append_rows"):
+            raise UnsupportedContinuousQueryError(
+                f"sink {type(sink).__name__} does not support continuous "
+                "writes (needs append_rows)"
+            )
+        self.sink.set_key_names(self.plan.key_names)
+
+        self.source_name, descriptor = self.plan.sources[0]
+        self.source = descriptor.create()
+        self.sources = {self.source_name: self.source}
+
+        self.wal = WriteAheadLog(checkpoint_dir)
+        self.wal.write_metadata({"output_mode": output_mode, "mode": "continuous"})
+        self.watermarks = WatermarkTracker(self.plan.watermark_delays)
+        self.progress = ProgressReporter()
+
+        self._stop_event = threading.Event()
+        self._workers = []
+        self._master = None
+        self._rows_reported = 0
+        #: Set by a worker whose pipeline raised; re-raised to callers.
+        self._worker_error = None
+        self.next_epoch = 0
+        self._start_offsets = self.source.initial_offsets()
+        self._recover()
+
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Resume from the last committed epoch's end offsets."""
+        last = self.wal.latest_committed_epoch()
+        if last is None:
+            return
+        entry = self.wal.read_offsets(last)
+        self._start_offsets = dict(entry["sources"][self.source_name]["end"])
+        self.next_epoch = last + 1
+
+    def pipeline(self, batch):
+        """Run one chunk through the stateless operator tree."""
+        ctx = EpochContext(
+            epoch_id=self.next_epoch,
+            inputs={self.source_name: batch},
+            watermarks=self.watermarks,
+            processing_time=time.time(),
+            output_mode=self.output_mode,
+        )
+        return self.plan.root.process(ctx)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the per-partition workers and the epoch master."""
+        for partition in self.source.partitions():
+            worker = _PartitionWorker(
+                self, partition, self._start_offsets.get(partition, 0)
+            )
+            self._workers.append(worker)
+            worker.start()
+        self._master = threading.Thread(
+            target=self._master_loop, name="continuous-master", daemon=True
+        )
+        self._master.start()
+
+    def _master_loop(self) -> None:
+        """Periodically snapshot worker positions as committed epochs.
+
+        The master asks for the workers' current positions, logs them as
+        the epoch's end offsets, and commits — workers never block on it.
+        """
+        while not self._stop_event.wait(self.epoch_interval):
+            self._commit_epoch()
+        self._commit_epoch()  # final epoch on shutdown
+
+    def _commit_epoch(self) -> None:
+        positions = {w.partition: w.position for w in self._workers}
+        if all(positions[p] == self._start_offsets.get(p, 0) for p in positions):
+            return  # nothing processed since the last epoch
+        epoch = self.next_epoch
+        started = time.perf_counter()
+        self.wal.write_offsets(epoch, {
+            "sources": {
+                self.source_name: {
+                    "start": dict(self._start_offsets), "end": positions
+                }
+            },
+            "watermarks": self.watermarks.to_json(),
+            "trigger_time": time.time(),
+        })
+        self.wal.write_commit(epoch)
+        input_rows = sum(
+            positions[p] - self._start_offsets.get(p, 0) for p in positions
+        )
+        self._start_offsets = positions
+        self.next_epoch = epoch + 1
+        total_written = sum(w.rows_written for w in self._workers)
+        output_rows = total_written - self._rows_reported
+        self._rows_reported = total_written
+        self.progress.record(EpochProgress(
+            epoch_id=epoch,
+            trigger_time=time.time(),
+            duration_seconds=time.perf_counter() - started,
+            input_rows=input_rows,
+            output_rows=output_rows,
+            backlog_rows=self._backlog(positions),
+            state_keys=0,
+            late_rows_dropped=0,
+        ))
+
+    def _backlog(self, positions: dict) -> int:
+        latest = self.source.latest_offsets()
+        return sum(max(latest[p] - positions.get(p, 0), 0) for p in latest)
+
+    def run_epoch(self):
+        """Interval-trigger entry point (no-op: workers run continuously)."""
+        self._raise_worker_error()
+        return None
+
+    def run_available(self):
+        """Block until the source is drained (workers keep running)."""
+        while self._backlog({w.partition: w.position for w in self._workers}):
+            self._raise_worker_error()
+            time.sleep(0.001)
+        self._raise_worker_error()
+        return []
+
+    def _raise_worker_error(self) -> None:
+        if self._worker_error is not None:
+            raise self._worker_error
+
+    def stop(self) -> None:
+        """Stop workers and the master; commits a final epoch."""
+        self._stop_event.set()
+        for worker in self._workers:
+            worker.join()
+        if self._master is not None:
+            self._master.join(timeout=10)
+        self._raise_worker_error()

@@ -1,0 +1,66 @@
+"""StreamingQueryManager: session-level registry of active queries.
+
+The paper emphasizes that users "can manage multiple streaming queries
+dynamically and run interactive queries on consistent snapshots of
+stream output" (§1).  The manager tracks every query started through a
+session, mirroring Spark's ``spark.streams``: list active queries, look
+them up by name, await or stop them all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class StreamingQueryManager:
+    """Registry of streaming queries started from one session."""
+
+    def __init__(self):
+        self._queries = []
+        self._lock = threading.Lock()
+
+    def register(self, query) -> None:
+        """Track a newly started query."""
+        with self._lock:
+            self._queries.append(query)
+
+    @property
+    def active(self) -> list:
+        """Queries that can still make progress (not stopped/terminated)."""
+        with self._lock:
+            return [q for q in self._queries if q.is_active]
+
+    @property
+    def all_queries(self) -> list:
+        """Every query ever started through this session."""
+        with self._lock:
+            return list(self._queries)
+
+    def get(self, name: str):
+        """Look up a query by its name (raises KeyError if absent)."""
+        with self._lock:
+            for query in self._queries:
+                if query.name == name:
+                    return query
+        raise KeyError(f"no streaming query named {name!r}")
+
+    def await_any_termination(self, timeout: float = None) -> bool:
+        """Block until any threaded query terminates (True) or timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                threaded = [q for q in self._queries if q._thread is not None]
+            if any(not q.is_active for q in threaded):
+                for q in threaded:
+                    if q.exception is not None:
+                        raise q.exception
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    def stop_all(self) -> None:
+        """Stop every tracked query."""
+        for query in self.all_queries:
+            query.stop()

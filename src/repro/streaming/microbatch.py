@@ -1,0 +1,346 @@
+"""Microbatch execution engine (§6.1–§6.2).
+
+Each epoch follows Figure 4's protocol exactly:
+
+1. the master picks start/end offsets per source and writes them to the
+   write-ahead log *before* processing;
+2. the incremental operator tree processes the epoch's new data,
+   updating operator state;
+3. the (idempotent) sink receives the epoch's output;
+4. the commit log records the epoch; state checkpoints to the state
+   store (possibly less often than every epoch).
+
+Recovery (:meth:`MicrobatchEngine._recover`) is §6.1 step 4: restore the
+newest state checkpoint, replay logged epochs with output disabled to
+rebuild state, then re-run the at-most-one uncommitted epoch relying on
+sink idempotence.
+
+Adaptive batching (§7.3) falls out of the design: an epoch consumes
+*all* data accumulated since the previous one (optionally capped), so a
+backlogged query automatically runs larger epochs until it catches up.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sql.batch import RecordBatch
+from repro.streaming.incrementalizer import incrementalize
+from repro.streaming.operators import EpochContext
+from repro.streaming.progress import EpochProgress, ProgressReporter
+from repro.streaming.state import StateStore
+from repro.streaming.wal import WriteAheadLog
+from repro.streaming.watermark import WatermarkTracker
+
+
+class MicrobatchEngine:
+    """Drives one streaming query in microbatch mode."""
+
+    def __init__(self, plan, sink, output_mode: str, checkpoint_dir: str,
+                 max_records_per_epoch: int = None,
+                 state_checkpoint_interval: int = 1,
+                 snapshot_interval: int = 10,
+                 scheduler=None,
+                 retain_epochs: int = None,
+                 clock=time.time):
+        self.sink = sink
+        self.output_mode = output_mode
+        self.clock = clock
+        self._max_records = max_records_per_epoch
+        self._state_checkpoint_interval = max(1, state_checkpoint_interval)
+        #: Optional cluster TaskScheduler: per-partition reads run as
+        #: independent tasks ("map tasks", §6.2), giving the engine
+        #: fine-grained retry and straggler mitigation for ingestion.
+        self.scheduler = scheduler
+        #: Keep at least this many recent epochs of WAL + state for
+        #: manual rollback (§7.2); None = retain everything.
+        self._retain_epochs = retain_epochs
+
+        self.state_store = StateStore(checkpoint_dir, snapshot_interval)
+        self.plan = incrementalize(plan, output_mode, self.state_store)
+        self.sink.set_key_names(self.plan.key_names)
+        if output_mode not in sink.supported_modes:
+            raise ValueError(
+                f"sink {type(sink).__name__} does not support output mode "
+                f"{output_mode!r} (supports {sink.supported_modes})"
+            )
+
+        self.wal = WriteAheadLog(checkpoint_dir)
+        existing = self.wal.read_metadata()
+        if existing and existing.get("output_mode") not in (None, output_mode):
+            raise ValueError(
+                f"checkpoint {checkpoint_dir!r} was written by a query in "
+                f"{existing['output_mode']!r} mode; restarting it in "
+                f"{output_mode!r} mode would corrupt the sink contract "
+                "(use a fresh checkpoint directory)"
+            )
+        self.wal.write_metadata({"output_mode": output_mode})
+        self.watermarks = WatermarkTracker(self.plan.watermark_delays)
+        self.progress = ProgressReporter()
+        self._attach_event_log(checkpoint_dir)
+
+        #: Live sources, created from descriptors ("re-attach" on restart).
+        self.sources = {name: desc.create() for name, desc in self.plan.sources}
+        self._start_offsets = {
+            name: source.initial_offsets() for name, source in self.sources.items()
+        }
+        self.next_epoch = 0
+        self._recover()
+
+    def _attach_event_log(self, checkpoint_dir: str) -> None:
+        """Append each epoch's progress as a JSON line to the structured
+        event log (§7.4): ``<checkpoint>/events.jsonl``."""
+        import json
+        import os
+
+        path = os.path.join(checkpoint_dir, "events.jsonl")
+
+        def log_event(progress):
+            with open(path, "a", encoding="utf-8") as f:
+                f.write(json.dumps(progress.to_json()) + "\n")
+
+        self.progress.listeners.append(log_event)
+
+    # ------------------------------------------------------------------
+    # Recovery (§6.1 step 4)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        last = self.wal.latest_logged_epoch()
+        if last is None:
+            return
+        committed = self.wal.is_committed(last)
+        target = last if committed else last - 1
+
+        restored = self.state_store.restore_all(target) if target >= 0 else None
+        replay_from = 0 if restored is None else restored + 1
+
+        # Rebuild state by replaying logged epochs with output disabled
+        # ("loading the old state and running those epochs with the same
+        # offsets while disabling output").
+        for epoch in range(replay_from, target + 1):
+            self._run_logged_epoch(epoch, output_enabled=False)
+        if replay_from <= target:
+            self.state_store.commit_all(target)
+
+        if not committed:
+            # At most one epoch may be partially written; re-run it and
+            # let the idempotent sink deduplicate.
+            self._run_logged_epoch(last, output_enabled=True)
+            self.wal.write_commit(last, {"watermarks": self.watermarks.to_json()})
+            self.state_store.commit_all(last)
+        elif replay_from > target:
+            # No replay happened; the post-epoch watermark state was
+            # recorded in the commit entry.
+            commit = self.wal.read_commit(last)
+            self.watermarks.load_json(commit.get("watermarks", {}))
+
+        entry = self.wal.read_offsets(last)
+        for name, rng in entry["sources"].items():
+            self._start_offsets[name] = rng["end"]
+        self.next_epoch = last + 1
+
+    def _run_logged_epoch(self, epoch: int, output_enabled: bool) -> None:
+        """Re-execute an epoch exactly as logged in the WAL."""
+        entry = self.wal.read_offsets(epoch)
+        self.watermarks.load_json(entry.get("watermarks", {}))
+        inputs = {
+            name: self.sources[name].get_batch(rng["start"], rng["end"])
+            for name, rng in entry["sources"].items()
+        }
+        ctx = EpochContext(
+            epoch_id=epoch,
+            inputs=inputs,
+            watermarks=self.watermarks,
+            processing_time=entry.get("trigger_time", self.clock()),
+            output_mode=self.output_mode,
+            output_enabled=output_enabled,
+            is_first_epoch=epoch == 0,
+        )
+        result = self.plan.root.process(ctx)
+        if output_enabled:
+            self.sink.add_batch(epoch, result, self.output_mode)
+        self.watermarks.advance()
+
+    # ------------------------------------------------------------------
+    # Normal epoch execution
+    # ------------------------------------------------------------------
+    def _available_end_offsets(self) -> dict:
+        ends = {}
+        for name, source in self.sources.items():
+            latest = source.latest_offsets()
+            start = self._start_offsets[name]
+            if self._max_records is not None:
+                capped = {}
+                budget = self._max_records
+                for partition in sorted(latest):
+                    lo = start.get(partition, 0)
+                    hi = latest[partition]
+                    take = min(hi - lo, budget)
+                    capped[partition] = lo + max(take, 0)
+                    budget -= max(take, 0)
+                ends[name] = capped
+            else:
+                ends[name] = latest
+        return ends
+
+    def _has_new_data(self, ends: dict) -> bool:
+        for name, end in ends.items():
+            start = self._start_offsets[name]
+            if any(end[p] > start.get(p, 0) for p in end):
+                return True
+        return False
+
+    def _has_pending_timeouts(self) -> bool:
+        now = self.clock()
+        return any(op.has_pending_timeout(now) for op in self.plan.stateful_ops)
+
+    def run_epoch(self):
+        """Run one epoch if there is work; returns EpochProgress or None.
+
+        "Work" is new input data or an expired processing-time timeout in
+        a stateful operator.
+        """
+        ends = self._available_end_offsets()
+        if not self._has_new_data(ends) and not self._has_pending_timeouts():
+            return None
+
+        epoch = self.next_epoch
+        trigger_time = self.clock()
+        started = time.perf_counter()
+
+        # (1) Durably log the epoch's offsets before touching any data.
+        self.wal.write_offsets(epoch, {
+            "sources": {
+                name: {"start": self._start_offsets[name], "end": ends[name]}
+                for name in self.sources
+            },
+            "watermarks": self.watermarks.to_json(),
+            "trigger_time": trigger_time,
+        })
+
+        # (2) Read the epoch's new data and run the incremental plan.
+        inputs = self._fetch_inputs(ends)
+        input_rows = sum(batch.num_rows for batch in inputs.values())
+        ctx = EpochContext(
+            epoch_id=epoch,
+            inputs=inputs,
+            watermarks=self.watermarks,
+            processing_time=trigger_time,
+            output_mode=self.output_mode,
+            output_enabled=True,
+            is_first_epoch=epoch == 0,
+        )
+        result = self.plan.root.process(ctx)
+
+        # (3) Idempotent sink write, then (4) commit + state checkpoint.
+        self.sink.add_batch(epoch, result, self.output_mode)
+        self.watermarks.advance()
+        self.wal.write_commit(epoch, {"watermarks": self.watermarks.to_json()})
+        if epoch % self._state_checkpoint_interval == 0:
+            self.state_store.commit_all(epoch)
+        self._enforce_retention(epoch)
+
+        for name, source in self.sources.items():
+            source.commit(ends[name])
+            self._start_offsets[name] = ends[name]
+        self.next_epoch = epoch + 1
+
+        backlog = 0
+        for name, source in self.sources.items():
+            latest = source.latest_offsets()
+            backlog += sum(
+                max(latest[p] - ends[name].get(p, 0), 0) for p in latest
+            )
+        progress = EpochProgress(
+            epoch_id=epoch,
+            trigger_time=trigger_time,
+            duration_seconds=time.perf_counter() - started,
+            input_rows=input_rows,
+            output_rows=result.num_rows,
+            backlog_rows=backlog,
+            state_keys=self.state_store.total_keys(),
+            late_rows_dropped=ctx.metrics["late_rows_dropped"],
+            watermarks={
+                c: self.watermarks.current(c)
+                for c in self.watermarks.columns
+            },
+            sources={
+                name: {"start": self._start_offsets[name], "end": ends[name]}
+                for name in self.sources
+            },
+        )
+        self.progress.record(progress)
+        return progress
+
+    def _fetch_inputs(self, ends: dict) -> dict:
+        """Read each source's new range, optionally as scheduler tasks.
+
+        With a scheduler, one task per (source, partition) reads and
+        decodes its range — tasks are idempotent (sources are replayable)
+        so failed or speculated attempts are safe, giving the ingestion
+        stage the §6.2 recovery properties.
+        """
+        if self.scheduler is None:
+            return {
+                name: source.get_batch(self._start_offsets[name], ends[name])
+                for name, source in self.sources.items()
+            }
+        from repro.cluster.scheduler import Task
+        from repro.sql.batch import RecordBatch
+
+        tasks = []
+        for name, source in self.sources.items():
+            start = self._start_offsets[name]
+            for partition in sorted(ends[name]):
+                lo = start.get(partition, 0)
+                hi = ends[name][partition]
+                if hi > lo:
+                    tasks.append(Task(
+                        (name, partition),
+                        source.get_partition_batch, (partition, lo, hi),
+                    ))
+        results = self.scheduler.run_stage(tasks)
+        inputs = {}
+        for name, source in self.sources.items():
+            parts = [
+                results[key] for key in sorted(results)
+                if key[0] == name
+            ]
+            inputs[name] = RecordBatch.concat(parts, source.schema)
+        return inputs
+
+    def _enforce_retention(self, epoch: int) -> None:
+        """GC state checkpoints and WAL entries beyond the rollback
+        horizon.  Kept conservative: WAL entries are only purged below
+        the oldest version the state store can still restore, so
+        recovery and rollback to any retained epoch keep working."""
+        if self._retain_epochs is None:
+            return
+        horizon = epoch - self._retain_epochs
+        if horizon <= 0:
+            return
+        self.state_store.prune_all(horizon)
+        oldest = self.state_store.oldest_restorable_version()
+        if oldest is not None:
+            self.wal.purge_before(min(horizon, oldest) + 1)
+        elif not self.plan.stateful_ops:
+            # Stateless queries need no state to replay: WAL retention
+            # is bounded by the horizon alone.
+            self.wal.purge_before(horizon + 1)
+
+    def run_available(self):
+        """Run epochs until the input is drained; returns progress list."""
+        results = []
+        while True:
+            progress = self.run_epoch()
+            if progress is None:
+                return results
+            results.append(progress)
+
+    def result_batch_schema(self):
+        """Schema of the query's output rows."""
+        return self.plan.root.output_schema
+
+    def empty_result(self) -> RecordBatch:
+        """An empty output batch (schema carrier)."""
+        return RecordBatch.empty(self.plan.root.output_schema)

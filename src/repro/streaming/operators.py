@@ -1,0 +1,779 @@
+"""Incremental physical operators (§5.2, §6.1).
+
+The incrementalizer maps a static logical plan to a tree of these
+operators.  Each epoch, ``process(ctx)`` consumes the epoch's *delta*
+from its children and returns this operator's delta — time proportional
+to new data, never to the whole stream.  Stateful operators keep their
+state in :class:`~repro.streaming.state.OperatorStateHandle` so the
+engine can checkpoint and restore it transparently to user code.
+
+Internally each operator has an output behaviour (append-like deltas vs
+updates vs complete results) tracked by the engine — the intra-DAG modes
+the paper says users never specify by hand (§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql import logical as L
+from repro.sql.batch import RecordBatch
+from repro.sql.codegen import compile_expression
+from repro.sql.grouping import encode_groups
+from repro.sql.joins import assemble_join_output, join_indices
+from repro.sql.physical import aggregate_result_batch, execute, group_rows_expanded
+from repro.sql.types import StructType
+from repro.streaming.stateful import GroupState, normalize_func_output
+
+
+class EpochContext:
+    """Everything an operator may read while processing one epoch."""
+
+    def __init__(self, epoch_id: int, inputs: dict, watermarks, processing_time: float,
+                 output_mode: str, output_enabled: bool = True, is_first_epoch: bool = False):
+        self.epoch_id = epoch_id
+        #: source name -> RecordBatch of this epoch's new records.
+        self.inputs = inputs
+        #: WatermarkTracker frozen at epoch start (observe() still records).
+        self.watermarks = watermarks
+        self.processing_time = processing_time
+        self.output_mode = output_mode
+        #: False while replaying epochs purely to rebuild state (§6.1).
+        self.output_enabled = output_enabled
+        self.is_first_epoch = is_first_epoch
+        #: Filled by operators for progress reporting (§7.4).
+        self.metrics = {"rows_processed": 0, "late_rows_dropped": 0}
+
+
+class IncrementalOp:
+    """Base class for incremental operators."""
+
+    #: Output schema of this operator's deltas.
+    output_schema: StructType = None
+    #: True when the operator keeps cross-epoch state.
+    stateful = False
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        """Consume this epoch's input deltas; return this op's delta."""
+        raise NotImplementedError
+
+    def has_pending_timeout(self, processing_time: float) -> bool:
+        """True if the operator needs an epoch even without new data."""
+        return False
+
+    def child_ops(self) -> list:
+        """Child operators, for plan rendering and traversal."""
+        found = []
+        for attr in ("child", "left", "right", "stream", "static"):
+            op = getattr(self, attr, None)
+            if isinstance(op, IncrementalOp):
+                found.append(op)
+        return found
+
+    def describe(self) -> str:
+        """One-line description for ``explain``."""
+        label = type(self).__name__
+        if self.stateful:
+            label += " [stateful]"
+        return label
+
+    def explain_string(self, indent: int = 0) -> str:
+        """Readable tree rendering of the incremental plan (the physical
+        operator DAG of §5.2, which users never write by hand)."""
+        lines = ["  " * indent + ("+- " if indent else "") + self.describe()]
+        for child in self.child_ops():
+            lines.append(child.explain_string(indent + 1))
+        return "\n".join(lines)
+
+    def _empty(self) -> RecordBatch:
+        return RecordBatch.empty(self.output_schema)
+
+
+def make_placeholder(schema: StructType) -> L.Scan:
+    """A scan node standing for "this operator's child output"; stateless
+    operators execute their logical node against it via the batch
+    executor with an override."""
+    return L.Scan(schema, None, False, name="<child>")
+
+
+class StreamScanOp(IncrementalOp):
+    """Leaf: yields the epoch's new records from one source."""
+
+    def __init__(self, source_name: str, schema: StructType):
+        self.source_name = source_name
+        self.output_schema = schema
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = ctx.inputs.get(self.source_name)
+        if batch is None:
+            return self._empty()
+        ctx.metrics["rows_processed"] += batch.num_rows
+        return batch
+
+    def describe(self) -> str:
+        return f"StreamScan [{self.source_name}]"
+
+
+class StaticOp(IncrementalOp):
+    """Leaf: a batch (non-streaming) subplan, materialized once.
+
+    Used for the static side of stream-static joins and unions: "compute
+    a static table ... and join it with a stream" (§3).
+    """
+
+    def __init__(self, plan: L.LogicalPlan):
+        self._plan = plan
+        self.output_schema = plan.schema
+        self._cached = None
+
+    def materialize(self) -> RecordBatch:
+        """The static relation (computed on first access)."""
+        if self._cached is None:
+            self._cached = execute(self._plan)
+        return self._cached
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        return self.materialize()
+
+
+class StatelessOp(IncrementalOp):
+    """Project/Filter (and other per-row nodes): applied to each delta.
+
+    These operators are trivially incremental — f(old ∪ new) =
+    f(old) ∪ f(new) for per-row transformations — so they reuse the batch
+    executor on the epoch's delta.
+    """
+
+    def __init__(self, node: L.LogicalPlan, child: IncrementalOp):
+        self._placeholder = make_placeholder(child.output_schema)
+        self._node = node.with_children((self._placeholder,))
+        self.output_schema = self._node.schema
+        self.child = child
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        if batch.num_rows == 0:
+            return self._empty()
+        return execute(self._node, {id(self._placeholder): batch})
+
+
+class WatermarkTrackOp(IncrementalOp):
+    """Observes event-time maxima for a watermarked column (§4.3.1).
+
+    Pass-through for data; the engine advances the watermark from the
+    observed maxima after the epoch completes, so new values take effect
+    next epoch (matching Spark's semantics).
+    """
+
+    def __init__(self, column: str, child: IncrementalOp):
+        self.column = column
+        self.child = child
+        self.output_schema = child.output_schema
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        if batch.num_rows:
+            ctx.watermarks.observe(self.column, float(np.max(batch.columns[self.column])))
+        return batch
+
+
+class UnionOp(IncrementalOp):
+    """Union of two inputs; a static side is emitted once, in epoch 0."""
+
+    def __init__(self, left: IncrementalOp, right: IncrementalOp,
+                 left_static: bool, right_static: bool, schema: StructType):
+        self.left = left
+        self.right = right
+        self._left_static = left_static
+        self._right_static = right_static
+        self.output_schema = schema
+
+    def _side(self, op: IncrementalOp, static: bool, ctx: EpochContext) -> RecordBatch:
+        if static and not ctx.is_first_epoch:
+            return RecordBatch.empty(op.output_schema)
+        return op.process(ctx)
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        left = self._side(self.left, self._left_static, ctx)
+        right = self._side(self.right, self._right_static, ctx)
+        right = right.select(left.schema.names)
+        return RecordBatch.concat([left, right], self.output_schema)
+
+
+class StreamStaticJoinOp(IncrementalOp):
+    """Join between a stream delta and a static relation (§3, §5.2).
+
+    The static side is materialized once; each epoch joins only the new
+    stream rows against it, so cost is proportional to the delta.
+    """
+
+    def __init__(self, node: L.Join, stream: IncrementalOp, static: StaticOp,
+                 stream_is_left: bool):
+        self._node = node
+        self.stream = stream
+        self.static = static
+        self.stream_is_left = stream_is_left
+        self.output_schema = node.schema
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        delta = self.stream.process(ctx)
+        if delta.num_rows == 0:
+            return self._empty()
+        static_batch = self.static.materialize()
+        if self.stream_is_left:
+            left, right = delta, static_batch
+        else:
+            left, right = static_batch, delta
+        indices = join_indices(left, right, self._node.on, self._node.how)
+        return assemble_join_output(
+            left, right, self._node.on, self._node.how, self.output_schema, *indices
+        )
+
+
+class StatefulAggregateOp(IncrementalOp):
+    """Incrementally maintained grouped aggregation (§5.2, Figure 4).
+
+    Per-key aggregate buffers live in the state store.  Each epoch the
+    new data's per-group vectorized partials are merged into the buffers;
+    what is emitted depends on the query's output mode:
+
+    * ``complete`` — the whole result table;
+    * ``update`` — only keys whose buffers changed this epoch;
+    * ``append`` — nothing until the watermark passes a key's event-time
+      bound, at which point the key is emitted once and evicted.
+
+    With a watermark, rows later than the bound are dropped and finalized
+    keys evicted in update mode too, keeping state bounded (§4.3.1).
+    """
+
+    stateful = True
+
+    def __init__(self, node: L.Aggregate, child: IncrementalOp, state_handle,
+                 watermark_column: str = None):
+        self._node = node
+        self.child = child
+        self.state = state_handle
+        self.output_schema = node.schema
+        #: Which watermark gates emission/eviction for this aggregate:
+        #: the window's time column, or a directly watermarked group key.
+        self.watermark_column = watermark_column
+        self._window = node.window
+        #: Index of the watermarked plain grouping key (non-window case).
+        self._key_time_index = None
+        if watermark_column is not None and self._window is None:
+            for i, g in enumerate(node.plain_grouping):
+                if g.references() == {watermark_column}:
+                    self._key_time_index = i
+                    break
+
+    # -- event-time bound of a key ------------------------------------
+    def _key_expiry(self, key_tuple):
+        """Event time at which a key becomes final (None if unbounded)."""
+        if self._window is not None:
+            return key_tuple[-1] + self._window.duration  # window end
+        if self._key_time_index is not None:
+            return key_tuple[self._key_time_index]
+        return None
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        watermark = (
+            ctx.watermarks.current(self.watermark_column)
+            if self.watermark_column is not None else None
+        )
+        changed = self._merge_new_data(batch, watermark, ctx)
+        if ctx.output_mode == "complete":
+            keys, buffers = [], []
+            for key, value in self.state.items():
+                keys.append(key)
+                buffers.append(value)
+            return aggregate_result_batch(self._node, keys, buffers)
+        if ctx.output_mode == "update":
+            self._evict_finalized(watermark)
+            keys = sorted(changed)
+            buffers = [self.state.get(k) for k in keys]
+            live = [(k, b) for k, b in zip(keys, buffers) if b is not None]
+            return aggregate_result_batch(
+                self._node, [k for k, _ in live], [b for _, b in live]
+            )
+        # append: emit exactly the keys the watermark has finalized.
+        finalized = self._evict_finalized(watermark)
+        return aggregate_result_batch(
+            self._node, [k for k, _ in finalized], [b for _, b in finalized]
+        )
+
+    def _merge_new_data(self, batch: RecordBatch, watermark, ctx: EpochContext) -> set:
+        """Fold the epoch's partial aggregates into state; returns the set
+        of changed keys."""
+        if batch.num_rows == 0:
+            return set()
+        expanded, codes, uniques = group_rows_expanded(self._node, batch)
+        if watermark is not None and len(uniques):
+            expanded, codes, uniques = self._drop_late(
+                expanded, codes, uniques, watermark, ctx
+            )
+        if not len(uniques):
+            return set()
+        aggs = self._node.aggregates
+        partials_per_agg = [
+            fn.batch_partials(expanded, codes, len(uniques)) for fn, _ in aggs
+        ]
+        changed = set()
+        for g, key in enumerate(uniques):
+            buffers = self.state.get(key)
+            if buffers is None:
+                buffers = [fn.init() for fn, _ in aggs]
+            buffers = [
+                fn.merge(buffers[j], partials_per_agg[j][g])
+                for j, (fn, _) in enumerate(aggs)
+            ]
+            self.state.put(key, buffers)
+            changed.add(key)
+        return changed
+
+    def _drop_late(self, expanded, codes, uniques, watermark, ctx):
+        """Remove group memberships whose key is already finalized."""
+        late_codes = {
+            g for g, key in enumerate(uniques)
+            if (expiry := self._key_expiry(key)) is not None and expiry <= watermark
+        }
+        if not late_codes:
+            return expanded, codes, uniques
+        keep = ~np.isin(codes, list(late_codes))
+        ctx.metrics["late_rows_dropped"] += int((~keep).sum())
+        expanded = expanded.filter(keep)
+        kept_codes = codes[keep]
+        # Re-encode to dense codes over surviving groups.
+        mapping = {}
+        new_codes = np.empty(len(kept_codes), dtype=np.int64)
+        new_uniques = []
+        for i, code in enumerate(kept_codes.tolist()):
+            new = mapping.get(code)
+            if new is None:
+                new = len(new_uniques)
+                mapping[code] = new
+                new_uniques.append(uniques[code])
+            new_codes[i] = new
+        return expanded, new_codes, new_uniques
+
+    def _evict_finalized(self, watermark) -> list:
+        """Remove keys the watermark finalized; returns (key, buffers)."""
+        if watermark is None:
+            return []
+        finalized = []
+        for key, buffers in list(self.state.items()):
+            expiry = self._key_expiry(key)
+            if expiry is not None and expiry <= watermark:
+                finalized.append((key, buffers))
+                self.state.remove(key)
+        finalized.sort(key=lambda kv: kv[0])
+        return finalized
+
+
+class StreamingDedupOp(IncrementalOp):
+    """Streaming DISTINCT: emit a row the first time its key is seen.
+
+    State holds every seen key; when the dedup subset contains a
+    watermarked event-time column, keys older than the watermark are
+    evicted (late duplicates would be dropped anyway).
+    """
+
+    stateful = True
+
+    def __init__(self, node: L.Deduplicate, child: IncrementalOp, state_handle,
+                 watermark_column: str = None):
+        self._node = node
+        self.child = child
+        self.state = state_handle
+        self.output_schema = node.schema
+        self.watermark_column = (
+            watermark_column if watermark_column in node.subset else None
+        )
+        self._time_index = (
+            node.subset.index(self.watermark_column)
+            if self.watermark_column is not None else None
+        )
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        if batch.num_rows == 0:
+            return self._empty()
+        watermark = (
+            ctx.watermarks.current(self.watermark_column)
+            if self.watermark_column is not None else None
+        )
+        codes, uniques = encode_groups(
+            [batch.columns[n] for n in self._node.subset]
+        )
+        keep_rows = []
+        emitted_codes = set()
+        for i, code in enumerate(codes.tolist()):
+            if code in emitted_codes:
+                continue
+            key = uniques[code]
+            if watermark is not None and key[self._time_index] <= watermark:
+                ctx.metrics["late_rows_dropped"] += 1
+                emitted_codes.add(code)  # late: drop all its occurrences
+                continue
+            if not self.state.contains(key):
+                self.state.put(key, key[self._time_index] if self._time_index is not None else 1)
+                keep_rows.append(i)
+            emitted_codes.add(code)
+        if watermark is not None:
+            for key, value in list(self.state.items()):
+                if value <= watermark:
+                    self.state.remove(key)
+        if not keep_rows:
+            return self._empty()
+        return batch.take(np.asarray(keep_rows, dtype=np.int64))
+
+
+class StreamStreamJoinOp(IncrementalOp):
+    """Join between two streams (§5.2, §8.1's TCP ⋈ DHCP pattern).
+
+    Both sides' rows are buffered in the state store.  Each epoch,
+    new-left rows join buffered+new right rows and buffered left rows
+    join new-right rows (so no pair is produced twice).
+
+    State bounding follows the paper's rule that "the join condition
+    must involve a watermarked column": with a ``within`` time bound,
+    rows older than their own side's watermark are dropped as late at
+    the input, and a buffered row is evicted once the *other* side's
+    watermark passes its time plus the allowed skew — at which point it
+    is provably unmatchable, so outer joins can emit it null-padded.
+    Without a bound (inner joins only), no state is ever evicted, as in
+    Spark.
+    """
+
+    stateful = True
+
+    def __init__(self, node: L.Join, left: IncrementalOp, right: IncrementalOp,
+                 left_state, right_state):
+        self._node = node
+        self.left = left
+        self.right = right
+        self._left_state = left_state
+        self._right_state = right_state
+        self.within = node.within  # (left_time_col, right_time_col, skew)
+        self.output_schema = node.schema
+
+    # State entry per side: key -> list of [row_values, matched_flag].
+    def _entries_to_batch(self, state, schema: StructType) -> RecordBatch:
+        rows = []
+        for _key, entries in state.items():
+            for values, _matched in entries:
+                rows.append(dict(zip(schema.names, values)))
+        return RecordBatch.from_rows(rows, schema)
+
+    def _append_entries(self, state, batch: RecordBatch, key_names):
+        names = batch.schema.names
+        key_idx = [names.index(k) for k in key_names]
+        for row in zip(*(batch.columns[n].tolist() for n in names)):
+            key = tuple(row[i] for i in key_idx)
+            entries = state.get(key) or []
+            entries.append([list(row), False])
+            state.put(key, entries)
+
+    def _mark_matched(self, state, batch: RecordBatch, matched_row_indices):
+        """Mark state entries whose row appears among matched indices."""
+        if not len(matched_row_indices):
+            return
+        names = batch.schema.names
+        key_idx = [names.index(k) for k in self._node.on]
+        # Materialize as Python values: these become state-store keys and
+        # must be JSON-encodable.
+        columns = [batch.columns[n].tolist() for n in names]
+        matched_rows = set()
+        for i in set(matched_row_indices.tolist()):
+            matched_rows.add(tuple(c[i] for c in columns))
+        for key in {tuple(r[i] for i in key_idx) for r in matched_rows}:
+            entries = state.get(key)
+            if not entries:
+                continue
+            for entry in entries:
+                if tuple(entry[0]) in matched_rows:
+                    entry[1] = True
+            state.put(key, entries)
+
+    def _drop_late_input(self, batch: RecordBatch, time_col: str,
+                         watermark, ctx: EpochContext) -> RecordBatch:
+        """Drop input rows at or below their side's watermark: required
+        for eviction to be sound (an accepted row's time always exceeds
+        the watermark at acceptance)."""
+        if watermark is None or batch.num_rows == 0:
+            return batch
+        keep = np.asarray(batch.columns[time_col], dtype=np.float64) > watermark
+        if not keep.all():
+            ctx.metrics["late_rows_dropped"] += int((~keep).sum())
+            batch = batch.filter(keep)
+        return batch
+
+    def _filter_pairs(self, left_batch, right_batch, li, ri):
+        """Apply the within time bound to matched index pairs."""
+        if self.within is None or not len(li):
+            return li, ri
+        left_col, right_col, skew = self.within
+        lt = np.asarray(left_batch.columns[left_col], dtype=np.float64)[li]
+        rt = np.asarray(right_batch.columns[right_col], dtype=np.float64)[ri]
+        keep = np.abs(lt - rt) <= skew
+        return li[keep], ri[keep]
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        new_left = self.left.process(ctx)
+        new_right = self.right.process(ctx)
+        left_schema = self.left.output_schema
+        right_schema = self.right.output_schema
+        on = self._node.on
+
+        if self.within is not None:
+            left_col, right_col, _skew = self.within
+            new_left = self._drop_late_input(
+                new_left, left_col, ctx.watermarks.current(left_col), ctx)
+            new_right = self._drop_late_input(
+                new_right, right_col, ctx.watermarks.current(right_col), ctx)
+
+        buffered_left = self._entries_to_batch(self._left_state, left_schema)
+        buffered_right = self._entries_to_batch(self._right_state, right_schema)
+
+        # Add new rows to state first so matched flags land on them too.
+        self._append_entries(self._left_state, new_left, on)
+        self._append_entries(self._right_state, new_right, on)
+
+        all_right = RecordBatch.concat([buffered_right, new_right], right_schema)
+        out_parts = []
+        # new-left x (buffered+new right)
+        li, ri, _, _ = join_indices(new_left, all_right, on, "inner")
+        li, ri = self._filter_pairs(new_left, all_right, li, ri)
+        if len(li):
+            out_parts.append(assemble_join_output(
+                new_left, all_right, on, "inner",
+                self._inner_schema(), li, ri,
+                np.empty(0, np.int64), np.empty(0, np.int64),
+            ))
+            self._mark_matched(self._left_state, new_left, li)
+            self._mark_matched(self._right_state, all_right, ri)
+        # buffered-left x new-right
+        li2, ri2, _, _ = join_indices(buffered_left, new_right, on, "inner")
+        li2, ri2 = self._filter_pairs(buffered_left, new_right, li2, ri2)
+        if len(li2):
+            out_parts.append(assemble_join_output(
+                buffered_left, new_right, on, "inner",
+                self._inner_schema(), li2, ri2,
+                np.empty(0, np.int64), np.empty(0, np.int64),
+            ))
+            self._mark_matched(self._left_state, buffered_left, li2)
+            self._mark_matched(self._right_state, new_right, ri2)
+
+        out_parts.extend(self._evict(ctx))
+        if not out_parts:
+            return self._empty()
+        parts = [self._to_output_schema(p) for p in out_parts]
+        return RecordBatch.concat(parts, self.output_schema)
+
+    def _inner_schema(self) -> StructType:
+        """Schema of matched pairs (no null padding yet)."""
+        return L.Join(
+            make_placeholder(self.left.output_schema),
+            make_placeholder(self.right.output_schema),
+            self._node.on, "inner",
+        ).schema
+
+    def _to_output_schema(self, batch: RecordBatch) -> RecordBatch:
+        """Cast a partial result to the (possibly nullable-promoted)
+        output schema of the outer join."""
+        if batch.schema.names != self.output_schema.names:
+            batch = batch.select(self.output_schema.names)
+        columns = {}
+        for field in self.output_schema:
+            col = batch.columns[field.name]
+            target = field.data_type.numpy_dtype
+            if target is not object and col.dtype != object and col.dtype != target:
+                col = col.astype(target)
+            columns[field.name] = col
+        return RecordBatch(columns, self.output_schema)
+
+    def _evict(self, ctx: EpochContext) -> list:
+        """Evict rows the time bound has made unmatchable; emit outer
+        results for never-matched evicted rows.
+
+        A buffered left row with time t can only match right rows with
+        time in [t - skew, t + skew]; since late right input is dropped
+        at the right watermark, the left row is final once
+        ``right_watermark >= t + skew`` — and symmetrically.
+        """
+        if self.within is None:
+            return []
+        left_col, right_col, skew = self.within
+        parts = []
+        for side, state, schema, own_col, other_watermark, emits_outer in (
+            ("left", self._left_state, self.left.output_schema, left_col,
+             ctx.watermarks.current(right_col), self._node.how == "left_outer"),
+            ("right", self._right_state, self.right.output_schema, right_col,
+             ctx.watermarks.current(left_col), self._node.how == "right_outer"),
+        ):
+            if other_watermark is None:
+                continue
+            time_index = schema.names.index(own_col)
+            unmatched_rows = []
+            for key, entries in list(state.items()):
+                keep = []
+                for values, matched in entries:
+                    if values[time_index] + skew <= other_watermark:
+                        if not matched and emits_outer:
+                            unmatched_rows.append(values)
+                    else:
+                        keep.append([values, matched])
+                if keep:
+                    state.put(key, keep)
+                else:
+                    state.remove(key)
+            if unmatched_rows:
+                side_batch = RecordBatch.from_rows(
+                    [dict(zip(schema.names, v)) for v in unmatched_rows], schema
+                )
+                parts.append(self._null_padded(side_batch, side))
+        return parts
+
+    def _null_padded(self, batch: RecordBatch, side: str) -> RecordBatch:
+        """Outer-join rows for evicted unmatched rows of one side."""
+        empty_other = RecordBatch.empty(
+            self.right.output_schema if side == "left" else self.left.output_schema
+        )
+        if side == "left":
+            indices = join_indices(batch, empty_other, self._node.on, "left_outer")
+            return assemble_join_output(
+                batch, empty_other, self._node.on, "left_outer",
+                self.output_schema, *indices,
+            )
+        indices = join_indices(empty_other, batch, self._node.on, "right_outer")
+        return assemble_join_output(
+            empty_other, batch, self._node.on, "right_outer",
+            self.output_schema, *indices,
+        )
+
+
+class MapGroupsWithStateOp(IncrementalOp):
+    """Custom per-key stateful processing (§4.3.2, Figure 3).
+
+    State entries: ``{"s": user_state, "t": timeout_timestamp}``.  Each
+    epoch the update function runs once per key with new data; keys whose
+    armed timeout expired (processing time passed it, or the event-time
+    watermark passed it) and that received no data this epoch get a
+    timed-out invocation with no rows.
+    """
+
+    stateful = True
+
+    def __init__(self, node: L.MapGroupsWithState, child: IncrementalOp,
+                 state_handle, watermark_column: str = None):
+        self._node = node
+        self.child = child
+        self.state = state_handle
+        self.output_schema = node.schema
+        self.watermark_column = watermark_column
+
+    def has_pending_timeout(self, processing_time: float) -> bool:
+        if self._node.timeout != "processing_time":
+            return False
+        return any(
+            value.get("t") is not None and value["t"] <= processing_time
+            for _key, value in self.state.items()
+        )
+
+    def _watermark(self, ctx: EpochContext):
+        if self.watermark_column is None:
+            return None
+        return ctx.watermarks.current(self.watermark_column)
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        watermark = self._watermark(ctx)
+        out_rows = []
+        processed_keys = set()
+
+        if batch.num_rows:
+            codes, uniques = encode_groups(
+                [batch.columns[n] for n in self._node.key_columns]
+            )
+            rows = batch.to_rows()
+            grouped = {}
+            for code, row in zip(codes.tolist(), rows):
+                grouped.setdefault(code, []).append(row)
+            for code in sorted(grouped):
+                key = uniques[code]
+                processed_keys.add(key)
+                out_rows.extend(self._invoke(
+                    key, grouped[code], ctx, watermark, has_timed_out=False
+                ))
+
+        out_rows.extend(self._fire_timeouts(ctx, watermark, processed_keys))
+        return RecordBatch.from_rows(out_rows, self.output_schema)
+
+    def _invoke(self, key, rows, ctx: EpochContext, watermark, has_timed_out: bool) -> list:
+        entry = self.state.get(key)
+        state = GroupState(
+            value=None if entry is None else entry.get("s"),
+            exists=entry is not None,
+            has_timed_out=has_timed_out,
+            watermark=watermark,
+            processing_time=ctx.processing_time,
+            timeout_conf=self._node.timeout,
+        )
+        key_value = key[0] if len(self._node.key_columns) == 1 else key
+        result = self._node.func(key_value, iter(rows), state)
+        outcome = state._outcome()
+        if outcome["removed"]:
+            self.state.remove(key)
+        elif outcome["updated"] or outcome["timeout_changed"]:
+            timeout = outcome["timeout_timestamp"] if outcome["timeout_changed"] \
+                else (entry.get("t") if entry else None)
+            if outcome["updated"]:
+                self.state.put(key, {"s": outcome["value"], "t": timeout})
+            elif entry is not None:
+                self.state.put(key, {"s": entry.get("s"), "t": timeout})
+        return normalize_func_output(
+            result, self._node.flat, self._node.key_columns, key
+        )
+
+    def _fire_timeouts(self, ctx: EpochContext, watermark, processed_keys: set) -> list:
+        """Invoke the function with ``has_timed_out=True`` for expired keys."""
+        timeout_conf = self._node.timeout
+        if timeout_conf == "none":
+            return []
+        if timeout_conf == "processing_time":
+            now = ctx.processing_time
+        else:
+            now = watermark
+        if now is None:
+            return []
+        out_rows = []
+        for key, entry in sorted(self.state.items(), key=lambda kv: str(kv[0])):
+            if key in processed_keys:
+                continue
+            timeout = entry.get("t")
+            if timeout is not None and timeout <= now:
+                # Clear the timeout before invoking so the function can
+                # re-arm or remove state explicitly.
+                self.state.put(key, {"s": entry.get("s"), "t": None})
+                out_rows.extend(self._invoke(
+                    key, [], ctx, watermark, has_timed_out=True
+                ))
+        return out_rows
+
+
+class CompleteModePostOp(IncrementalOp):
+    """Sort/Limit applied to a complete-mode result table (§5.2).
+
+    Only valid in complete mode, where each epoch's emission *is* the
+    whole result table; the node then applies like a batch operator.
+    """
+
+    def __init__(self, node: L.LogicalPlan, child: IncrementalOp):
+        self._placeholder = make_placeholder(child.output_schema)
+        self._node = node.with_children((self._placeholder,))
+        self.output_schema = self._node.schema
+        self.child = child
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        batch = self.child.process(ctx)
+        return execute(self._node, {id(self._placeholder): batch})

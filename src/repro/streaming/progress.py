@@ -1,0 +1,77 @@
+"""Progress and monitoring events (§7.4, §2.3's monitoring challenge).
+
+Each completed epoch produces an :class:`EpochProgress` carrying the
+metrics the paper lists operators needing: load (rows, rows/s), backlog,
+state size, watermarks and timing.  ``to_json`` keeps it loggable as a
+structured event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochProgress:
+    """Metrics for one completed epoch."""
+
+    epoch_id: int
+    trigger_time: float
+    duration_seconds: float
+    input_rows: int
+    output_rows: int
+    backlog_rows: int
+    state_keys: int
+    late_rows_dropped: int
+    watermarks: dict = field(default_factory=dict)
+    sources: dict = field(default_factory=dict)
+
+    @property
+    def input_rows_per_second(self) -> float:
+        """Processing rate for this epoch."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.input_rows / self.duration_seconds
+
+    def to_json(self) -> dict:
+        """Structured-event form (for logs and dashboards)."""
+        return {
+            "epoch": self.epoch_id,
+            "triggerTime": self.trigger_time,
+            "durationSeconds": self.duration_seconds,
+            "numInputRows": self.input_rows,
+            "numOutputRows": self.output_rows,
+            "backlogRows": self.backlog_rows,
+            "stateKeys": self.state_keys,
+            "lateRowsDropped": self.late_rows_dropped,
+            "inputRowsPerSecond": self.input_rows_per_second,
+            "watermarks": self.watermarks,
+            "sources": self.sources,
+        }
+
+
+class ProgressReporter:
+    """Keeps a bounded history of epoch progress for a query."""
+
+    def __init__(self, capacity: int = 100):
+        self._capacity = capacity
+        self._history = []
+        self.listeners = []
+
+    def record(self, progress: EpochProgress) -> None:
+        """Append progress; notify listeners."""
+        self._history.append(progress)
+        if len(self._history) > self._capacity:
+            del self._history[: len(self._history) - self._capacity]
+        for listener in self.listeners:
+            listener(progress)
+
+    @property
+    def last(self):
+        """Most recent epoch progress, or None."""
+        return self._history[-1] if self._history else None
+
+    @property
+    def recent(self) -> list:
+        """Retained progress history, oldest first."""
+        return list(self._history)

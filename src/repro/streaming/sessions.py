@@ -1,0 +1,90 @@
+"""Session windows built on ``flat_map_groups_with_state`` (§4.3.2).
+
+The paper's motivating example for custom stateful processing is
+"custom session-based windows": variable-length windows that close after
+a gap of inactivity.  This module packages that pattern — the advanced
+user code of Figure 3, generalized — as a reusable helper::
+
+    sessions = session_windows(
+        events.with_watermark("t", "10 seconds"),
+        key_columns=["user_id"], time_column="t", gap="30 seconds")
+
+Each emitted row is a closed session: the key columns plus
+``session_start``, ``session_end`` and ``events`` (row count).  A
+session closes when the event-time watermark passes its end + gap, so
+results are final (append semantics).
+
+Within-session ordering: rows are folded in event-time order inside each
+epoch; a record arriving in a later epoch still extends the session as
+long as it falls within the gap of the tracked bounds (anything later is
+bounded by the watermark, as usual).
+"""
+
+from __future__ import annotations
+
+from repro.sql.expressions import parse_duration
+from repro.sql.types import StructType
+
+
+def session_windows(df, key_columns, time_column: str, gap):
+    """Aggregate a stream into gap-separated sessions per key.
+
+    ``df`` must have a watermark on ``time_column`` (the helper uses
+    event-time timeouts to close idle sessions).  Returns a streaming
+    DataFrame of closed sessions, to be run in append or update mode.
+    """
+    gap_seconds = parse_duration(gap)
+    key_columns = list(key_columns)
+    key_schema = df.schema.select(key_columns)
+    output_schema = StructType(tuple(
+        [(f.name, f.data_type) for f in key_schema]
+        + [("session_start", "timestamp"), ("session_end", "timestamp"),
+           ("events", "long")]
+    ))
+
+    def update_func(key, rows, state):
+        closed = []
+        if state.has_timed_out:
+            session = state.get()
+            state.remove()
+            return [_emit(session)]
+
+        current = state.get_option()
+        for row in sorted(rows, key=lambda r: r[time_column]):
+            t = row[time_column]
+            if current is None:
+                current = {"start": t, "end": t, "n": 1}
+            elif t <= current["end"] + gap_seconds:
+                current["end"] = max(current["end"], t)
+                current["start"] = min(current["start"], t)
+                current["n"] += 1
+            else:
+                closed.append(_emit(current))
+                current = {"start": t, "end": t, "n": 1}
+
+        if current is not None:
+            deadline = current["end"] + gap_seconds
+            watermark = state.current_watermark
+            if watermark is not None and deadline <= watermark:
+                # The gap already elapsed in event time: close now.
+                closed.append(_emit(current))
+                state.remove()
+            else:
+                state.update(current)
+                try:
+                    state.set_timeout_timestamp(deadline)
+                except ValueError:
+                    closed.append(_emit(current))
+                    state.remove()
+        return closed
+
+    def _emit(session):
+        return {
+            "session_start": session["start"],
+            "session_end": session["end"],
+            "events": session["n"],
+        }
+
+    return (df.group_by_key(*key_columns)
+            .flat_map_groups_with_state(update_func, output_schema,
+                                        timeout="event_time"))

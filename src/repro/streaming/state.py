@@ -1,0 +1,291 @@
+"""Versioned state store with incremental (delta) checkpoints (§6.1).
+
+The store holds each stateful operator's keyed state and persists it
+under ``<checkpoint>/state/<operator>/``:
+
+* ``<version>.delta.json`` — the keys written/removed since the previous
+  version (incremental checkpoint);
+* ``<version>.snapshot.json`` — a full snapshot, written every
+  ``snapshot_interval`` versions to bound recovery replay.
+
+``restore(version)`` loads the nearest snapshot at or below the target
+and replays deltas — this is what enables both crash recovery and manual
+rollback to *any* retained epoch (§7.2).  Keys are JSON-encoded tuples,
+values any JSON-serializable object, keeping the on-disk format as
+human-readable as the paper's WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.storage import atomic_write_json, list_files, read_json
+
+
+def encode_key(key) -> str:
+    """Encode a key (scalar or tuple) as a canonical JSON string."""
+    if isinstance(key, tuple):
+        return json.dumps(list(key))
+    return json.dumps(key)
+
+
+def decode_key(text: str):
+    """Invert :func:`encode_key` (lists become tuples)."""
+    value = json.loads(text)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+class OperatorStateHandle:
+    """One operator's keyed state, with dirty tracking for delta commits."""
+
+    def __init__(self, directory: str, snapshot_interval: int = 10):
+        self._directory = directory
+        self._snapshot_interval = max(1, snapshot_interval)
+        self._data = {}
+        self._dirty = set()
+        self._removed = set()
+        self.last_committed_version = None
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keyed access (in-memory working state)
+    # ------------------------------------------------------------------
+    def get(self, key, default=None):
+        """Value for a key, or default."""
+        return self._data.get(encode_key(key), default)
+
+    def contains(self, key) -> bool:
+        """True if the key has state."""
+        return encode_key(key) in self._data
+
+    def put(self, key, value) -> None:
+        """Set a key's state (JSON-serializable value)."""
+        encoded = encode_key(key)
+        self._data[encoded] = value
+        self._dirty.add(encoded)
+        self._removed.discard(encoded)
+
+    def remove(self, key) -> None:
+        """Delete a key's state."""
+        encoded = encode_key(key)
+        if encoded in self._data:
+            del self._data[encoded]
+            self._dirty.discard(encoded)
+            self._removed.add(encoded)
+
+    def items(self):
+        """Iterate (decoded_key, value) pairs of the working state."""
+        for encoded, value in self._data.items():
+            yield decode_key(encoded), value
+
+    def keys(self):
+        """Iterate decoded keys."""
+        for encoded in self._data:
+            yield decode_key(encoded)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Versioned persistence
+    # ------------------------------------------------------------------
+    def _path(self, version: int, kind: str) -> str:
+        return os.path.join(self._directory, f"{version:010d}.{kind}.json")
+
+    def commit(self, version: int) -> dict:
+        """Checkpoint the working state as ``version``.
+
+        Writes a delta of dirty/removed keys; every ``snapshot_interval``
+        versions writes a full snapshot instead.  Returns checkpoint
+        metrics (sizes) for monitoring (§7.4).
+        """
+        snapshot_due = version % self._snapshot_interval == 0
+        if snapshot_due:
+            payload = {"kind": "snapshot", "data": self._data}
+            atomic_write_json(self._path(version, "snapshot"), payload)
+            written = len(self._data)
+        else:
+            payload = {
+                "kind": "delta",
+                "puts": {k: self._data[k] for k in self._dirty},
+                "removes": sorted(self._removed),
+            }
+            atomic_write_json(self._path(version, "delta"), payload)
+            written = len(self._dirty) + len(self._removed)
+        self._dirty.clear()
+        self._removed.clear()
+        self.last_committed_version = version
+        return {"version": version, "keys_written": written, "num_keys": len(self._data)}
+
+    def _available_versions(self) -> dict:
+        """Map version -> kind for all checkpoint files on disk."""
+        versions = {}
+        for name in list_files(self._directory, ".json"):
+            stem = name[: -len(".json")]
+            version_text, _, kind = stem.partition(".")
+            versions.setdefault(int(version_text), set()).add(kind)
+        return versions
+
+    def latest_version(self):
+        """Newest checkpointed version on disk, or None."""
+        versions = self._available_versions()
+        return max(versions) if versions else None
+
+    def oldest_restorable_version(self):
+        """Oldest version restore() can rebuild: the oldest snapshot on
+        disk (deltas older than every snapshot cannot anchor a restore),
+        or the oldest delta when the chain starts from empty state."""
+        versions = self._available_versions()
+        if not versions:
+            return None
+        snapshots = [v for v, kinds in versions.items() if "snapshot" in kinds]
+        if min(versions) < min(snapshots, default=float("inf")):
+            # The chain still starts from empty state: everything works.
+            return min(versions)
+        return min(snapshots) if snapshots else None
+
+    def prune(self, keep_from_version: int) -> int:
+        """Garbage-collect checkpoints no longer needed to restore any
+        version >= ``keep_from_version``.
+
+        Keeps the newest snapshot at or below the horizon plus everything
+        after it (deltas replay from that snapshot).  Returns the number
+        of files deleted.  Without pruning, a long-running query's state
+        directory grows forever (§6.1's checkpoints are periodic for
+        exactly this reason).
+        """
+        versions = self._available_versions()
+        snapshots = sorted(
+            v for v, kinds in versions.items()
+            if "snapshot" in kinds and v <= keep_from_version
+        )
+        if not snapshots:
+            return 0
+        base = snapshots[-1]
+        removed = 0
+        for v, kinds in versions.items():
+            for kind in kinds:
+                if v < base or (v == base and kind == "delta"):
+                    path = self._path(v, kind)
+                    if os.path.exists(path):
+                        os.unlink(path)
+                        removed += 1
+        return removed
+
+    def restore(self, version):
+        """Reset the working state to the newest checkpoint <= ``version``.
+
+        Deltas are relative to the previous *commit* (not the previous
+        epoch), so sparse version numbers — from a checkpoint interval
+        larger than one epoch — replay correctly.  Returns the version
+        actually restored (None for empty state); the engine replays
+        input epochs after it from the WAL to reach the target (§6.1
+        step 4).
+        """
+        self._data = {}
+        self._dirty.clear()
+        self._removed.clear()
+        self.last_committed_version = None
+        if version is None:
+            return None
+        versions = self._available_versions()
+        usable = sorted(v for v in versions if v <= version)
+        if not usable:
+            return None
+        # Newest snapshot at or below the target is the replay base.
+        base = None
+        for v in reversed(usable):
+            if "snapshot" in versions[v]:
+                base = v
+                break
+        if base is not None:
+            self._data = dict(read_json(self._path(base, "snapshot"))["data"])
+        for v in usable:
+            if base is not None and v <= base:
+                continue
+            delta = read_json(self._path(v, "delta"))
+            self._data.update(delta["puts"])
+            for key in delta["removes"]:
+                self._data.pop(key, None)
+        self.last_committed_version = usable[-1]
+        return usable[-1]
+
+
+class StateStore:
+    """All operators' state for one query, under ``<checkpoint>/state``."""
+
+    def __init__(self, checkpoint_dir: str, snapshot_interval: int = 10):
+        self._directory = os.path.join(checkpoint_dir, "state")
+        self._snapshot_interval = snapshot_interval
+        self._handles = {}
+        os.makedirs(self._directory, exist_ok=True)
+
+    def handle(self, operator_id: str) -> OperatorStateHandle:
+        """Get (or create) the state handle for an operator."""
+        if operator_id not in self._handles:
+            self._handles[operator_id] = OperatorStateHandle(
+                os.path.join(self._directory, operator_id),
+                self._snapshot_interval,
+            )
+        return self._handles[operator_id]
+
+    def commit_all(self, version: int) -> list:
+        """Checkpoint every operator at ``version``; returns metrics."""
+        return [h.commit(version) for h in self._handles.values()]
+
+    def restore_all(self, version):
+        """Restore every operator to one *consistent* version <= ``version``.
+
+        A crash can land mid-``commit_all``, leaving operators with
+        different newest checkpoints; replaying from the lagging
+        operator's version would double-apply epochs to the others.  So
+        the common base is computed first — the oldest "newest checkpoint
+        <= version" across operators — and every operator restores to
+        exactly that.  Returns the base (None if any operator has no
+        usable checkpoint; state is then empty and replay starts from
+        epoch 0).
+        """
+        handles = list(self._handles.values())
+        if not handles:
+            return version
+        newest = []
+        for handle in handles:
+            versions = [v for v in handle._available_versions() if v <= version]
+            newest.append(max(versions) if versions else None)
+        if any(v is None for v in newest):
+            for handle in handles:
+                handle.restore(None)
+            return None
+        base = min(newest)
+        for handle in handles:
+            restored = handle.restore(base)
+            assert restored == base, (
+                f"operator checkpoint missing at consistent base {base}"
+            )
+        return base
+
+    def prune_all(self, keep_from_version: int) -> int:
+        """Prune every operator's old checkpoints; returns files removed."""
+        return sum(h.prune(keep_from_version) for h in self._handles.values())
+
+    def oldest_restorable_version(self):
+        """Oldest version restorable by *every* operator (None if any
+        operator has no checkpoints)."""
+        oldest = [h.oldest_restorable_version() for h in self._handles.values()]
+        if not oldest or any(v is None for v in oldest):
+            return None
+        return max(oldest)
+
+    def latest_complete_version(self):
+        """Newest version checkpointed by *all* operators, or None."""
+        latests = [h.latest_version() for h in self._handles.values()]
+        if not latests or any(v is None for v in latests):
+            return None
+        return min(latests)
+
+    def total_keys(self) -> int:
+        """Total keys across operators (a monitoring metric, §2.3)."""
+        return sum(len(h) for h in self._handles.values())

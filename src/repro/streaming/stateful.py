@@ -1,0 +1,159 @@
+"""User-facing state handle for custom stateful processing (§4.3.2).
+
+``GroupState`` is handed to the update function of
+``map_groups_with_state`` / ``flat_map_groups_with_state`` and lets the
+user read/update/remove per-key state and arm timeouts, exactly as in
+Figure 3 of the paper::
+
+    def update_func(key, rows, state):
+        total = state.get_option(0) + sum(1 for _ in rows)
+        state.update(total)
+        state.set_timeout_duration("30 min")
+        return {"events": total}
+
+State values must be JSON-serializable: they are checkpointed to the
+state store and must survive code updates (§7.1).
+"""
+
+from __future__ import annotations
+
+from repro.sql.expressions import parse_duration
+
+
+class GroupState:
+    """Mutable per-key state visible to a user update function."""
+
+    def __init__(self, value=None, exists: bool = False, has_timed_out: bool = False,
+                 watermark=None, processing_time=None, timeout_conf: str = "none"):
+        self._value = value
+        self._exists = exists
+        self._removed = False
+        self._updated = False
+        self._timeout_timestamp = None
+        self._timeout_changed = False
+        self.has_timed_out = has_timed_out
+        self._watermark = watermark
+        self._processing_time = processing_time
+        self._timeout_conf = timeout_conf
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def exists(self) -> bool:
+        """True if this key currently has state."""
+        return self._exists and not self._removed
+
+    def get(self):
+        """The state value; raises ``KeyError`` if no state exists."""
+        if not self.exists:
+            raise KeyError("no state exists for this key; use get_option()")
+        return self._value
+
+    def get_option(self, default=None):
+        """The state value, or ``default`` when no state exists."""
+        return self._value if self.exists else default
+
+    def update(self, value) -> None:
+        """Set the state value (must be JSON-serializable)."""
+        if value is None:
+            raise ValueError("state value must not be None; use remove()")
+        self._value = value
+        self._exists = True
+        self._removed = False
+        self._updated = True
+
+    def remove(self) -> None:
+        """Drop this key from state tracking."""
+        self._removed = True
+        self._updated = True
+
+    # ------------------------------------------------------------------
+    # Timeouts
+    # ------------------------------------------------------------------
+    def set_timeout_duration(self, duration) -> None:
+        """Arm a processing-time timeout ``duration`` from now.
+
+        Only valid when the operator was created with
+        ``timeout="processing_time"``.
+        """
+        if self._timeout_conf != "processing_time":
+            raise RuntimeError(
+                "set_timeout_duration requires timeout='processing_time'"
+            )
+        if self._processing_time is None:
+            raise RuntimeError("processing time unavailable in this context")
+        self._timeout_timestamp = self._processing_time + parse_duration(duration)
+        self._timeout_changed = True
+
+    def set_timeout_timestamp(self, timestamp) -> None:
+        """Arm an event-time timeout firing when the watermark passes it.
+
+        Only valid when the operator was created with
+        ``timeout="event_time"``; the timestamp must be beyond the
+        current watermark.
+        """
+        if self._timeout_conf != "event_time":
+            raise RuntimeError(
+                "set_timeout_timestamp requires timeout='event_time'"
+            )
+        if self._watermark is not None and timestamp <= self._watermark:
+            raise ValueError(
+                f"timeout timestamp {timestamp} is not beyond the current "
+                f"watermark {self._watermark}"
+            )
+        self._timeout_timestamp = float(timestamp)
+        self._timeout_changed = True
+
+    @property
+    def current_watermark(self):
+        """The current event-time watermark (None if not watermarked)."""
+        return self._watermark
+
+    @property
+    def current_processing_time(self):
+        """The current processing time (epoch trigger time)."""
+        return self._processing_time
+
+    # ------------------------------------------------------------------
+    # Engine-side outcome inspection
+    # ------------------------------------------------------------------
+    def _outcome(self) -> dict:
+        """What the update function did (consumed by the operator)."""
+        return {
+            "updated": self._updated,
+            "removed": self._removed,
+            "value": self._value,
+            "timeout_changed": self._timeout_changed,
+            "timeout_timestamp": self._timeout_timestamp,
+        }
+
+
+def normalize_func_output(result, flat: bool, key_columns, key_tuple) -> list:
+    """Convert a user function's return value into output row dicts.
+
+    ``map_groups_with_state`` returns one value per call: a dict of
+    output fields (merged with the key columns) or a scalar (stored as
+    the single non-key output column by the caller's schema).  The flat
+    variant returns an iterable of such dicts, or None.
+    """
+    key_fields = dict(zip(key_columns, key_tuple))
+    if flat:
+        if result is None:
+            return []
+        rows = []
+        for item in result:
+            row = dict(key_fields)
+            row.update(item)
+            rows.append(row)
+        return rows
+    if result is None:
+        return []
+    if not isinstance(result, dict):
+        raise TypeError(
+            "map_groups_with_state functions must return a dict of output "
+            f"fields, got {type(result).__name__}"
+        )
+    row = dict(key_fields)
+    row.update(result)
+    return [row]

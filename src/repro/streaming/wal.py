@@ -1,0 +1,147 @@
+"""Write-ahead log: human-readable JSON epoch records (§1, §6.1).
+
+Layout under a query's checkpoint directory::
+
+    <checkpoint>/metadata.json          query id, output mode
+    <checkpoint>/offsets/<epoch>.json   start/end offsets per source +
+                                        watermark state for the epoch
+    <checkpoint>/commits/<epoch>.json   written after the sink accepted
+                                        the epoch's output
+
+The two-file protocol is the paper's Figure 4: an epoch whose offsets
+entry exists but whose commit entry does not is the (at most one)
+partially executed epoch; recovery re-runs it against the idempotent
+sink.  Because entries are plain JSON, administrators can inspect them
+and manually roll back by deleting entries (§7.2) — exposed here as
+:meth:`WriteAheadLog.rollback_to`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage import atomic_write_json, list_files, read_json
+
+
+class WriteAheadLog:
+    """Offsets + commits log for one streaming query."""
+
+    def __init__(self, checkpoint_dir: str):
+        self.checkpoint_dir = checkpoint_dir
+        self._offsets_dir = os.path.join(checkpoint_dir, "offsets")
+        self._commits_dir = os.path.join(checkpoint_dir, "commits")
+        os.makedirs(self._offsets_dir, exist_ok=True)
+        os.makedirs(self._commits_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def write_metadata(self, payload: dict) -> None:
+        """Write query metadata once (no-op if present)."""
+        path = os.path.join(self.checkpoint_dir, "metadata.json")
+        if not os.path.exists(path):
+            atomic_write_json(path, payload)
+
+    def read_metadata(self) -> dict:
+        """Read query metadata ({} when absent)."""
+        path = os.path.join(self.checkpoint_dir, "metadata.json")
+        return read_json(path) if os.path.exists(path) else {}
+
+    # ------------------------------------------------------------------
+    # Offsets log
+    # ------------------------------------------------------------------
+    def _epoch_path(self, directory: str, epoch: int) -> str:
+        return os.path.join(directory, f"{epoch:010d}.json")
+
+    def write_offsets(self, epoch: int, entry: dict) -> None:
+        """Durably record an epoch's planned offsets *before* processing.
+
+        ``entry`` holds ``{"sources": {name: {"start": .., "end": ..}},
+        "watermarks": {...}}``; this is the paper's "master writes the
+        start and end offsets of each epoch durably to the log".
+        """
+        payload = dict(entry)
+        payload["epoch"] = epoch
+        atomic_write_json(self._epoch_path(self._offsets_dir, epoch), payload)
+
+    def read_offsets(self, epoch: int) -> dict:
+        """Read one epoch's offsets entry."""
+        return read_json(self._epoch_path(self._offsets_dir, epoch))
+
+    def _epochs_in(self, directory: str) -> list:
+        return [int(os.path.splitext(n)[0]) for n in list_files(directory, ".json")]
+
+    def logged_epochs(self) -> list:
+        """All epochs with an offsets entry, ascending."""
+        return self._epochs_in(self._offsets_dir)
+
+    def latest_logged_epoch(self):
+        """Newest epoch with an offsets entry, or None."""
+        epochs = self.logged_epochs()
+        return epochs[-1] if epochs else None
+
+    # ------------------------------------------------------------------
+    # Commits log
+    # ------------------------------------------------------------------
+    def write_commit(self, epoch: int, extra: dict = None) -> None:
+        """Record that the sink durably accepted the epoch's output.
+
+        ``extra`` carries small post-epoch facts recovery needs without
+        reprocessing — currently the advanced watermark state.
+        """
+        payload = {"epoch": epoch}
+        if extra:
+            payload.update(extra)
+        atomic_write_json(self._epoch_path(self._commits_dir, epoch), payload)
+
+    def read_commit(self, epoch: int) -> dict:
+        """Read one epoch's commit entry."""
+        return read_json(self._epoch_path(self._commits_dir, epoch))
+
+    def is_committed(self, epoch: int) -> bool:
+        """True if the epoch's commit entry exists."""
+        return os.path.exists(self._epoch_path(self._commits_dir, epoch))
+
+    def committed_epochs(self) -> list:
+        """All committed epochs, ascending."""
+        return self._epochs_in(self._commits_dir)
+
+    def latest_committed_epoch(self):
+        """Newest committed epoch, or None."""
+        epochs = self.committed_epochs()
+        return epochs[-1] if epochs else None
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def purge_before(self, epoch: int) -> int:
+        """Remove log entries older than ``epoch`` (log retention).
+
+        Rollback is only possible to retained epochs, matching the
+        paper's note that rollbacks depend on the message bus retaining
+        the data (§7.2) — the log's retention is the other half.
+        Returns the number of entries removed.
+        """
+        removed = 0
+        for directory in (self._offsets_dir, self._commits_dir):
+            for logged in self._epochs_in(directory):
+                if logged < epoch:
+                    os.unlink(self._epoch_path(directory, logged))
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Manual rollback (§7.2)
+    # ------------------------------------------------------------------
+    def rollback_to(self, epoch: int) -> None:
+        """Discard all log entries *after* ``epoch``.
+
+        On the next restart the query recomputes from that prefix of the
+        input, which is exactly the manual-rollback procedure the paper
+        describes (the JSON log makes the epoch -> offsets mapping
+        inspectable).  Pass ``epoch=-1`` to roll back to the beginning.
+        """
+        for directory in (self._offsets_dir, self._commits_dir):
+            for logged in self._epochs_in(directory):
+                if logged > epoch:
+                    os.unlink(self._epoch_path(directory, logged))

@@ -1,0 +1,5 @@
+"""Operator tooling for inspecting and administering checkpoints."""
+
+from repro.tools.checkpoint import describe_checkpoint, rollback_checkpoint
+
+__all__ = ["describe_checkpoint", "rollback_checkpoint"]

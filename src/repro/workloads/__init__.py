@@ -1,0 +1,16 @@
+"""Benchmark and test workload generators."""
+
+from repro.workloads.iot import IOT_SCHEMA, IotWorkload
+from repro.workloads.yahoo import (
+    YAHOO_EVENT_SCHEMA,
+    YahooWorkload,
+    structured_streaming_query,
+)
+
+__all__ = [
+    "IOT_SCHEMA",
+    "IotWorkload",
+    "YAHOO_EVENT_SCHEMA",
+    "YahooWorkload",
+    "structured_streaming_query",
+]

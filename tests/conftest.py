@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.session import Session
+from repro.sql.types import StructType
+from repro.sources.memory import MemoryStream
+
+
+@pytest.fixture
+def session() -> Session:
+    return Session()
+
+
+@pytest.fixture
+def checkpoint(tmp_path) -> str:
+    return str(tmp_path / "checkpoint")
+
+
+def make_stream(fields) -> MemoryStream:
+    """A MemoryStream with a tuple-spec schema."""
+    return MemoryStream(StructType(tuple(fields)))
+
+
+def rows_set(rows) -> set:
+    """Rows as a set of sorted-item tuples for order-insensitive compare."""
+    return {tuple(sorted(r.items())) for r in rows}
+
+
+def start_memory_query(df, mode: str, name: str, checkpoint_dir: str = None, **options):
+    """Start a manually driven streaming query into a MemorySink."""
+    writer = df.write_stream.format("memory").query_name(name).output_mode(mode)
+    for key, value in options.items():
+        writer = writer.option(key, value)
+    return writer.start(checkpoint_dir)

@@ -1,0 +1,211 @@
+"""Unit tests for analysis: the §5.1 streaming support checks.
+
+The paper's analysis stage validates incremental executability and
+output-mode compatibility; these tests pin the rules down.
+"""
+
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.analysis import (
+    UnsupportedOperationError,
+    analyze,
+    check_streaming_supported,
+    watermarked_columns,
+)
+from repro.sql.types import StructType
+
+SCHEMA = StructType((("k", "long"), ("v", "double"), ("t", "timestamp")))
+
+
+def stream(schema=SCHEMA):
+    return L.Scan(schema, None, True, name="s")
+
+
+def static(schema=SCHEMA):
+    return L.Scan(schema, None, False, name="b")
+
+
+def agg(child, window=False, keys=("k",)):
+    grouping = [E.ColumnRef(k) for k in keys]
+    if window:
+        grouping.append(E.WindowExpr(E.ColumnRef("t"), 10.0))
+    return L.Aggregate(grouping, [(E.Count(None), "n")], child)
+
+
+class TestAnalyze:
+    def test_valid_plan_passes(self):
+        plan = L.Filter(E.ColumnRef("v") > 0, stream())
+        assert analyze(plan) is plan
+
+    def test_unresolved_column_caught(self):
+        plan = L.Filter(E.ColumnRef("nope") > 0, stream())
+        with pytest.raises(Exception):
+            analyze(plan)
+
+
+class TestWatermarkedColumns:
+    def test_collects_all(self):
+        plan = L.WithWatermark("t", "5s", L.WithWatermark("v", "1s", stream()))
+        assert watermarked_columns(plan) == {"t": 5.0, "v": 1.0}
+
+    def test_empty(self):
+        assert watermarked_columns(stream()) == {}
+
+
+class TestOutputModeValidity:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(UnsupportedOperationError, match="unknown output mode"):
+            check_streaming_supported(stream(), "replace")
+
+    def test_batch_plan_rejected(self):
+        with pytest.raises(UnsupportedOperationError, match="no streaming source"):
+            check_streaming_supported(static(), "append")
+
+    def test_map_only_append_ok(self):
+        check_streaming_supported(L.Filter(E.ColumnRef("v") > 0, stream()), "append")
+
+    def test_complete_requires_aggregate(self):
+        with pytest.raises(UnsupportedOperationError, match="complete mode requires"):
+            check_streaming_supported(L.Filter(E.ColumnRef("v") > 0, stream()), "complete")
+
+    def test_aggregate_complete_ok(self):
+        check_streaming_supported(agg(stream()), "complete")
+
+    def test_aggregate_update_ok(self):
+        check_streaming_supported(agg(stream()), "update")
+
+    def test_plain_aggregate_append_rejected(self):
+        # "no way for the system to guarantee it has stopped receiving
+        # records for a given country" (§4.2).
+        with pytest.raises(UnsupportedOperationError, match="append mode"):
+            check_streaming_supported(agg(stream()), "append")
+
+    def test_windowed_aggregate_append_needs_watermark(self):
+        plan = agg(stream(), window=True)
+        with pytest.raises(UnsupportedOperationError):
+            check_streaming_supported(plan, "append")
+
+    def test_windowed_aggregate_with_watermark_append_ok(self):
+        plan = agg(L.WithWatermark("t", "10s", stream()), window=True)
+        check_streaming_supported(plan, "append")
+
+    def test_grouping_by_watermarked_column_append_ok(self):
+        plan = agg(L.WithWatermark("t", "10s", stream()), keys=("t",))
+        check_streaming_supported(plan, "append")
+
+
+class TestMultipleAggregations:
+    def test_two_streaming_aggregates_rejected(self):
+        plan = agg(agg(stream()))
+        with pytest.raises(UnsupportedOperationError, match="at most one aggregation"):
+            check_streaming_supported(plan, "complete")
+
+    def test_static_subquery_aggregate_not_counted(self):
+        static_agg = agg(static())
+        plan = L.Join(
+            agg(L.WithWatermark("t", "10s", stream()), window=True),
+            L.Project([E.ColumnRef("k"), (E.ColumnRef("v") * 1).alias("w")], static_agg.child),
+            on="k",
+        )
+        # One streaming aggregate, one batch subplan: allowed.
+        check_streaming_supported(plan, "complete")
+
+
+class TestSortAndLimit:
+    def test_sort_complete_after_aggregate_ok(self):
+        plan = L.Sort([("n", False)], agg(stream()))
+        check_streaming_supported(plan, "complete")
+
+    def test_sort_update_rejected(self):
+        plan = L.Sort([("n", False)], agg(stream()))
+        with pytest.raises(UnsupportedOperationError, match="complete"):
+            check_streaming_supported(plan, "update")
+
+    def test_sort_without_aggregate_rejected(self):
+        plan = L.Sort([("v", True)], stream())
+        with pytest.raises(UnsupportedOperationError):
+            check_streaming_supported(plan, "complete")
+
+    def test_limit_complete_ok(self):
+        plan = L.Limit(5, agg(stream()))
+        check_streaming_supported(plan, "complete")
+
+    def test_limit_append_rejected(self):
+        plan = L.Limit(5, stream())
+        with pytest.raises(UnsupportedOperationError, match="limit"):
+            check_streaming_supported(plan, "append")
+
+
+class TestJoins:
+    RIGHT = StructType((("k", "long"), ("r", "double"), ("t2", "timestamp")))
+
+    def test_stream_static_inner_ok(self):
+        plan = L.Join(stream(), static(self.RIGHT), on="k")
+        check_streaming_supported(plan, "append")
+
+    def test_stream_static_left_outer_ok_when_stream_left(self):
+        plan = L.Join(stream(), static(self.RIGHT), on="k", how="left_outer")
+        check_streaming_supported(plan, "append")
+
+    def test_left_outer_with_stream_on_right_rejected(self):
+        plan = L.Join(static(), stream(self.RIGHT), on="k", how="left_outer")
+        with pytest.raises(UnsupportedOperationError, match="left_outer"):
+            check_streaming_supported(plan, "append")
+
+    def test_right_outer_with_stream_on_left_rejected(self):
+        plan = L.Join(stream(), static(self.RIGHT), on="k", how="right_outer")
+        with pytest.raises(UnsupportedOperationError, match="right_outer"):
+            check_streaming_supported(plan, "append")
+
+    def test_stream_stream_inner_without_bound_allowed(self):
+        # Like Spark: allowed, but state is unbounded (no eviction).
+        plan = L.Join(stream(), stream(self.RIGHT), on="k")
+        check_streaming_supported(plan, "append")
+
+    def test_stream_stream_with_bounded_watermarked_columns_ok(self):
+        plan = L.Join(
+            L.WithWatermark("t", "10s", stream()),
+            L.WithWatermark("t2", "10s", stream(self.RIGHT)),
+            on="k", within=("t", "t2", "30s"),
+        )
+        check_streaming_supported(plan, "append")
+
+    def test_outer_stream_stream_requires_within(self):
+        plan = L.Join(
+            L.WithWatermark("t", "10s", stream()),
+            L.WithWatermark("t2", "10s", stream(self.RIGHT)),
+            on="k", how="left_outer",
+        )
+        with pytest.raises(UnsupportedOperationError, match="within"):
+            check_streaming_supported(plan, "append")
+
+    def test_within_columns_must_be_watermarked(self):
+        plan = L.Join(
+            L.WithWatermark("t", "10s", stream()),
+            stream(self.RIGHT),  # right side not watermarked
+            on="k", within=("t", "t2", "30s"),
+        )
+        with pytest.raises(UnsupportedOperationError, match="watermark"):
+            check_streaming_supported(plan, "append")
+
+
+class TestStatefulOperators:
+    OUT = StructType((("k", "long"), ("n", "long")))
+
+    def map_groups(self, flat=False):
+        return L.MapGroupsWithState(["k"], lambda *a: None, self.OUT, stream(), flat=flat)
+
+    def test_map_groups_requires_update(self):
+        check_streaming_supported(self.map_groups(), "update")
+        with pytest.raises(UnsupportedOperationError, match="update"):
+            check_streaming_supported(self.map_groups(), "append")
+
+    def test_flat_map_groups_append_and_update_ok(self):
+        check_streaming_supported(self.map_groups(flat=True), "append")
+        check_streaming_supported(self.map_groups(flat=True), "update")
+
+    def test_flat_map_groups_complete_rejected(self):
+        with pytest.raises(UnsupportedOperationError, match="complete"):
+            check_streaming_supported(self.map_groups(flat=True), "complete")

@@ -1,0 +1,161 @@
+"""Correctness tests for the baseline engines and the Yahoo! workload.
+
+All three engines (Structured Streaming, Flink-like, Kafka-Streams-like)
+must produce identical windowed counts — performance differs, results
+must not (§9.1).
+"""
+
+import pytest
+
+from repro.bus import Broker
+from repro.baselines.operator_engine import (
+    FilterOperator,
+    FlinkStyleEngine,
+    KeyByBoundary,
+    ProjectOperator,
+    TableJoinOperator,
+    WindowedCountOperator,
+)
+from repro.baselines.record_engine import (
+    FilterStage,
+    KafkaStreamsStyleEngine,
+    MapStage,
+    TableJoinStage,
+    WindowedCountStage,
+)
+from repro.workloads.yahoo import (
+    WINDOW_SECONDS,
+    YahooWorkload,
+    structured_streaming_query,
+)
+
+
+@pytest.fixture
+def workload():
+    return YahooWorkload(num_campaigns=10, ads_per_campaign=5, seed=3)
+
+
+@pytest.fixture
+def published(workload):
+    broker = Broker()
+    rows = workload.event_rows(2_000, duration=60.0)
+    workload.publish(broker, "events", rows, partitions=3)
+    return broker, rows
+
+
+class TestWorkloadGenerator:
+    def test_campaign_mapping_consistent(self, workload):
+        lookup = workload.campaign_lookup()
+        for row in workload.campaign_rows():
+            assert lookup[row["ad_id"]] == row["campaign_id"]
+
+    def test_event_fields(self, workload):
+        rows = workload.event_rows(10)
+        for row in rows:
+            assert set(row) == {"user_id", "page_id", "ad_id", "ad_type",
+                                "event_type", "event_time"}
+            assert 0 <= row["ad_id"] < workload.num_ads
+
+    def test_event_times_sorted(self, workload):
+        rows = workload.event_rows(100)
+        times = [r["event_time"] for r in rows]
+        assert times == sorted(times)
+
+    def test_deterministic_with_seed(self):
+        a = YahooWorkload(seed=5).event_rows(20)
+        b = YahooWorkload(seed=5).event_rows(20)
+        assert a == b
+
+    def test_reference_counts_only_views(self, workload):
+        rows = [
+            {"ad_id": 0, "event_type": "view", "event_time": 1.0},
+            {"ad_id": 0, "event_type": "click", "event_time": 2.0},
+        ]
+        ref = workload.reference_counts(rows)
+        assert sum(ref.values()) == 1
+
+    def test_publish_columnar_round_trips(self, workload):
+        broker = Broker()
+        workload.publish_columnar(broker, "ev", 100, partitions=2)
+        assert broker.topic("ev").total_records() == 100
+
+
+class TestEnginesAgree:
+    def _flink_counts(self, broker, workload):
+        counter = WindowedCountOperator("campaign_id", "event_time", WINDOW_SECONDS)
+        engine = FlinkStyleEngine(broker, [
+            FilterOperator(lambda r: r["event_type"] == "view"),
+            ProjectOperator(("ad_id", "event_time")),
+            TableJoinOperator(workload.campaign_lookup(), "ad_id", "campaign_id"),
+            KeyByBoundary("campaign_id"),
+            counter,
+        ])
+        engine.run("events")
+        return dict(counter.counts)
+
+    def _ks_counts(self, broker, workload):
+        engine = KafkaStreamsStyleEngine(broker, name="ks-test")
+        engine.add_stage(FilterStage(lambda r: r["event_type"] == "view"))
+        engine.add_stage(MapStage(
+            lambda r: {"ad_id": r["ad_id"], "event_time": r["event_time"]}))
+        engine.add_stage(TableJoinStage(
+            workload.campaign_lookup(), "ad_id", "campaign_id"))
+        counter = WindowedCountStage(
+            "campaign_id", "event_time", WINDOW_SECONDS,
+            engine.changelog_topic("counts"))
+        engine.add_stage(counter)
+        engine.run("events", "ks-out")
+        return {(int(k[0]), k[1]): v for k, v in counter.counts.items()}
+
+    def _ss_counts(self, session, broker, workload):
+        query = structured_streaming_query(session, broker, "events", workload)
+        handle = (query.write_stream.format("memory").query_name("y")
+                  .output_mode("update").start())
+        handle.process_all_available()
+        return {(r["campaign_id"], r["window_start"]): r["count"]
+                for r in handle.engine.sink.rows()}
+
+    def test_all_three_match_reference(self, session, workload, published):
+        broker, rows = published
+        reference = workload.reference_counts(rows)
+        assert self._ss_counts(session, broker, workload) == reference
+        assert self._flink_counts(broker, workload) == reference
+        assert self._ks_counts(broker, workload) == reference
+
+    def test_ss_append_mode_emits_final_windows(self, session, workload):
+        broker = Broker()
+        rows = workload.event_rows(500, duration=30.0)
+        workload.publish(broker, "events", rows, partitions=2)
+        query = structured_streaming_query(
+            session, broker, "events", workload, watermark_delay="5 seconds")
+        handle = (query.write_stream.format("memory").query_name("ya")
+                  .output_mode("append").start())
+        handle.process_all_available()
+        # Push the watermark far forward so every real window closes.
+        # Padding must be 'view' events: the watermark is observed after
+        # the filter, as in the real pipeline.
+        for t in (10_000.0, 10_001.0):
+            workload.publish(broker, "events",
+                             [{"user_id": 0, "page_id": 0, "ad_id": 0,
+                               "ad_type": "banner", "event_type": "view",
+                               "event_time": t}], partitions=2)
+            handle.process_all_available()
+        got = {(r["campaign_id"], r["window_start"]): r["count"]
+               for r in handle.engine.sink.rows()
+               if r["window_start"] < 1_000.0}
+        assert got == workload.reference_counts(rows)
+
+    def test_changelog_published_per_update(self, workload):
+        """The KS-like engine's fault-tolerance cost: one changelog record
+        per state update."""
+        broker = Broker()
+        rows = [{"user_id": 0, "page_id": 0, "ad_id": 0, "ad_type": "b",
+                 "event_type": "view", "event_time": 1.0}] * 5
+        broker.create_topic("events").publish_to(0, rows)
+        engine = KafkaStreamsStyleEngine(broker, name="ks-c")
+        engine.add_stage(FilterStage(lambda r: True))
+        changelog = engine.changelog_topic("x")
+        engine.add_stage(WindowedCountStage(
+            "ad_id", "event_time", WINDOW_SECONDS, changelog))
+        engine.run("events", "out")
+        assert changelog.total_records() == 5

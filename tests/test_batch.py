@@ -1,0 +1,134 @@
+"""Unit tests for columnar record batches (repro.sql.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.sql.batch import RecordBatch, promote_nullable
+from repro.sql.types import DoubleType, StructType
+
+SCHEMA = StructType((("id", "long"), ("name", "string"), ("score", "double")))
+
+ROWS = [
+    {"id": 1, "name": "a", "score": 1.5},
+    {"id": 2, "name": "b", "score": 2.5},
+    {"id": 3, "name": None, "score": 3.5},
+]
+
+
+@pytest.fixture
+def batch() -> RecordBatch:
+    return RecordBatch.from_rows(ROWS, SCHEMA)
+
+
+class TestConstruction:
+    def test_from_rows_roundtrip(self, batch):
+        assert batch.to_rows() == ROWS
+
+    def test_column_dtypes(self, batch):
+        assert batch.column("id").dtype == np.int64
+        assert batch.column("score").dtype == np.float64
+        assert batch.column("name").dtype == object
+
+    def test_empty(self):
+        empty = RecordBatch.empty(SCHEMA)
+        assert empty.num_rows == 0
+        assert empty.to_rows() == []
+
+    def test_from_columns_coerces(self):
+        batch = RecordBatch.from_columns(
+            SCHEMA, id=[1, 2], name=["x", "y"], score=np.array([1, 2]),
+        )
+        assert batch.column("score").dtype == np.float64
+        assert batch.num_rows == 2
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            RecordBatch({"id": np.array([1])}, SCHEMA)
+
+    def test_missing_row_field_becomes_null(self):
+        schema = StructType((("a", "string"),))
+        batch = RecordBatch.from_rows([{}], schema)
+        assert batch.to_rows() == [{"a": None}]
+
+
+class TestConcat:
+    def test_concat_two(self, batch):
+        combined = RecordBatch.concat([batch, batch])
+        assert combined.num_rows == 6
+
+    def test_concat_skips_empty(self, batch):
+        combined = RecordBatch.concat([RecordBatch.empty(SCHEMA), batch])
+        assert combined.num_rows == 3
+
+    def test_concat_all_empty_keeps_schema(self):
+        combined = RecordBatch.concat([RecordBatch.empty(SCHEMA)])
+        assert combined.schema == SCHEMA
+
+    def test_concat_nothing_requires_schema(self):
+        assert RecordBatch.concat([], SCHEMA).num_rows == 0
+        with pytest.raises(ValueError):
+            RecordBatch.concat([])
+
+    def test_concat_single_returns_same_object(self, batch):
+        assert RecordBatch.concat([batch]) is batch
+
+
+class TestTransforms:
+    def test_select_subset_and_order(self, batch):
+        out = batch.select(["score", "id"])
+        assert out.schema.names == ["score", "id"]
+        assert out.to_rows()[0] == {"score": 1.5, "id": 1}
+
+    def test_rename(self, batch):
+        out = batch.rename({"id": "ident"})
+        assert out.schema.names == ["ident", "name", "score"]
+        assert out.column("ident")[0] == 1
+
+    def test_with_column_add(self, batch):
+        out = batch.with_column("flag", np.array([True, False, True]),
+                                StructType((("x", "boolean"),)).type_of("x"))
+        assert out.schema.names[-1] == "flag"
+        assert out.num_rows == 3
+
+    def test_with_column_replace_keeps_position(self, batch):
+        out = batch.with_column("score", np.array([0.0, 0.0, 0.0]), DoubleType())
+        assert out.schema.names == SCHEMA.names
+        assert out.column("score").sum() == 0
+
+    def test_filter(self, batch):
+        out = batch.filter(np.array([True, False, True]))
+        assert [r["id"] for r in out.to_rows()] == [1, 3]
+
+    def test_filter_all_true_returns_same(self, batch):
+        assert batch.filter(np.ones(3, dtype=bool)) is batch
+
+    def test_take_with_repeats(self, batch):
+        out = batch.take(np.array([2, 0, 0]))
+        assert [r["id"] for r in out.to_rows()] == [3, 1, 1]
+
+    def test_slice(self, batch):
+        assert [r["id"] for r in batch.slice(1, 3).to_rows()] == [2, 3]
+
+    def test_len(self, batch):
+        assert len(batch) == 3
+
+
+class TestNullHandling:
+    def test_nan_becomes_none_in_rows(self):
+        schema = StructType((("x", "double"),))
+        batch = RecordBatch.from_columns(schema, x=np.array([1.0, np.nan]))
+        assert batch.to_rows() == [{"x": 1.0}, {"x": None}]
+
+    def test_none_string_survives(self, batch):
+        assert batch.to_rows()[2]["name"] is None
+
+
+class TestPromoteNullable:
+    def test_long_promoted_to_double(self):
+        promoted = promote_nullable(StructType((("a", "long"), ("b", "string"))))
+        assert isinstance(promoted.type_of("a"), DoubleType)
+        assert promoted.type_of("b").simple_name == "string"
+
+    def test_all_nullable(self):
+        promoted = promote_nullable(StructType((("a", "long", False),)))
+        assert promoted.field("a").nullable

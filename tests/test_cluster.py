@@ -1,0 +1,161 @@
+"""Tests for the simulated cluster runtime (§6.2): load balancing,
+fault recovery, straggler speculation, rescaling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    FailureInjector,
+    SlowdownInjector,
+    Task,
+    TaskFailure,
+    TaskScheduler,
+)
+
+
+@pytest.fixture
+def scheduler():
+    sched = TaskScheduler(num_workers=4, speculation=False)
+    yield sched
+    sched.shutdown()
+
+
+class TestStageExecution:
+    def test_all_tasks_run_and_results_collected(self, scheduler):
+        tasks = [Task(i, lambda i=i: i * i) for i in range(10)]
+        results = scheduler.run_stage(tasks)
+        assert results == {i: i * i for i in range(10)}
+
+    def test_empty_stage(self, scheduler):
+        assert scheduler.run_stage([]) == {}
+
+    def test_tasks_run_in_parallel(self, scheduler):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def wait_at_barrier(i):
+            barrier.wait()
+            return i
+
+        tasks = [Task(i, wait_at_barrier, (i,)) for i in range(4)]
+        results = scheduler.run_stage(tasks, timeout=10)
+        assert len(results) == 4
+
+    def test_dynamic_load_balancing(self, scheduler):
+        """More tasks than workers: every task still completes (workers
+        pull from a shared queue)."""
+        tasks = [Task(i, lambda i=i: i) for i in range(50)]
+        assert len(scheduler.run_stage(tasks)) == 50
+
+    def test_sequential_stages(self, scheduler):
+        first = scheduler.run_stage([Task(0, lambda: "a")])
+        second = scheduler.run_stage([Task(0, lambda: "b")])
+        assert (first[0], second[0]) == ("a", "b")
+
+
+class TestFaultRecovery:
+    def test_failed_task_retried_not_whole_stage(self):
+        injector = FailureInjector({3: 1})  # task 3 fails once
+        sched = TaskScheduler(4, speculation=False, injectors=[injector])
+        try:
+            results = sched.run_stage([Task(i, lambda i=i: i) for i in range(6)])
+            assert results == {i: i for i in range(6)}
+            assert injector.injected[0][0] == 3
+        finally:
+            sched.shutdown()
+
+    def test_retry_budget_exhaustion_fails_stage(self):
+        injector = FailureInjector({0: 100})
+        sched = TaskScheduler(2, max_retries=2, speculation=False,
+                              injectors=[injector])
+        try:
+            with pytest.raises(TaskFailure, match="task 0"):
+                sched.run_stage([Task(0, lambda: 1)])
+        finally:
+            sched.shutdown()
+
+    def test_worker_scoped_failures(self):
+        """A task failing on one worker succeeds when retried elsewhere."""
+        injector = FailureInjector({0: 1}, on_workers={0})
+        sched = TaskScheduler(3, speculation=False, injectors=[injector])
+        try:
+            results = sched.run_stage([Task(i, lambda i=i: i) for i in range(3)])
+            assert results[0] == 0
+        finally:
+            sched.shutdown()
+
+
+class TestSpeculation:
+    def test_straggler_mitigated_by_backup_copy(self):
+        """A slow worker's task gets a speculative copy; the stage
+        finishes long before the straggler would have (§6.2)."""
+        slow = SlowdownInjector(slow_workers={0}, delay=5.0)
+        sched = TaskScheduler(
+            4, speculation=True, speculation_multiplier=2.0,
+            speculation_min_seconds=0.05, injectors=[slow],
+        )
+        try:
+            tasks = [Task(i, lambda i=i: (time.sleep(0.01), i)[1]) for i in range(8)]
+            started = time.monotonic()
+            results = sched.run_stage(tasks, timeout=20)
+            elapsed = time.monotonic() - started
+            assert len(results) == 8
+            assert elapsed < 4.0  # did not wait out the 5s straggler
+            assert slow.slowed  # the straggler injection did fire
+        finally:
+            sched.shutdown()
+
+    def test_task_results_not_duplicated_under_speculation(self):
+        slow = SlowdownInjector(slow_workers={0}, delay=0.3)
+        sched = TaskScheduler(4, speculation=True,
+                              speculation_min_seconds=0.02, injectors=[slow])
+        try:
+            counter = {"n": 0}
+            lock = threading.Lock()
+
+            def work(i):
+                with lock:
+                    counter["n"] += 1
+                return i
+
+            results = sched.run_stage(
+                [Task(i, work, (i,)) for i in range(6)], timeout=20)
+            assert results == {i: i for i in range(6)}
+            # Attempts may exceed tasks (speculation), results may not.
+            assert counter["n"] >= 6
+        finally:
+            sched.shutdown()
+
+
+class TestRescaling:
+    def test_add_workers(self):
+        sched = TaskScheduler(2, speculation=False)
+        try:
+            assert sched.num_workers == 2
+            sched.add_workers(3)
+            assert sched.num_workers == 5
+            results = sched.run_stage([Task(i, lambda i=i: i) for i in range(20)])
+            assert len(results) == 20
+        finally:
+            sched.shutdown()
+
+    def test_remove_workers(self):
+        sched = TaskScheduler(4, speculation=False)
+        try:
+            sched.remove_workers(2)
+            time.sleep(0.1)
+            assert sched.num_workers == 2
+            results = sched.run_stage([Task(i, lambda i=i: i) for i in range(10)])
+            assert len(results) == 10
+        finally:
+            sched.shutdown()
+
+    def test_shrink_to_one_worker_still_progresses(self):
+        sched = TaskScheduler(3, speculation=False)
+        try:
+            sched.remove_workers(2)
+            results = sched.run_stage([Task(i, lambda i=i: i) for i in range(5)])
+            assert len(results) == 5
+        finally:
+            sched.shutdown()

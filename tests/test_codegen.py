@@ -1,0 +1,97 @@
+"""Direct tests for the closure compiler (repro.sql.codegen) — the
+code-generation analogue must agree with interpreted evaluation and fail
+fast at compile time."""
+
+import numpy as np
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql.batch import RecordBatch
+from repro.sql.codegen import compile_expression, compile_predicate, compile_projection
+from repro.sql.expressions import AnalysisError
+from repro.sql.types import StructType
+
+SCHEMA = StructType((("i", "long"), ("x", "double"), ("s", "string"),
+                     ("flag", "boolean")))
+
+BATCH = RecordBatch.from_rows([
+    {"i": 1, "x": 0.5, "s": "a", "flag": True},
+    {"i": 2, "x": 1.5, "s": "b", "flag": False},
+    {"i": 3, "x": 2.5, "s": None, "flag": True},
+], SCHEMA)
+
+
+class TestCompileExpression:
+    @pytest.mark.parametrize("expr,expected", [
+        (E.ColumnRef("i"), [1, 2, 3]),
+        (E.Literal(7), [7, 7, 7]),
+        (E.Literal("k"), ["k", "k", "k"]),
+        (E.ColumnRef("i") + E.ColumnRef("x"), [1.5, 3.5, 5.5]),
+        (E.ColumnRef("i") * 2 - 1, [1, 3, 5]),
+        (E.ColumnRef("i") > 1, [False, True, True]),
+        ((E.ColumnRef("i") > 1) & E.ColumnRef("flag"), [False, False, True]),
+        ((E.ColumnRef("i") > 2) | E.ColumnRef("flag"), [True, False, True]),
+        (~E.ColumnRef("flag"), [False, True, False]),
+        (E.ColumnRef("i").isin([1, 3]), [True, False, True]),
+        (E.ColumnRef("s").isin(["a"]), [True, False, False]),
+    ])
+    def test_compiled_matches_expected(self, expr, expected):
+        fn = compile_expression(expr, SCHEMA)
+        assert fn(BATCH).tolist() == expected
+
+    def test_alias_is_transparent(self):
+        fn = compile_expression((E.ColumnRef("i") + 1).alias("j"), SCHEMA)
+        assert fn(BATCH).tolist() == [2, 3, 4]
+
+    def test_fallback_nodes_still_work(self):
+        # IsNull/Cast/CaseWhen use the node evaluator fallback path.
+        from repro.sql.types import DOUBLE
+
+        fn = compile_expression(E.IsNull(E.ColumnRef("s")), SCHEMA)
+        assert fn(BATCH).tolist() == [False, False, True]
+        fn = compile_expression(E.Cast(E.ColumnRef("i"), DOUBLE), SCHEMA)
+        assert fn(BATCH).dtype == np.float64
+
+    def test_compile_fails_fast_on_unresolved(self):
+        with pytest.raises(AnalysisError):
+            compile_expression(E.ColumnRef("zzz"), SCHEMA)
+
+    def test_compile_fails_fast_on_type_error(self):
+        with pytest.raises(AnalysisError):
+            compile_expression(E.ColumnRef("s") + 1, SCHEMA)
+
+    def test_compiled_closure_reusable_across_batches(self):
+        fn = compile_expression(E.ColumnRef("i") * 10, SCHEMA)
+        other = RecordBatch.from_rows(
+            [{"i": 9, "x": 0.0, "s": "z", "flag": False}], SCHEMA)
+        assert fn(BATCH).tolist() == [10, 20, 30]
+        assert fn(other).tolist() == [90]
+
+    def test_division_suppresses_warnings(self):
+        fn = compile_expression(E.ColumnRef("x") / E.ColumnRef("i"), SCHEMA)
+        out = fn(BATCH)
+        assert out[0] == pytest.approx(0.5)
+
+    def test_matches_interpreter_on_compound_expression(self):
+        expr = ((E.ColumnRef("i") * 3 + E.ColumnRef("x")) > 4) & \
+            ~E.ColumnRef("s").is_null()
+        fn = compile_expression(expr, SCHEMA)
+        rows = BATCH.to_rows()
+        assert fn(BATCH).tolist() == [bool(expr.eval_row(r)) for r in rows]
+
+
+class TestCompilePredicateAndProjection:
+    def test_predicate_requires_boolean(self):
+        with pytest.raises(AnalysisError, match="boolean"):
+            compile_predicate(E.ColumnRef("i") + 1, SCHEMA)
+
+    def test_predicate_usable_as_mask(self):
+        mask = compile_predicate(E.ColumnRef("i") >= 2, SCHEMA)(BATCH)
+        assert BATCH.filter(mask).num_rows == 2
+
+    def test_projection_returns_all_columns(self):
+        project = compile_projection(
+            [E.ColumnRef("i"), (E.ColumnRef("x") * 2).alias("x2")], SCHEMA)
+        arrays = project(BATCH)
+        assert len(arrays) == 2
+        assert arrays[1].tolist() == [1.0, 3.0, 5.0]

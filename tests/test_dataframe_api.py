@@ -1,0 +1,234 @@
+"""Tests for the DataFrame API surface and batch execution through it."""
+
+import pytest
+
+from repro.sql import functions as F
+from repro.sql.expressions import AnalysisError
+
+from tests.conftest import rows_set
+
+ROWS = [
+    {"country": "US", "latency": 10.0, "time": 3.0},
+    {"country": "CA", "latency": 20.0, "time": 64.0},
+    {"country": "US", "latency": 30.0, "time": 65.0},
+    {"country": "MX", "latency": 5.0, "time": 70.0},
+]
+
+SCHEMA = (("country", "string"), ("latency", "double"), ("time", "timestamp"))
+
+
+@pytest.fixture
+def df(session):
+    return session.create_dataframe(ROWS, SCHEMA)
+
+
+class TestBasics:
+    def test_schema_and_columns(self, df):
+        assert df.columns == ["country", "latency", "time"]
+        assert not df.is_streaming
+
+    def test_collect_roundtrip(self, df):
+        assert df.collect() == ROWS
+
+    def test_count_rows(self, df):
+        assert df.count_rows() == 4
+
+    def test_explain_returns_text(self, df, capsys):
+        text = df.where(F.col("latency") > 5).explain()
+        assert "Filter" in text
+        assert "Filter" in capsys.readouterr().out
+
+
+class TestSelectProject:
+    def test_select_by_name(self, df):
+        assert df.select("country").collect() == [
+            {"country": r["country"]} for r in ROWS
+        ]
+
+    def test_select_expression_with_alias(self, df):
+        out = df.select((F.col("latency") * 2).alias("double_latency")).collect()
+        assert out[0] == {"double_latency": 20.0}
+
+    def test_with_column_adds(self, df):
+        out = df.with_column("fast", F.col("latency") < 15)
+        assert out.columns == ["country", "latency", "time", "fast"]
+        assert out.collect()[0]["fast"] is True
+
+    def test_with_column_replaces_in_place(self, df):
+        out = df.with_column("latency", F.col("latency") / 10)
+        assert out.columns == df.columns
+        assert out.collect()[0]["latency"] == 1.0
+
+    def test_with_column_renamed(self, df):
+        out = df.with_column_renamed("latency", "ms")
+        assert out.columns == ["country", "ms", "time"]
+
+    def test_drop(self, df):
+        assert df.drop("time", "latency").columns == ["country"]
+
+
+class TestFilterWhere:
+    def test_where(self, df):
+        out = df.where(F.col("latency") >= 20).collect()
+        assert {r["country"] for r in out} == {"CA", "US"}
+
+    def test_filter_alias(self, df):
+        assert df.filter(F.col("country") == "MX").count_rows() == 1
+
+    def test_chained_conditions(self, df):
+        out = df.where((F.col("latency") > 5) & (F.col("country") != "US"))
+        assert out.count_rows() == 1
+
+    def test_when_otherwise(self, df):
+        tier = (F.when(F.col("latency") >= 20, "slow")
+                .when(F.col("latency") >= 10, "ok")
+                .otherwise("fast"))
+        out = df.select("country", tier.alias("tier")).collect()
+        assert [r["tier"] for r in out] == ["ok", "slow", "slow", "fast"]
+
+    def test_coalesce(self, session):
+        df = session.create_dataframe(
+            [{"a": None, "b": "x"}, {"a": "y", "b": "z"}],
+            (("a", "string"), ("b", "string")))
+        out = df.select(F.coalesce(F.col("a"), F.col("b")).alias("c")).collect()
+        assert [r["c"] for r in out] == ["x", "y"]
+
+
+class TestGroupBy:
+    def test_count(self, df):
+        out = df.group_by("country").count().collect()
+        assert rows_set(out) == rows_set([
+            {"country": "US", "count": 2},
+            {"country": "CA", "count": 1},
+            {"country": "MX", "count": 1},
+        ])
+
+    def test_agg_multiple(self, df):
+        out = df.group_by("country").agg(
+            F.count().alias("n"), F.max("latency").alias("worst"))
+        row = {r["country"]: r for r in out.collect()}
+        assert row["US"]["worst"] == 30.0
+        assert row["US"]["n"] == 2
+
+    def test_shortcut_aggregates(self, df):
+        assert df.group_by("country").sum("latency").count_rows() == 3
+        assert df.group_by("country").avg("latency").count_rows() == 3
+        assert df.group_by("country").min("latency").count_rows() == 3
+        assert df.group_by("country").max("latency").count_rows() == 3
+
+    def test_agg_rejects_non_aggregate(self, df):
+        with pytest.raises(AnalysisError, match="aggregates"):
+            df.group_by("country").agg(F.col("latency"))
+
+    def test_agg_requires_argument(self, df):
+        with pytest.raises(AnalysisError, match="at least one"):
+            df.group_by("country").agg()
+
+    def test_window_grouping(self, df):
+        out = df.group_by(F.window("time", "30 seconds")).count().collect()
+        counts = {r["window_start"]: r["count"] for r in out}
+        assert counts == {0.0: 1, 60.0: 3}
+
+    def test_global_aggregate_via_constant_key(self, df):
+        out = df.group_by(F.lit(1).alias("g")).agg(F.sum("latency").alias("s")).collect()
+        assert out[0]["s"] == 65.0
+
+
+class TestJoinUnionDistinct:
+    def test_inner_join(self, df, session):
+        dim = session.create_dataframe(
+            [{"country": "US", "region": "NA"}, {"country": "CA", "region": "NA"}],
+            (("country", "string"), ("region", "string")))
+        out = df.join(dim, on="country")
+        assert out.count_rows() == 3
+        assert "region" in out.columns
+
+    def test_left_outer_join(self, df, session):
+        dim = session.create_dataframe(
+            [{"country": "US", "region": "NA"}],
+            (("country", "string"), ("region", "string")))
+        out = df.join(dim, on="country", how="left_outer").collect()
+        regions = {r["country"]: r["region"] for r in out}
+        assert regions["US"] == "NA"
+        assert regions["MX"] is None
+
+    def test_union(self, df):
+        assert df.union(df).count_rows() == 8
+
+    def test_distinct(self, df):
+        assert df.select("country").distinct().count_rows() == 3
+
+    def test_drop_duplicates_subset(self, df):
+        out = df.drop_duplicates(["country"])
+        assert out.count_rows() == 3
+        # first occurrence wins
+        us = [r for r in out.collect() if r["country"] == "US"]
+        assert us[0]["latency"] == 10.0
+
+
+class TestOrderLimit:
+    def test_order_by_ascending(self, df):
+        out = df.order_by("latency").collect()
+        assert [r["latency"] for r in out] == [5.0, 10.0, 20.0, 30.0]
+
+    def test_order_by_descending_prefix(self, df):
+        out = df.order_by("-latency").collect()
+        assert out[0]["latency"] == 30.0
+
+    def test_order_by_string_column(self, df):
+        out = df.order_by("country").collect()
+        assert [r["country"] for r in out] == ["CA", "MX", "US", "US"]
+
+    def test_multi_key_sort(self, df):
+        out = df.order_by("country", "-latency").collect()
+        assert [r["latency"] for r in out[-2:]] == [30.0, 10.0]
+
+    def test_limit(self, df):
+        assert df.order_by("latency").limit(2).count_rows() == 2
+
+
+class TestUdfs:
+    def test_udf_in_select(self, df):
+        shorten = F.udf(lambda c: c[:1], "string")
+        out = df.select(shorten(F.col("country")).alias("c")).collect()
+        assert [r["c"] for r in out] == ["U", "C", "U", "M"]
+
+    def test_udf_bad_return_type(self):
+        with pytest.raises(ValueError):
+            F.udf(lambda x: x, "whatever")
+
+
+class TestStreamingGuards:
+    def test_collect_on_streaming_rejected(self, session):
+        from tests.conftest import make_stream
+
+        stream = make_stream((("a", "long"),))
+        df = session.read_stream.memory(stream)
+        assert df.is_streaming
+        with pytest.raises(AnalysisError, match="streaming"):
+            df.collect()
+
+    def test_write_stream_on_batch_rejected(self, df):
+        with pytest.raises(AnalysisError, match="write_stream requires"):
+            df.write_stream
+
+    def test_write_on_streaming_rejected(self, session):
+        from tests.conftest import make_stream
+
+        df = session.read_stream.memory(make_stream((("a", "long"),)))
+        with pytest.raises(AnalysisError):
+            df.write
+
+
+class TestTempViews:
+    def test_create_and_read_back(self, df, session):
+        df.create_or_replace_temp_view("events")
+        assert session.table("events").count_rows() == 4
+
+    def test_missing_view_raises(self, session):
+        with pytest.raises(KeyError, match="no such view"):
+            session.table("nope")
+
+    def test_save_as_table(self, df, session):
+        df.where(F.col("latency") > 15).write.save_as_table("slow")
+        assert session.table("slow").count_rows() == 2

@@ -1,0 +1,180 @@
+"""Tests for the extended function library: scalar builtins, first/last,
+count_distinct, global aggregates."""
+
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import functions as F
+from repro.sql.expressions import AnalysisError
+
+
+ROWS = [
+    {"name": "Alice Smith", "score": 91.5, "team": "a"},
+    {"name": "bob", "score": -78.2, "team": "a"},
+    {"name": None, "score": 3.0, "team": "b"},
+]
+
+SCHEMA = (("name", "string"), ("score", "double"), ("team", "string"))
+
+
+@pytest.fixture
+def df(session):
+    return session.create_dataframe(ROWS, SCHEMA)
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, df):
+        out = df.select(F.upper("name").alias("u"), F.lower("name").alias("l")).collect()
+        assert out[0] == {"u": "ALICE SMITH", "l": "alice smith"}
+
+    def test_null_propagates(self, df):
+        out = df.select(F.upper("name").alias("u")).collect()
+        assert out[2]["u"] is None
+
+    def test_length(self, df):
+        out = df.select(F.length("name").alias("n")).collect()
+        assert [r["n"] for r in out] == [11, 3, None]
+
+    def test_concat(self, df):
+        out = df.select(F.concat(F.col("team"), F.lit("!")).alias("c")).collect()
+        assert out[0]["c"] == "a!"
+
+    def test_contains_in_filter(self, df):
+        out = df.where(F.contains(F.col("name"), F.lit("Smith"))).collect()
+        assert len(out) == 1
+
+    def test_starts_ends_with(self, df):
+        out = df.select(
+            F.starts_with(F.col("name"), F.lit("bo")).alias("s"),
+            F.ends_with(F.col("name"), F.lit("ob")).alias("e"),
+        ).collect()
+        assert (out[1]["s"], out[1]["e"]) == (True, True)
+
+    def test_substring(self, df):
+        out = df.select(F.substring(F.col("name"), F.lit(0), F.lit(5)).alias("s")).collect()
+        assert out[0]["s"] == "Alice"
+
+    def test_split_part(self, df):
+        out = df.select(F.split_part(F.col("name"), F.lit(" "), F.lit(1)).alias("s")).collect()
+        assert out[0]["s"] == "Smith"
+
+    def test_trim(self, session):
+        df = session.create_dataframe([{"s": "  x  "}], (("s", "string"),))
+        assert df.select(F.trim("s").alias("t")).collect() == [{"t": "x"}]
+
+    def test_type_checking(self, df):
+        with pytest.raises(AnalysisError, match="string"):
+            df.select(F.upper("score")).collect()
+
+
+class TestMathFunctions:
+    def test_abs(self, df):
+        out = df.select(F.abs("score").alias("a")).collect()
+        assert out[1]["a"] == 78.2
+
+    def test_floor_ceil(self, df):
+        out = df.select(F.floor("score").alias("f"), F.ceil("score").alias("c")).collect()
+        assert (out[0]["f"], out[0]["c"]) == (91, 92)
+
+    def test_round(self, df):
+        out = df.select(F.round(F.col("score"), F.lit(0)).alias("r")).collect()
+        assert out[0]["r"] == 92.0
+
+    def test_sqrt(self, session):
+        df = session.create_dataframe([{"x": 9.0}], (("x", "double"),))
+        assert df.select(F.sqrt("x").alias("s")).collect() == [{"s": 3.0}]
+
+    def test_greatest_least(self, session):
+        df = session.create_dataframe([{"a": 1.0, "b": 2.0}],
+                                      (("a", "double"), ("b", "double")))
+        out = df.select(F.greatest(F.col("a"), F.col("b")).alias("g"),
+                        F.least(F.col("a"), F.col("b")).alias("l")).collect()
+        assert out == [{"g": 2.0, "l": 1.0}]
+
+    def test_numeric_type_check(self, df):
+        with pytest.raises(AnalysisError, match="numeric"):
+            df.select(F.abs("name")).collect()
+
+    def test_arity_check(self):
+        with pytest.raises(AnalysisError, match="arguments"):
+            E.ScalarFunction("upper", [E.ColumnRef("a"), E.ColumnRef("b")])
+
+    def test_unknown_function(self):
+        with pytest.raises(AnalysisError, match="unknown scalar"):
+            E.ScalarFunction("frobnicate", [E.ColumnRef("a")])
+
+    def test_row_and_batch_paths_agree(self, df):
+        batch = df.to_batch()
+        for column in (F.abs("score"), F.floor("score"),
+                       F.greatest(F.col("score"), F.lit(0.0))):
+            expr = column.expr
+            batch_vals = expr.eval_batch(batch).tolist()
+            row_vals = [expr.eval_row(r) for r in ROWS]
+            assert batch_vals == row_vals
+
+
+class TestNewAggregates:
+    def test_first_last(self, df):
+        out = df.group_by("team").agg(
+            F.first("name").alias("f"), F.last("score").alias("l")).collect()
+        by_team = {r["team"]: r for r in out}
+        assert by_team["a"]["f"] == "Alice Smith"
+        assert by_team["a"]["l"] == -78.2
+
+    def test_first_skips_nulls(self, df):
+        out = df.group_by("team").agg(F.first("name").alias("f")).collect()
+        by_team = {r["team"]: r["f"] for r in out}
+        assert by_team["b"] is None  # only a null name in team b
+
+    def test_count_distinct(self, session):
+        df = session.create_dataframe(
+            [{"k": "a", "v": 1}, {"k": "a", "v": 1}, {"k": "a", "v": 2}],
+            (("k", "string"), ("v", "long")))
+        out = df.group_by("k").agg(F.count_distinct("v").alias("d")).collect()
+        assert out == [{"k": "a", "d": 2}]
+
+    def test_buffers_merge(self):
+        agg = E.First(E.ColumnRef("x"))
+        left = agg.update(agg.init(), "one")
+        right = agg.update(agg.init(), "two")
+        assert agg.finish(agg.merge(left, right)) == "one"
+        assert agg.finish(agg.merge(agg.init(), right)) == "two"
+
+        agg = E.Last(E.ColumnRef("x"))
+        assert agg.finish(agg.merge(
+            agg.update(agg.init(), "one"), agg.update(agg.init(), "two"))) == "two"
+
+    def test_count_distinct_streaming_incremental(self, session):
+        from tests.conftest import make_stream, start_memory_query
+
+        stream = make_stream((("k", "string"), ("v", "long")))
+        df = (session.read_stream.memory(stream)
+              .group_by("k").agg(F.count_distinct("v").alias("d")))
+        query = start_memory_query(df, "update", "out")
+        stream.add_data([{"k": "a", "v": 1}])
+        query.process_all_available()
+        stream.add_data([{"k": "a", "v": 1}, {"k": "a", "v": 2}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [{"k": "a", "d": 2}]
+
+
+class TestGlobalAggregate:
+    def test_batch_global_agg(self, df):
+        out = df.agg(F.count().alias("n"), F.avg("score").alias("m")).collect()
+        assert out[0]["n"] == 3
+
+    def test_streaming_global_agg_complete(self, session):
+        from tests.conftest import make_stream, start_memory_query
+
+        stream = make_stream((("v", "double"),))
+        df = session.read_stream.memory(stream).agg(F.sum("v").alias("total"))
+        query = start_memory_query(df, "complete", "out")
+        stream.add_data([{"v": 1.0}, {"v": 2.0}])
+        query.process_all_available()
+        stream.add_data([{"v": 3.0}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [{"total": 6.0}]
+
+    def test_global_agg_hides_synthetic_key(self, df):
+        out = df.agg(F.count().alias("n"))
+        assert out.columns == ["n"]

@@ -1,0 +1,68 @@
+"""Unit tests for group encoding (repro.sql.grouping)."""
+
+import numpy as np
+import pytest
+
+from repro.sql.grouping import encode_groups
+
+
+class TestSingleNumericKey:
+    def test_codes_and_uniques(self):
+        codes, uniques = encode_groups([np.array([5, 3, 5, 7])])
+        assert len(uniques) == 3
+        decoded = [uniques[c] for c in codes]
+        assert decoded == [(5,), (3,), (5,), (7,)]
+
+    def test_float_keys(self):
+        codes, uniques = encode_groups([np.array([1.5, 1.5, 2.5])])
+        assert len(uniques) == 2
+        assert codes[0] == codes[1] != codes[2]
+
+
+class TestMultipleNumericKeys:
+    def test_composite_keys(self):
+        a = np.array([1, 1, 2, 1])
+        b = np.array([10.0, 20.0, 10.0, 10.0])
+        codes, uniques = encode_groups([a, b])
+        assert len(uniques) == 3
+        assert codes[0] == codes[3]
+        assert codes[0] != codes[1] != codes[2]
+
+    def test_unique_tuples_match_rows(self):
+        a = np.array([7, 8])
+        b = np.array([1.0, 2.0])
+        codes, uniques = encode_groups([a, b])
+        assert set(uniques) == {(7, 1.0), (8, 2.0)}
+
+
+class TestObjectKeys:
+    def test_string_keys(self):
+        codes, uniques = encode_groups([np.array(["x", "y", "x"], dtype=object)])
+        assert [uniques[c] for c in codes] == [("x",), ("y",), ("x",)]
+
+    def test_mixed_string_numeric(self):
+        s = np.array(["a", "a", "b"], dtype=object)
+        n = np.array([1, 2, 1])
+        codes, uniques = encode_groups([s, n])
+        assert len(uniques) == 3
+        assert uniques[codes[0]] == ("a", 1)
+
+    def test_first_seen_order_for_object_path(self):
+        codes, uniques = encode_groups([np.array(["z", "a", "z"], dtype=object)])
+        assert uniques == [("z",), ("a",)]
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        codes, uniques = encode_groups([np.empty(0, dtype=np.int64)])
+        assert len(codes) == 0
+        assert uniques == []
+
+    def test_no_arrays_raises(self):
+        with pytest.raises(ValueError):
+            encode_groups([])
+
+    def test_codes_are_dense(self):
+        codes, uniques = encode_groups([np.array([100, 200, 100, 300])])
+        assert set(codes.tolist()) == {0, 1, 2}
+        assert len(uniques) == 3

@@ -1,0 +1,179 @@
+"""Direct unit tests for the incrementalizer (§5.2): operator tree
+shapes, stable ids, watermark plumbing, key names."""
+
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import functions as F
+from repro.sql import logical as L
+from repro.sql.expressions import AnalysisError
+from repro.streaming import operators as ops
+from repro.streaming.incrementalizer import incrementalize
+from repro.streaming.state import StateStore
+
+from tests.conftest import make_stream
+
+
+@pytest.fixture
+def store(tmp_path):
+    return StateStore(str(tmp_path))
+
+
+def plan_of(df):
+    return df.plan
+
+
+class TestOperatorTreeShapes:
+    def test_map_only_plan(self, session, store):
+        stream = make_stream((("v", "long"),))
+        df = session.read_stream.memory(stream).where(F.col("v") > 0)
+        result = incrementalize(plan_of(df), "append", store)
+        assert isinstance(result.root, ops.StatelessOp)
+        assert isinstance(result.root.child, ops.StreamScanOp)
+        assert result.stateful_ops == []
+
+    def test_aggregate_plan(self, session, store):
+        stream = make_stream((("k", "string"),))
+        df = session.read_stream.memory(stream).group_by("k").count()
+        result = incrementalize(plan_of(df), "complete", store)
+        assert isinstance(result.root, ops.StatefulAggregateOp)
+        assert len(result.stateful_ops) == 1
+
+    def test_watermark_then_window(self, session, store):
+        stream = make_stream((("t", "timestamp"),))
+        df = (session.read_stream.memory(stream)
+              .with_watermark("t", "10s")
+              .group_by(F.window("t", "10s")).count())
+        result = incrementalize(plan_of(df), "append", store)
+        agg = result.root
+        assert isinstance(agg, ops.StatefulAggregateOp)
+        assert agg.watermark_column == "t"
+        assert isinstance(agg.child, ops.WatermarkTrackOp)
+        assert result.watermark_delays == {"t": 10.0}
+
+    def test_stream_static_join_sides(self, session, store):
+        stream = make_stream((("k", "long"),))
+        static = session.create_dataframe([{"k": 1, "x": 2}],
+                                          (("k", "long"), ("x", "long")))
+        df = session.read_stream.memory(stream).join(static, on="k")
+        result = incrementalize(plan_of(df), "append", store)
+        assert isinstance(result.root, ops.StreamStaticJoinOp)
+        assert result.root.stream_is_left
+        assert isinstance(result.root.static, ops.StaticOp)
+
+    def test_static_on_left_flips(self, session, store):
+        stream = make_stream((("k", "long"),))
+        static = session.create_dataframe([{"k": 1, "x": 2}],
+                                          (("k", "long"), ("x", "long")))
+        df = static.join(session.read_stream.memory(stream), on="k")
+        result = incrementalize(plan_of(df), "append", store)
+        assert not result.root.stream_is_left
+
+    def test_stream_stream_join_two_scans(self, session, store):
+        a = make_stream((("k", "long"), ("t", "timestamp")))
+        b = make_stream((("k", "long"), ("t2", "timestamp")))
+        df = (session.read_stream.memory(a).with_watermark("t", "5s")
+              .join(session.read_stream.memory(b).with_watermark("t2", "5s"),
+                    on="k", within=("t", "t2", "10s")))
+        result = incrementalize(plan_of(df), "append", store)
+        assert isinstance(result.root, ops.StreamStreamJoinOp)
+        assert result.root.within == ("t", "t2", 10.0)
+        assert [name for name, _d in result.sources] == ["source-0", "source-1"]
+
+    def test_sort_becomes_post_op_in_complete(self, session, store):
+        stream = make_stream((("k", "string"),))
+        df = (session.read_stream.memory(stream)
+              .group_by("k").count().order_by("-count"))
+        result = incrementalize(plan_of(df), "complete", store)
+        assert isinstance(result.root, ops.CompleteModePostOp)
+        assert isinstance(result.root.child, ops.StatefulAggregateOp)
+
+    def test_union_of_stream_and_static(self, session, store):
+        stream = make_stream((("v", "long"),))
+        static = session.create_dataframe([{"v": 9}], (("v", "long"),))
+        df = session.read_stream.memory(stream).union(static)
+        result = incrementalize(plan_of(df), "append", store)
+        assert isinstance(result.root, ops.UnionOp)
+        assert result.root._right_static and not result.root._left_static
+
+
+class TestStableIds:
+    def test_source_names_in_plan_order(self, session, store, tmp_path):
+        a = make_stream((("k", "long"), ("t", "timestamp")))
+        b = make_stream((("k", "long"), ("t2", "timestamp")))
+        df = (session.read_stream.memory(a).with_watermark("t", "5s")
+              .join(session.read_stream.memory(b).with_watermark("t2", "5s"),
+                    on="k", within=("t", "t2", "5s")))
+        first = incrementalize(plan_of(df), "append", StateStore(str(tmp_path / "1")))
+        second = incrementalize(plan_of(df), "append", StateStore(str(tmp_path / "2")))
+        assert [n for n, _ in first.sources] == [n for n, _ in second.sources]
+
+    def test_operator_ids_deterministic(self, session, tmp_path):
+        stream = make_stream((("k", "string"),))
+        df = session.read_stream.memory(stream).group_by("k").count()
+        store1 = StateStore(str(tmp_path / "a"))
+        store2 = StateStore(str(tmp_path / "b"))
+        incrementalize(plan_of(df), "complete", store1)
+        incrementalize(plan_of(df), "complete", store2)
+        assert list(store1._handles) == list(store2._handles) == ["agg-0"]
+
+
+class TestKeyNames:
+    def test_aggregate_key_names(self, session, store):
+        stream = make_stream((("k", "string"), ("t", "timestamp")))
+        df = (session.read_stream.memory(stream)
+              .with_watermark("t", "5s")
+              .group_by(F.col("k"), F.window("t", "10s")).count())
+        result = incrementalize(plan_of(df), "update", store)
+        assert result.key_names == ["k", "window_start", "window_end"]
+
+    def test_map_groups_key_names(self, session, store):
+        stream = make_stream((("u", "string"), ("v", "long")))
+        df = (session.read_stream.memory(stream).group_by_key("u")
+              .map_groups_with_state(lambda k, r, s: {"n": 1},
+                                     (("u", "string"), ("n", "long"))))
+        result = incrementalize(plan_of(df), "update", store)
+        assert result.key_names == ["u"]
+
+    def test_projection_narrows_key_names(self, session, store):
+        stream = make_stream((("k", "string"),))
+        df = (session.read_stream.memory(stream).group_by("k").count()
+              .select("count"))
+        result = incrementalize(plan_of(df), "complete", store)
+        assert result.key_names == []
+
+    def test_map_only_has_no_keys(self, session, store):
+        stream = make_stream((("v", "long"),))
+        df = session.read_stream.memory(stream)
+        result = incrementalize(plan_of(df), "append", store)
+        assert result.key_names == []
+
+
+class TestValidation:
+    def test_invalid_mode_rejected_before_building(self, session, store):
+        stream = make_stream((("k", "string"),))
+        df = session.read_stream.memory(stream).group_by("k").count()
+        with pytest.raises(AnalysisError):
+            incrementalize(plan_of(df), "append", store)
+
+    def test_optimizer_can_be_disabled(self, session, store):
+        stream = make_stream((("v", "long"), ("x", "long")))
+        df = session.read_stream.memory(stream).select("v").where(F.col("v") > 0)
+        result = incrementalize(plan_of(df), "append", store, run_optimizer=False)
+        # Unoptimized: Filter above Project, two stateless layers.
+        assert isinstance(result.root, ops.StatelessOp)
+        assert isinstance(result.root.child, ops.StatelessOp)
+
+
+class TestRestartModeGuard:
+    def test_changing_output_mode_on_checkpoint_rejected(self, session, checkpoint):
+        from tests.conftest import start_memory_query
+
+        stream = make_stream((("k", "string"),))
+        df = session.read_stream.memory(stream).group_by("k").count()
+        q = start_memory_query(df, "complete", "m", checkpoint)
+        stream.add_data([{"k": "a"}])
+        q.process_all_available()
+        with pytest.raises(ValueError, match="mode"):
+            (df.write_stream.sink(q.engine.sink)
+             .output_mode("update").start(checkpoint))

@@ -1,0 +1,125 @@
+"""Unit tests for the join kernels (repro.sql.joins).
+
+The vectorized unique-build-side fast path and the general hash path
+must produce identical results — both are exercised explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql.batch import RecordBatch
+from repro.sql.joins import _hash_join, _unique_key_join, execute_join, join_indices
+from repro.sql.types import StructType
+
+LEFT_SCHEMA = StructType((("k", "long"), ("lv", "string")))
+RIGHT_SCHEMA = StructType((("k", "long"), ("rv", "double")))
+
+
+def left_batch(rows):
+    return RecordBatch.from_rows(rows, LEFT_SCHEMA)
+
+
+def right_batch(rows):
+    return RecordBatch.from_rows(rows, RIGHT_SCHEMA)
+
+
+LEFT = left_batch([
+    {"k": 1, "lv": "a"}, {"k": 2, "lv": "b"}, {"k": 3, "lv": "c"}, {"k": 1, "lv": "d"},
+])
+RIGHT_UNIQUE = right_batch([{"k": 1, "rv": 1.0}, {"k": 3, "rv": 3.0}, {"k": 9, "rv": 9.0}])
+RIGHT_DUPED = right_batch([{"k": 1, "rv": 1.0}, {"k": 1, "rv": 1.5}, {"k": 3, "rv": 3.0}])
+
+
+def pairs(left, right, on, how):
+    li, ri, lu, ru = join_indices(left, right, on, how)
+    return sorted(zip(li.tolist(), ri.tolist())), sorted(lu.tolist()), sorted(ru.tolist())
+
+
+class TestInner:
+    def test_unique_build_side(self):
+        matched, lu, ru = pairs(LEFT, RIGHT_UNIQUE, ["k"], "inner")
+        assert matched == [(0, 0), (2, 1), (3, 0)]
+        assert lu == [] and ru == []
+
+    def test_duplicate_build_side(self):
+        matched, _, _ = pairs(LEFT, RIGHT_DUPED, ["k"], "inner")
+        assert matched == [(0, 0), (0, 1), (2, 2), (3, 0), (3, 1)]
+
+    def test_fast_and_hash_paths_agree(self):
+        lk = LEFT.columns["k"]
+        rk = RIGHT_UNIQUE.columns["k"]
+        fast = _unique_key_join(lk, rk, "inner")
+        slow = _hash_join(LEFT, RIGHT_UNIQUE, ["k"], "inner")
+        assert sorted(zip(fast[0].tolist(), fast[1].tolist())) == \
+            sorted(zip(slow[0].tolist(), slow[1].tolist()))
+
+    def test_empty_left(self):
+        matched, _, _ = pairs(left_batch([]), RIGHT_UNIQUE, ["k"], "inner")
+        assert matched == []
+
+    def test_empty_right_uses_hash_path(self):
+        matched, _, _ = pairs(LEFT, right_batch([]), ["k"], "inner")
+        assert matched == []
+
+
+class TestOuter:
+    def test_left_outer_unmatched(self):
+        matched, lu, ru = pairs(LEFT, RIGHT_UNIQUE, ["k"], "left_outer")
+        assert lu == [1]  # k=2 has no match
+        assert ru == []
+
+    def test_right_outer_unmatched(self):
+        matched, lu, ru = pairs(LEFT, RIGHT_UNIQUE, ["k"], "right_outer")
+        assert lu == []
+        assert ru == [2]  # k=9 has no match
+
+    def test_left_outer_null_padding(self):
+        out = execute_join(LEFT, RIGHT_UNIQUE, ["k"], "left_outer")
+        rows = {(r["k"], r["lv"]): r["rv"] for r in out.to_rows()}
+        assert rows[(2, "b")] is None
+        assert rows[(1, "a")] == 1.0
+
+    def test_right_outer_null_padding(self):
+        out = execute_join(LEFT, RIGHT_UNIQUE, ["k"], "right_outer")
+        by_k = {}
+        for r in out.to_rows():
+            by_k.setdefault(r["k"], []).append(r)
+        assert by_k[9][0]["lv"] is None
+        assert by_k[9][0]["rv"] == 9.0
+
+    def test_left_outer_on_duplicate_build(self):
+        out = execute_join(LEFT, RIGHT_DUPED, ["k"], "left_outer")
+        assert out.num_rows == 6  # 5 matches + 1 unmatched left
+
+
+class TestOutputAssembly:
+    def test_join_key_appears_once(self):
+        out = execute_join(LEFT, RIGHT_UNIQUE, ["k"], "inner")
+        assert out.schema.names == ["k", "lv", "rv"]
+
+    def test_composite_key(self):
+        ls = StructType((("a", "long"), ("b", "string"), ("x", "long")))
+        rs = StructType((("a", "long"), ("b", "string"), ("y", "long")))
+        left = RecordBatch.from_rows(
+            [{"a": 1, "b": "p", "x": 10}, {"a": 1, "b": "q", "x": 11}], ls)
+        right = RecordBatch.from_rows([{"a": 1, "b": "p", "y": 20}], rs)
+        out = execute_join(left, right, ["a", "b"], "inner")
+        assert out.to_rows() == [{"a": 1, "b": "p", "x": 10, "y": 20}]
+
+    def test_string_keys_take_hash_path(self):
+        ls = StructType((("k", "string"), ("x", "long")))
+        rs = StructType((("k", "string"), ("y", "long")))
+        left = RecordBatch.from_rows([{"k": "a", "x": 1}, {"k": "b", "x": 2}], ls)
+        right = RecordBatch.from_rows([{"k": "a", "y": 9}], rs)
+        out = execute_join(left, right, ["k"], "inner")
+        assert out.to_rows() == [{"k": "a", "x": 1, "y": 9}]
+
+    def test_outer_promotes_int_to_nullable_double(self):
+        ls = StructType((("k", "long"), ("x", "long")))
+        rs = StructType((("k", "long"), ("y", "long")))
+        left = RecordBatch.from_rows([{"k": 1, "x": 1}, {"k": 2, "x": 2}], ls)
+        right = RecordBatch.from_rows([{"k": 1, "y": 5}], rs)
+        out = execute_join(left, right, ["k"], "left_outer")
+        y_by_k = {r["k"]: r["y"] for r in out.to_rows()}
+        assert y_by_k[1] == 5.0
+        assert y_by_k[2] is None

@@ -1,0 +1,185 @@
+"""Unit tests for logical plan nodes: schemas, validation, explain."""
+
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.expressions import AnalysisError
+from repro.sql.types import StructType
+
+SCHEMA = StructType((("k", "long"), ("v", "double"), ("s", "string"),
+                     ("t", "timestamp")))
+
+
+def scan(streaming=False, schema=SCHEMA, name="src"):
+    return L.Scan(schema, None, streaming, name=name)
+
+
+class TestScan:
+    def test_schema(self):
+        assert scan().schema == SCHEMA
+
+    def test_streaming_flag(self):
+        assert scan(streaming=True).is_streaming
+        assert not scan().is_streaming
+
+    def test_describe_distinguishes_stream(self):
+        assert "StreamScan" in scan(streaming=True).describe()
+        assert scan().describe().startswith("Scan")
+
+
+class TestProject:
+    def test_schema_names_and_types(self):
+        p = L.Project([E.ColumnRef("k"), (E.ColumnRef("v") * 2).alias("v2")], scan())
+        assert p.schema.names == ["k", "v2"]
+        assert p.schema.type_of("v2").simple_name == "double"
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            L.Project([E.ColumnRef("k"), E.ColumnRef("k")], scan())
+
+    def test_unresolved_column_fails_on_schema(self):
+        p = L.Project([E.ColumnRef("nope")], scan())
+        with pytest.raises(AnalysisError):
+            p.schema
+
+    def test_streaming_propagates(self):
+        assert L.Project([E.ColumnRef("k")], scan(streaming=True)).is_streaming
+
+
+class TestFilter:
+    def test_passthrough_schema(self):
+        f = L.Filter(E.ColumnRef("k") > 0, scan())
+        assert f.schema == SCHEMA
+
+    def test_non_boolean_condition_rejected(self):
+        f = L.Filter(E.ColumnRef("k") + 1, scan())
+        with pytest.raises(AnalysisError, match="boolean"):
+            f.schema
+
+
+class TestAggregate:
+    def test_plain_grouping_schema(self):
+        agg = L.Aggregate([E.ColumnRef("s")], [(E.Count(None), "n")], scan())
+        assert agg.schema.names == ["s", "n"]
+
+    def test_window_expands_to_start_end(self):
+        w = E.WindowExpr(E.ColumnRef("t"), 10.0)
+        agg = L.Aggregate([E.ColumnRef("s"), w], [(E.Count(None), "n")], scan())
+        assert agg.schema.names == ["s", "window_start", "window_end", "n"]
+        assert agg.key_names == ["s", "window_start", "window_end"]
+
+    def test_two_windows_rejected(self):
+        w = E.WindowExpr(E.ColumnRef("t"), 10.0)
+        with pytest.raises(AnalysisError, match="one window"):
+            L.Aggregate([w, E.WindowExpr(E.ColumnRef("t"), 5.0)], [(E.Count(None), "n")], scan())
+
+    def test_agg_type_resolution(self):
+        agg = L.Aggregate([E.ColumnRef("s")], [(E.Avg(E.ColumnRef("v")), "m")], scan())
+        assert agg.schema.type_of("m").simple_name == "double"
+
+
+class TestJoin:
+    def test_keys_emitted_once(self):
+        right = scan(schema=StructType((("k", "long"), ("r", "string"))))
+        join = L.Join(scan(), right, on="k")
+        assert join.schema.names == ["k", "v", "s", "t", "r"]
+
+    def test_missing_key_rejected(self):
+        right = scan(schema=StructType((("z", "long"),)))
+        with pytest.raises(AnalysisError, match="must exist"):
+            L.Join(scan(), right, on="k").schema
+
+    def test_type_mismatch_rejected(self):
+        right = scan(schema=StructType((("k", "string"),)))
+        with pytest.raises(AnalysisError, match="mismatched"):
+            L.Join(scan(), right, on="k").schema
+
+    def test_ambiguous_non_key_columns_rejected(self):
+        right = scan(schema=StructType((("k", "long"), ("v", "double"))))
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            L.Join(scan(), right, on="k").schema
+
+    def test_unknown_join_type_rejected(self):
+        with pytest.raises(AnalysisError, match="unsupported join type"):
+            L.Join(scan(), scan(schema=StructType((("k", "long"),))), "k", "full_outer")
+
+    def test_left_outer_promotes_right_columns(self):
+        right = scan(schema=StructType((("k", "long"), ("n", "long"))))
+        join = L.Join(scan(), right, on="k", how="left_outer")
+        assert join.schema.type_of("n").simple_name == "double"
+
+    def test_right_outer_promotes_left_non_keys(self):
+        right = scan(schema=StructType((("k", "long"), ("n", "long"))))
+        join = L.Join(scan(), right, on="k", how="right_outer")
+        assert join.schema.type_of("v").simple_name == "double"
+        assert join.schema.type_of("k").simple_name == "long"
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            L.Join(scan(), scan(), on=[])
+
+
+class TestOtherNodes:
+    def test_sort_schema_and_validation(self):
+        s = L.Sort([("k", True)], scan())
+        assert s.schema == SCHEMA
+        with pytest.raises(AnalysisError):
+            L.Sort([("zzz", True)], scan()).schema
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            L.Limit(-1, scan())
+
+    def test_dedup_unknown_column(self):
+        with pytest.raises(AnalysisError):
+            L.Deduplicate(["zzz"], scan()).schema
+
+    def test_union_schema_match(self):
+        assert L.Union(scan(), scan()).schema == SCHEMA
+        other = scan(schema=StructType((("x", "long"),)))
+        with pytest.raises(AnalysisError, match="union"):
+            L.Union(scan(), other).schema
+
+    def test_watermark_validates_column(self):
+        wm = L.WithWatermark("t", "10s", scan())
+        assert wm.schema == SCHEMA
+        assert wm.delay == 10.0
+        with pytest.raises(AnalysisError):
+            L.WithWatermark("zzz", "10s", scan()).schema
+
+    def test_map_groups_schema_is_user_supplied(self):
+        out_schema = StructType((("k", "long"), ("n", "long")))
+        node = L.MapGroupsWithState(["k"], lambda *a: None, out_schema, scan())
+        assert node.schema == out_schema
+
+    def test_map_groups_bad_key_column(self):
+        out_schema = StructType((("n", "long"),))
+        node = L.MapGroupsWithState(["zzz"], lambda *a: None, out_schema, scan())
+        with pytest.raises(AnalysisError):
+            node.schema
+
+    def test_map_groups_bad_timeout_conf(self):
+        with pytest.raises(AnalysisError, match="timeout"):
+            L.MapGroupsWithState(["k"], lambda *a: None, SCHEMA, scan(), timeout="weird")
+
+
+class TestTreeUtilities:
+    def test_explain_string_tree_shape(self):
+        plan = L.Filter(E.ColumnRef("k") > 0, L.Project([E.ColumnRef("k")], scan()))
+        text = plan.explain_string()
+        assert text.splitlines()[0].startswith("Filter")
+        assert "+- Project" in text
+        assert "+- Scan" in text
+
+    def test_collect_nodes_filters_by_type(self):
+        plan = L.Filter(E.ColumnRef("k") > 0, L.Filter(E.ColumnRef("k") < 9, scan()))
+        assert len(plan.collect_nodes(L.Filter)) == 2
+        assert len(plan.collect_nodes(L.Scan)) == 1
+
+    def test_with_children_rebuild(self):
+        f = L.Filter(E.ColumnRef("k") > 0, scan())
+        other = scan(name="other")
+        rebuilt = f.with_children((other,))
+        assert rebuilt.child is other
+        assert rebuilt.condition is f.condition

@@ -1,0 +1,199 @@
+"""Unit tests for the rule-based optimizer (§5.3).
+
+Each rule is checked for both its rewrite and for semantic preservation
+(optimized plan produces the same rows).
+"""
+
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql import optimizer as O
+from repro.sql.batch import RecordBatch
+from repro.sql.physical import execute
+from repro.sql.session import _InMemoryProvider
+from repro.sql.types import StructType
+
+SCHEMA = StructType((("k", "long"), ("v", "double"), ("s", "string")))
+
+ROWS = [
+    {"k": 1, "v": 1.0, "s": "a"},
+    {"k": 2, "v": 2.0, "s": "b"},
+    {"k": 3, "v": 3.0, "s": "a"},
+]
+
+
+def scan(rows=ROWS, schema=SCHEMA):
+    provider = _InMemoryProvider([RecordBatch.from_rows(rows, schema)])
+    return L.Scan(schema, provider, False, name="t")
+
+
+def rows_of(plan):
+    return execute(plan).to_rows()
+
+
+def assert_same_rows(plan):
+    optimized = O.optimize(plan)
+    assert sorted(map(str, rows_of(optimized))) == sorted(map(str, rows_of(plan)))
+    return optimized
+
+
+class TestCombineFilters:
+    def test_stacked_filters_merge(self):
+        plan = L.Filter(E.ColumnRef("k") > 1, L.Filter(E.ColumnRef("v") < 3, scan()))
+        optimized = O.optimize(plan)
+        filters = optimized.collect_nodes(L.Filter)
+        assert len(filters) == 1
+        assert " AND " in str(filters[0].condition)
+
+    def test_semantics_preserved(self):
+        plan = L.Filter(E.ColumnRef("k") > 1, L.Filter(E.ColumnRef("v") < 3, scan()))
+        out = assert_same_rows(plan)
+        assert [r["k"] for r in rows_of(out)] == [2]
+
+
+class TestSimplifyFilters:
+    def test_always_true_filter_removed(self):
+        plan = L.Filter(E.Comparison(E.Literal(1), E.Literal(1), "=="), scan())
+        optimized = O.optimize(plan)
+        assert not optimized.collect_nodes(L.Filter)
+
+    def test_constant_subexpression_folded(self):
+        condition = E.ColumnRef("v") > (E.Literal(1) + E.Literal(1))
+        plan = L.Filter(condition, scan())
+        optimized = O.optimize(plan)
+        (f,) = optimized.collect_nodes(L.Filter)
+        assert "2" in str(f.condition)
+        assert "+" not in str(f.condition)
+
+
+class TestPushFilterThroughProject:
+    def test_pushdown_happens(self):
+        project = L.Project([E.ColumnRef("k"), (E.ColumnRef("v") * 2).alias("v2")], scan())
+        plan = L.Filter(E.ColumnRef("k") > 1, project)
+        optimized = O.optimize(plan)
+        # Filter should now sit below the projection.
+        assert isinstance(optimized, L.Project)
+        assert isinstance(optimized.child, L.Filter)
+
+    def test_computed_column_filter_substituted(self):
+        project = L.Project([(E.ColumnRef("v") * 2).alias("v2")], scan())
+        plan = L.Filter(E.ColumnRef("v2") > 3, project)
+        optimized = assert_same_rows(plan)
+        (f,) = optimized.collect_nodes(L.Filter)
+        assert "v * 2" in str(f.condition).replace("(", "").replace(")", "")
+
+    def test_udf_projection_not_duplicated(self):
+        udf = E.Udf(lambda v: v * 2, [E.ColumnRef("v")], SCHEMA.type_of("v"))
+        project = L.Project([udf.alias("u")], scan())
+        plan = L.Filter(E.ColumnRef("u") > 3, project)
+        optimized = O.optimize(plan)
+        assert isinstance(optimized, L.Filter)  # not pushed
+
+
+class TestPushFilterThroughJoin:
+    RIGHT = StructType((("k", "long"), ("r", "double")))
+    RIGHT_ROWS = [{"k": 1, "r": 10.0}, {"k": 2, "r": 20.0}]
+
+    def _join_plan(self):
+        return L.Join(scan(), scan(self.RIGHT_ROWS, self.RIGHT), on="k")
+
+    def test_left_conjunct_pushed(self):
+        plan = L.Filter(E.ColumnRef("v") > 1, self._join_plan())
+        optimized = O.optimize(plan)
+        assert isinstance(optimized, L.Join)
+        assert isinstance(optimized.left, L.Filter)
+
+    def test_mixed_conjuncts_split(self):
+        condition = (E.ColumnRef("v") > 0) & (E.ColumnRef("r") > 15)
+        plan = L.Filter(condition, self._join_plan())
+        optimized = assert_same_rows(plan)
+        assert isinstance(optimized, L.Join)
+        assert isinstance(optimized.left, L.Filter)
+        assert isinstance(optimized.right, L.Filter)
+
+    def test_cross_side_conjunct_stays(self):
+        condition = E.ColumnRef("v") < E.ColumnRef("r")
+        plan = L.Filter(condition, self._join_plan())
+        optimized = O.optimize(plan)
+        assert isinstance(optimized, L.Filter)
+
+    def test_outer_join_not_pushed(self):
+        join = L.Join(scan(), scan(self.RIGHT_ROWS, self.RIGHT), on="k", how="left_outer")
+        plan = L.Filter(E.ColumnRef("v") > 1, join)
+        optimized = O.optimize(plan)
+        assert isinstance(optimized, L.Filter)
+
+
+class TestWatermarkCommute:
+    def test_filter_pushed_below_watermark(self):
+        plan = L.Filter(
+            E.ColumnRef("k") > 1, L.WithWatermark("v", "10s", scan())
+        )
+        optimized = O.optimize(plan)
+        assert isinstance(optimized, L.WithWatermark)
+        assert isinstance(optimized.child, L.Filter)
+
+
+class TestCollapseProjects:
+    def test_two_projects_become_one(self):
+        inner = L.Project([E.ColumnRef("k"), (E.ColumnRef("v") * 2).alias("v2")], scan())
+        outer = L.Project([(E.ColumnRef("v2") + 1).alias("v3")], inner)
+        optimized = assert_same_rows(outer)
+        computing = [
+            p for p in optimized.collect_nodes(L.Project)
+            if not all(isinstance(e, E.ColumnRef) for e in p.exprs)
+        ]
+        assert len(computing) == 1  # pruning projections may remain
+
+    def test_semantics(self):
+        inner = L.Project([(E.ColumnRef("v") * 2).alias("v2")], scan())
+        outer = L.Project([(E.ColumnRef("v2") + 1).alias("v3")], inner)
+        assert [r["v3"] for r in rows_of(O.optimize(outer))] == [3.0, 5.0, 7.0]
+
+
+class TestColumnPruning:
+    def test_aggregate_prunes_scan_columns(self):
+        agg = L.Aggregate([E.ColumnRef("s")], [(E.Count(None), "n")], scan())
+        optimized = O.optimize(agg)
+        projects = optimized.collect_nodes(L.Project)
+        assert projects, "expected a pruning projection above the scan"
+        assert projects[-1].schema.names == ["s"]
+
+    def test_prune_through_filter(self):
+        agg = L.Aggregate(
+            [E.ColumnRef("s")], [(E.Count(None), "n")],
+            L.Filter(E.ColumnRef("k") > 0, scan()),
+        )
+        optimized = assert_same_rows(agg)
+        projects = optimized.collect_nodes(L.Project)
+        assert projects
+        assert set(projects[-1].schema.names) == {"s", "k"}
+
+
+class TestExpressionTransforms:
+    def test_substitute_columns(self):
+        expr = E.ColumnRef("a") + E.ColumnRef("b")
+        replaced = O.substitute_columns(expr, {"a": E.Literal(5)})
+        assert replaced.eval_row({"b": 2}) == 7
+
+    def test_fold_constants_keeps_columns(self):
+        expr = (E.Literal(2) * E.Literal(3)) + E.ColumnRef("k")
+        folded = O.fold_constants(expr)
+        assert folded.eval_row({"k": 1}) == 7
+        assert "2" not in str(folded) or "6" in str(folded)
+
+    def test_split_and_join_conjuncts(self):
+        expr = (E.ColumnRef("a") > 1) & ((E.ColumnRef("b") > 2) & (E.ColumnRef("c") > 3))
+        conjuncts = O.split_conjuncts(expr)
+        assert len(conjuncts) == 3
+        rejoined = O.join_conjuncts(conjuncts)
+        row = {"a": 5, "b": 5, "c": 5}
+        assert rejoined.eval_row(row) == expr.eval_row(row)
+
+    def test_optimize_terminates(self):
+        plan = scan()
+        for _ in range(5):
+            plan = L.Filter(E.ColumnRef("k") > 0, plan)
+        optimized = O.optimize(plan)
+        assert len(optimized.collect_nodes(L.Filter)) == 1

@@ -1,0 +1,148 @@
+"""Edge-case tests for the batch physical executor (repro.sql.physical)."""
+
+import numpy as np
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.batch import RecordBatch
+from repro.sql.physical import execute
+from repro.sql.session import _InMemoryProvider
+from repro.sql.types import StructType
+
+SCHEMA = StructType((("k", "long"), ("v", "double"), ("s", "string")))
+
+
+def scan(rows, schema=SCHEMA):
+    return L.Scan(
+        schema, _InMemoryProvider([RecordBatch.from_rows(rows, schema)]),
+        False, name="t",
+    )
+
+
+ROWS = [
+    {"k": 2, "v": 1.5, "s": "b"},
+    {"k": 1, "v": 2.5, "s": "a"},
+    {"k": 2, "v": 3.5, "s": "b"},
+]
+
+
+class TestScan:
+    def test_missing_provider_raises(self):
+        plan = L.Scan(SCHEMA, None, False, name="empty")
+        with pytest.raises(RuntimeError, match="no data"):
+            execute(plan)
+
+    def test_override_by_identity(self):
+        plan = L.Scan(SCHEMA, None, False, name="o")
+        batch = RecordBatch.from_rows(ROWS, SCHEMA)
+        assert execute(plan, {id(plan): batch}).num_rows == 3
+
+    def test_multi_batch_provider_concatenated(self):
+        batches = [
+            RecordBatch.from_rows(ROWS[:1], SCHEMA),
+            RecordBatch.from_rows(ROWS[1:], SCHEMA),
+        ]
+        plan = L.Scan(SCHEMA, _InMemoryProvider(batches), False)
+        assert execute(plan).num_rows == 3
+
+
+class TestEmptyInputs:
+    def test_aggregate_on_empty(self):
+        plan = L.Aggregate([E.ColumnRef("s")], [(E.Count(None), "n")], scan([]))
+        assert execute(plan).num_rows == 0
+
+    def test_windowed_aggregate_on_empty(self):
+        w = E.WindowExpr(E.ColumnRef("v"), 10.0)
+        plan = L.Aggregate([w], [(E.Count(None), "n")], scan([]))
+        out = execute(plan)
+        assert out.num_rows == 0
+        assert out.schema.names == ["window_start", "window_end", "n"]
+
+    def test_join_empty_sides(self):
+        right_schema = StructType((("k", "long"), ("r", "double")))
+        plan = L.Join(scan([]), scan([], right_schema), on="k")
+        assert execute(plan).num_rows == 0
+
+    def test_sort_empty(self):
+        plan = L.Sort([("k", True)], scan([]))
+        assert execute(plan).num_rows == 0
+
+    def test_dedup_empty(self):
+        plan = L.Deduplicate(["k"], scan([]))
+        assert execute(plan).num_rows == 0
+
+
+class TestSortSemantics:
+    def test_multi_key_mixed_direction(self):
+        plan = L.Sort([("k", True), ("v", False)], scan(ROWS))
+        out = execute(plan).to_rows()
+        assert [(r["k"], r["v"]) for r in out] == [(1, 2.5), (2, 3.5), (2, 1.5)]
+
+    def test_string_descending(self):
+        plan = L.Sort([("s", False)], scan(ROWS))
+        assert [r["s"] for r in execute(plan).to_rows()] == ["b", "b", "a"]
+
+    def test_limit_larger_than_input(self):
+        plan = L.Limit(100, scan(ROWS))
+        assert execute(plan).num_rows == 3
+
+    def test_limit_zero(self):
+        plan = L.Limit(0, scan(ROWS))
+        assert execute(plan).num_rows == 0
+
+
+class TestUnionAndWatermark:
+    def test_union_reorders_right_columns(self):
+        reordered = StructType((("k", "long"), ("v", "double"), ("s", "string")))
+        plan = L.Union(scan(ROWS), scan(ROWS, reordered))
+        assert execute(plan).num_rows == 6
+
+    def test_watermark_is_noop_in_batch(self):
+        plan = L.WithWatermark("v", "10s", scan(ROWS))
+        assert execute(plan).to_rows() == execute(scan(ROWS)).to_rows()
+
+
+class TestAggregateCornerCases:
+    def test_single_group_many_aggs(self):
+        plan = L.Aggregate(
+            [E.Literal(1).alias("g")],
+            [(E.Count(None), "n"), (E.Sum(E.ColumnRef("v")), "s"),
+             (E.Min(E.ColumnRef("s")), "lo"), (E.Max(E.ColumnRef("k")), "hi")],
+            scan(ROWS),
+        )
+        (row,) = execute(plan).to_rows()
+        assert (row["n"], row["s"], row["lo"], row["hi"]) == (3, 7.5, "a", 2)
+
+    def test_group_by_expression(self):
+        plan = L.Aggregate(
+            [(E.ColumnRef("k") % 2).alias("parity")],
+            [(E.Count(None), "n")],
+            scan(ROWS),
+        )
+        out = {r["parity"]: r["n"] for r in execute(plan).to_rows()}
+        assert out == {0: 2, 1: 1}
+
+    def test_null_aggregate_results_materialize(self):
+        rows = [{"k": 1, "v": None, "s": "a"}]
+        plan = L.Aggregate(
+            [E.ColumnRef("k")], [(E.Sum(E.ColumnRef("v")), "s")], scan(rows))
+        assert execute(plan).to_rows() == [{"k": 1, "s": None}]
+
+    def test_sliding_window_aggregate_counts(self):
+        schema = StructType((("t", "timestamp"),))
+        rows = [{"t": 2.0}, {"t": 7.0}]
+        w = E.WindowExpr(E.ColumnRef("t"), 10.0, 5.0)
+        plan = L.Aggregate([w], [(E.Count(None), "n")], scan(rows, schema))
+        out = {r["window_start"]: r["n"] for r in execute(plan).to_rows()}
+        assert out == {-5.0: 1, 0.0: 2, 5.0: 1}
+
+
+class TestProjectionCoercion:
+    def test_integer_expression_keeps_long_dtype(self):
+        plan = L.Project([(E.ColumnRef("k") + 1).alias("k1")], scan(ROWS))
+        assert execute(plan).column("k1").dtype == np.int64
+
+    def test_division_produces_float(self):
+        plan = L.Project([(E.ColumnRef("k") / 2).alias("h")], scan(ROWS))
+        assert execute(plan).column("h").dtype == np.float64

@@ -1,0 +1,143 @@
+"""End-to-end application composition tests.
+
+The paper's production deployments chain queries: stream-to-stream ETL
+through the bus (§6.3), streaming ETL into tables consumed by batch and
+interactive queries (§8.4), and multiple independent queries over the
+same input topic.
+"""
+
+import pytest
+
+from repro.bus import Broker
+from repro.sinks.file import TransactionalFileSink
+from repro.sql import functions as F
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+EVENTS = (("k", "string"), ("v", "long"))
+
+
+class TestStreamToStreamEtl:
+    """§6.3: "upload events to Kafka, run some simple ETL transformations
+    as a streaming job, and write the transformed data to Kafka again for
+    consumption by other streaming applications"."""
+
+    def test_two_stage_pipeline_through_bus(self, session, tmp_path):
+        broker = Broker()
+        broker.create_topic("raw", 1)
+        broker.create_topic("clean", 1)
+
+        raw = session.read_stream.kafka(broker, "raw", EVENTS)
+        etl = (raw.where(F.col("v") >= 0)
+               .write_stream.format("kafka")
+               .option("broker", broker).option("topic", "clean")
+               .query_name("etl").output_mode("append")
+               .start(str(tmp_path / "ckpt1")))
+
+        clean = session.read_stream.kafka(broker, "clean", EVENTS)
+        downstream = start_memory_query(
+            clean.group_by("k").count(), "complete", "counts",
+            str(tmp_path / "ckpt2"))
+
+        broker.topic("raw").publish_to(0, [
+            {"k": "a", "v": 1}, {"k": "a", "v": -5}, {"k": "b", "v": 2}])
+        etl.process_all_available()
+        downstream.process_all_available()
+        assert rows_set(downstream.engine.sink.rows()) == rows_set([
+            {"k": "a", "count": 1}, {"k": "b", "count": 1}])
+
+    def test_etl_recovery_does_not_duplicate_downstream(self, session, tmp_path):
+        broker = Broker()
+        broker.create_topic("raw", 1)
+        raw = session.read_stream.kafka(broker, "raw", EVENTS)
+
+        def start_etl():
+            return (raw.write_stream.format("kafka")
+                    .option("broker", broker).option("topic", "clean2")
+                    .query_name("etl2").output_mode("append")
+                    .start(str(tmp_path / "ckpt")))
+
+        etl = start_etl()
+        broker.topic("raw").publish_to(0, [{"k": "a", "v": 1}])
+        etl.process_all_available()
+        # Crash + restart: the kafka sink's transaction registry prevents
+        # the recovered epoch from double-publishing.
+        etl2 = start_etl()
+        etl2.process_all_available()
+        assert broker.topic("clean2").total_records() == 1
+
+
+class TestStreamingTableAndBatch:
+    """§8.4: a streaming ETL job maintains a table that dozens of batch
+    and interactive jobs then query."""
+
+    def test_streaming_writes_batch_reads(self, session, tmp_path):
+        stream = make_stream(EVENTS)
+        table_dir = str(tmp_path / "table")
+        query = (session.read_stream.memory(stream)
+                 .write_stream.format("file").option("path", table_dir)
+                 .output_mode("append").start(str(tmp_path / "ckpt")))
+        stream.add_data([{"k": "a", "v": 1}, {"k": "b", "v": 2}])
+        query.process_all_available()
+
+        sink = TransactionalFileSink(table_dir)
+        batch_df = session.read.file_sink(sink, EVENTS)
+        assert batch_df.group_by("k").count().count_rows() == 2
+
+        # More streaming data; the batch view picks it up on re-read.
+        stream.add_data([{"k": "a", "v": 3}])
+        query.process_all_available()
+        assert session.read.file_sink(sink, EVENTS).count_rows() == 3
+
+    def test_batch_backfill_coexists_with_stream(self, session, tmp_path):
+        """A batch job backfills old data into the same table the
+        streaming job appends to (§7.3 hybrid execution)."""
+        table_dir = str(tmp_path / "table")
+        backfill = session.create_dataframe(
+            [{"k": "old", "v": 0}], EVENTS)
+        backfill.write.json(table_dir)
+
+        stream = make_stream(EVENTS)
+        query = (session.read_stream.memory(stream)
+                 .write_stream.format("file").option("path", table_dir)
+                 .output_mode("append").start(str(tmp_path / "ckpt")))
+        stream.add_data([{"k": "new", "v": 1}])
+        query.process_all_available()
+
+        sink = TransactionalFileSink(table_dir)
+        assert rows_set(sink.read_rows()) == rows_set([
+            {"k": "old", "v": 0}, {"k": "new", "v": 1}])
+
+
+class TestMultipleQueriesOneTopic:
+    def test_independent_queries_see_all_data(self, session, tmp_path):
+        broker = Broker()
+        broker.create_topic("shared", 2)
+        df = session.read_stream.kafka(broker, "shared", EVENTS)
+
+        q_counts = start_memory_query(
+            df.group_by("k").count(), "complete", "c", str(tmp_path / "c"))
+        q_raw = start_memory_query(df, "append", "r", str(tmp_path / "r"))
+
+        broker.topic("shared").publish_to(0, [{"k": "a", "v": 1}])
+        broker.topic("shared").publish_to(1, [{"k": "a", "v": 2}])
+        q_counts.process_all_available()
+        q_raw.process_all_available()
+        assert q_counts.engine.sink.rows() == [{"k": "a", "count": 2}]
+        assert len(q_raw.engine.sink.rows()) == 2
+
+    def test_queries_progress_independently(self, session, tmp_path):
+        broker = Broker()
+        broker.create_topic("shared", 1)
+        df = session.read_stream.kafka(broker, "shared", EVENTS)
+        q1 = start_memory_query(df, "append", "q1", str(tmp_path / "1"))
+        q2 = start_memory_query(df, "append", "q2", str(tmp_path / "2"))
+
+        broker.topic("shared").publish_to(0, [{"k": "a", "v": 1}])
+        q1.process_all_available()  # q2 lags behind
+        broker.topic("shared").publish_to(0, [{"k": "b", "v": 2}])
+        q1.process_all_available()
+        q2.process_all_available()  # catches up in one bigger epoch
+        assert len(q1.engine.sink.rows()) == 2
+        assert len(q2.engine.sink.rows()) == 2
+        assert q2.engine.next_epoch <= q1.engine.next_epoch

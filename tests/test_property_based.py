@@ -1,0 +1,329 @@
+"""Property-based tests (hypothesis) for the engine's core invariants.
+
+The paper's central guarantee is prefix consistency (§4.2): streaming
+results always equal the static query applied to a prefix of the input,
+regardless of how data is chunked into epochs or where crashes land.
+These properties drive randomized chunkings, crash points and operation
+sequences against model implementations.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import expressions as E
+from repro.sql.batch import RecordBatch
+from repro.sql.grouping import encode_groups
+from repro.sql.session import Session
+from repro.sql.types import StructType
+from repro.streaming.state import OperatorStateHandle
+from repro.streaming.watermark import WatermarkTracker
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+values = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+rows = st.builds(lambda k, v: {"k": k, "v": float(v)}, keys, values)
+row_lists = st.lists(rows, min_size=0, max_size=30)
+
+
+def chunkings(items):
+    """Strategy: split ``items`` into a random list of contiguous chunks."""
+    if not items:
+        return st.just([])
+    return st.lists(
+        st.integers(min_value=1, max_value=max(len(items), 1)),
+        min_size=1, max_size=len(items),
+    ).map(lambda sizes: _apply_chunking(items, sizes))
+
+
+def _apply_chunking(items, sizes):
+    chunks = []
+    position = 0
+    for size in sizes:
+        if position >= len(items):
+            break
+        chunks.append(items[position:position + size])
+        position += size
+    if position < len(items):
+        chunks.append(items[position:])
+    return chunks
+
+
+SCHEMA = (("k", "string"), ("v", "double"))
+
+
+# ---------------------------------------------------------------------------
+# Incremental == batch
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(data=row_lists, seed=st.integers(0, 2**16))
+def test_streaming_aggregate_equals_batch_under_any_chunking(data, seed):
+    from repro.sql import functions as F
+
+    rng = np.random.default_rng(seed)
+    session = Session()
+    batch_result = rows_set(
+        session.create_dataframe(data, SCHEMA).group_by("k").agg(
+            F.count().alias("n"), F.sum("v").alias("s")).collect()
+    ) if data else set()
+
+    stream = make_stream(SCHEMA)
+    df = (session.read_stream.memory(stream)
+          .group_by("k").agg(F.count().alias("n"), F.sum("v").alias("s")))
+    query = start_memory_query(df, "complete", "out")
+    remaining = list(data)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        query.process_all_available()
+    assert rows_set(query.engine.sink.rows()) == batch_result
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=row_lists, seed=st.integers(0, 2**16))
+def test_map_query_append_equals_batch_filter(data, seed):
+    rng = np.random.default_rng(seed)
+    session = Session()
+    from repro.sql import functions as F
+
+    expected = [r for r in data if r["v"] > 0]
+
+    stream = make_stream(SCHEMA)
+    df = session.read_stream.memory(stream).where(F.col("v") > 0)
+    query = start_memory_query(df, "append", "out")
+    remaining = list(data)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        query.process_all_available()
+    assert query.engine.sink.rows() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=row_lists, seed=st.integers(0, 2**16))
+def test_streaming_dedup_equals_first_occurrences(data, seed):
+    rng = np.random.default_rng(seed)
+    session = Session()
+    seen, expected = set(), []
+    for r in data:
+        if r["k"] not in seen:
+            seen.add(r["k"])
+            expected.append(r)
+
+    stream = make_stream(SCHEMA)
+    df = session.read_stream.memory(stream).drop_duplicates(["k"])
+    query = start_memory_query(df, "append", "out")
+    remaining = list(data)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        query.process_all_available()
+    assert query.engine.sink.rows() == expected
+
+
+# ---------------------------------------------------------------------------
+# Prefix consistency under crash/restart
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.lists(rows, min_size=1, max_size=15),
+       crash_mask=st.lists(st.booleans(), min_size=1, max_size=15),
+       seed=st.integers(0, 2**16))
+def test_exactly_once_under_random_restarts(tmp_path_factory, data, crash_mask, seed):
+    """Restarting the engine at arbitrary points never duplicates or
+    loses output (replayable source + idempotent sink + WAL, §6.1)."""
+    rng = np.random.default_rng(seed)
+    checkpoint = str(tmp_path_factory.mktemp("ckpt"))
+    session = Session()
+    from repro.sql import functions as F
+
+    stream = make_stream(SCHEMA)
+    df = session.read_stream.memory(stream).select("k", (F.col("v") * 2).alias("v2"))
+    query = start_memory_query(df, "append", "out", checkpoint)
+    sink = query.engine.sink
+
+    remaining = list(data)
+    crashes = iter(crash_mask)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        if next(crashes, False):
+            # Crash: abandon the engine, restart on the same checkpoint.
+            query = (df.write_stream.sink(sink).output_mode("append")
+                     .start(checkpoint))
+        query.process_all_available()
+    query = (df.write_stream.sink(sink).output_mode("append").start(checkpoint))
+    query.process_all_available()
+    expected = [{"k": r["k"], "v2": r["v"] * 2} for r in data]
+    assert sink.rows() == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.lists(rows, min_size=1, max_size=12),
+       crash_mask=st.lists(st.booleans(), min_size=1, max_size=12),
+       seed=st.integers(0, 2**16))
+def test_stateful_aggregate_exactly_once_under_restarts(
+        tmp_path_factory, data, crash_mask, seed):
+    """The hard case: restarts around a *stateful* query must neither
+    double-count (state replayed twice) nor drop records."""
+    rng = np.random.default_rng(seed)
+    checkpoint = str(tmp_path_factory.mktemp("ckpt"))
+    session = Session()
+    from repro.sql import functions as F
+
+    stream = make_stream(SCHEMA)
+    df = (session.read_stream.memory(stream)
+          .group_by("k").agg(F.count().alias("n"), F.sum("v").alias("s")))
+    query = (df.write_stream.format("memory").query_name("agg")
+             .option("state_checkpoint_interval", 2)  # state can lag commits
+             .output_mode("complete").start(checkpoint))
+    sink = query.engine.sink
+
+    expected = {}
+    for r in data:
+        n, s = expected.get(r["k"], (0, 0.0))
+        expected[r["k"]] = (n + 1, s + r["v"])
+
+    remaining = list(data)
+    crashes = iter(crash_mask)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        if next(crashes, False):
+            query = (df.write_stream.sink(sink).output_mode("complete")
+                     .option("state_checkpoint_interval", 2).start(checkpoint))
+        query.process_all_available()
+    query = (df.write_stream.sink(sink).output_mode("complete")
+             .option("state_checkpoint_interval", 2).start(checkpoint))
+    query.process_all_available()
+
+    got = {r["k"]: (r["n"], r["s"]) for r in sink.rows()}
+    assert set(got) == set(expected)
+    for k, (n, s) in expected.items():
+        assert got[k][0] == n
+        assert abs(got[k][1] - s) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# State store model check
+# ---------------------------------------------------------------------------
+
+state_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from("abcde"), st.integers(-5, 5)),
+        st.tuples(st.just("remove"), st.sampled_from("abcde"), st.none()),
+        st.tuples(st.just("commit"), st.none(), st.none()),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=state_ops, snapshot_interval=st.integers(1, 5))
+def test_state_store_restore_matches_model(tmp_path_factory, ops, snapshot_interval):
+    directory = str(tmp_path_factory.mktemp("state"))
+    handle = OperatorStateHandle(directory, snapshot_interval=snapshot_interval)
+    model = {}
+    committed = {}  # version -> model snapshot
+    version = 0
+    for op, key, value in ops:
+        if op == "put":
+            handle.put(key, value)
+            model[key] = value
+        elif op == "remove":
+            handle.remove(key)
+            model.pop(key, None)
+        else:
+            handle.commit(version)
+            committed[version] = dict(model)
+            version += 1
+    for v, expected in committed.items():
+        fresh = OperatorStateHandle(directory, snapshot_interval=snapshot_interval)
+        fresh.restore(v)
+        assert dict(fresh.items()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Watermark monotonicity
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(observations=st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=30),
+    delay=st.floats(min_value=0, max_value=100, allow_nan=False))
+def test_watermark_monotonic_and_bounded(observations, delay):
+    tracker = WatermarkTracker({"t": delay})
+    previous = None
+    max_seen = None
+    for value in observations:
+        tracker.observe("t", value)
+        tracker.advance()
+        max_seen = value if max_seen is None else max(max_seen, value)
+        current = tracker.current("t")
+        assert current == max_seen - delay  # exactly max(C) - t_C (§4.3.1)
+        if previous is not None:
+            assert current >= previous  # never moves backwards
+        previous = current
+
+
+# ---------------------------------------------------------------------------
+# Window assignment properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(t=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       size_slide=st.tuples(st.integers(1, 100), st.integers(1, 100)))
+def test_window_contains_its_record(t, size_slide):
+    a, b = size_slide
+    size, slide = max(a, b), min(a, b)
+    w = E.WindowExpr(E.ColumnRef("t"), float(size), float(slide))
+    starts = w.assign_row({"t": t})
+    assert 1 <= len(starts) <= math.ceil(size / slide)
+    for start in starts:
+        assert start <= t < start + size
+        # Window starts align to the slide grid.
+        assert abs(start / slide - round(start / slide)) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Group encoding
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(-10, 10), min_size=0, max_size=50))
+def test_encode_groups_consistent_with_equality(keys):
+    if not keys:
+        return
+    codes, uniques = encode_groups([np.asarray(keys, dtype=np.int64)])
+    decoded = [uniques[c][0] for c in codes]
+    assert decoded == keys
+    assert len(set(codes.tolist())) == len(uniques) == len(set(keys))
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch roundtrip
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.lists(
+    st.tuples(st.integers(-1000, 1000),
+              st.one_of(st.none(), st.text(max_size=5))),
+    max_size=30))
+def test_record_batch_row_roundtrip(data):
+    schema = StructType((("i", "long"), ("s", "string")))
+    original = [{"i": i, "s": s} for i, s in data]
+    assert RecordBatch.from_rows(original, schema).to_rows() == original

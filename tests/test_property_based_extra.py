@@ -1,0 +1,179 @@
+"""More property-based tests: optimizer semantics, join equivalence,
+session-window chunking invariance."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.batch import RecordBatch
+from repro.sql.optimizer import optimize
+from repro.sql.physical import execute
+from repro.sql.session import Session, _InMemoryProvider
+from repro.sql.types import StructType
+from repro.streaming.sessions import session_windows
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+
+# ---------------------------------------------------------------------------
+# Optimizer preserves semantics on random plans
+# ---------------------------------------------------------------------------
+
+SCHEMA = StructType((("a", "long"), ("b", "double"), ("s", "string")))
+
+base_rows = st.lists(
+    st.builds(
+        lambda a, b, s: {"a": a, "b": float(b), "s": s},
+        st.integers(-5, 5),
+        st.floats(min_value=-10, max_value=10, allow_nan=False, width=32),
+        st.sampled_from(["x", "y", "z"]),
+    ),
+    max_size=20,
+)
+
+comparisons = st.builds(
+    lambda col, op, val: E.Comparison(E.ColumnRef(col), E.Literal(val), op),
+    st.sampled_from(["a", "b"]),
+    st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    st.integers(-5, 5),
+)
+
+conditions = st.recursive(
+    comparisons,
+    lambda inner: st.builds(
+        lambda l, r, op: E.BooleanOp(l, r, op),
+        inner, inner, st.sampled_from(["and", "or"]),
+    ),
+    max_leaves=4,
+)
+
+
+def _scan(rows):
+    return L.Scan(
+        SCHEMA, _InMemoryProvider([RecordBatch.from_rows(rows, SCHEMA)]),
+        False, name="t",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=base_rows, cond1=conditions, cond2=conditions)
+def test_optimizer_preserves_filter_semantics(rows, cond1, cond2):
+    plan = L.Filter(cond1, L.Filter(cond2, L.Project(
+        [E.ColumnRef("a"), E.ColumnRef("b"),
+         (E.ColumnRef("a") * 2).alias("a2")],
+        _scan(rows),
+    )))
+    expected = execute(plan).to_rows()
+    optimized = optimize(plan)
+    assert execute(optimized).to_rows() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=base_rows, cond=conditions)
+def test_optimizer_preserves_aggregate_semantics(rows, cond):
+    from repro.sql.expressions import Count, Sum
+
+    plan = L.Aggregate(
+        [E.ColumnRef("s")],
+        [(Count(None), "n"), (Sum(E.ColumnRef("b")), "total")],
+        L.Filter(cond, _scan(rows)),
+    )
+    expected = rows_set(execute(plan).to_rows())
+    assert rows_set(execute(optimize(plan)).to_rows()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Streaming stream-stream join == batch join (all data within watermark)
+# ---------------------------------------------------------------------------
+
+join_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.floats(0, 50, allow_nan=False)),
+    min_size=0, max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(left=join_rows, right=join_rows, seed=st.integers(0, 2**16))
+def test_stream_stream_join_equals_batch(left, right, seed):
+    left_schema = (("k", "long"), ("t", "timestamp"))
+    right_schema = (("k", "long"), ("t2", "timestamp"))
+    left_rows = [{"k": k, "t": t} for k, t in left]
+    right_rows = [{"k": k, "t2": t} for k, t in right]
+
+    session = Session()
+    expected = rows_set(
+        session.create_dataframe(left_rows, left_schema)
+        .join(session.create_dataframe(right_rows, right_schema), on="k")
+        .collect())
+
+    ls = make_stream(left_schema)
+    rs = make_stream(right_schema)
+    joined = (session.read_stream.memory(ls).with_watermark("t", "1000s")
+              .join(session.read_stream.memory(rs).with_watermark("t2", "1000s"),
+                    on="k"))
+    query = start_memory_query(joined, "append", "out")
+    rng = np.random.default_rng(seed)
+    lq, rq = list(left_rows), list(right_rows)
+    while lq or rq:
+        if lq and (not rq or rng.random() < 0.5):
+            take = int(rng.integers(1, len(lq) + 1))
+            ls.add_data(lq[:take])
+            lq = lq[take:]
+        elif rq:
+            take = int(rng.integers(1, len(rq) + 1))
+            rs.add_data(rq[:take])
+            rq = rq[take:]
+        query.process_all_available()
+    assert rows_set(query.engine.sink.rows()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Session windows: chunking does not change the final sessions
+# ---------------------------------------------------------------------------
+
+session_events = st.lists(
+    st.floats(min_value=0, max_value=300, allow_nan=False),
+    min_size=1, max_size=15,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(times=session_events)
+def test_session_windows_match_reference(times):
+    """Feeding all events sorted in one epoch yields exactly the sessions
+    a reference fold computes."""
+    gap = 30.0
+    ordered = sorted(times)
+    # Reference sessionization.
+    expected = []
+    current = None
+    for t in ordered:
+        if current is None or t > current["end"] + gap:
+            if current is not None:
+                expected.append(current)
+            current = {"start": t, "end": t, "n": 1}
+        else:
+            current["end"] = t
+            current["n"] += 1
+    if current is not None:
+        expected.append(current)
+
+    session = Session()
+    stream = make_stream((("user", "string"), ("t", "timestamp")))
+    df = session.read_stream.memory(stream).with_watermark("t", "0s")
+    query = start_memory_query(
+        session_windows(df, ["user"], "t", gap), "append", "out")
+    stream.add_data([{"user": "u", "t": t} for t in ordered])
+    query.process_all_available()
+    # Close the final session by pushing the watermark far ahead.
+    stream.add_data([{"user": "zz", "t": 10_000.0}])
+    query.process_all_available()
+    stream.add_data([{"user": "zz", "t": 10_001.0}])
+    query.process_all_available()
+
+    got = [
+        {"start": r["session_start"], "end": r["session_end"], "n": r["events"]}
+        for r in query.engine.sink.rows() if r["user"] == "u"
+    ]
+    assert sorted(got, key=lambda s: s["start"]) == expected

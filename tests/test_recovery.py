@@ -1,0 +1,314 @@
+"""Fault tolerance: recovery, exactly-once output, rollback, code update
+(§6.1, §7.1, §7.2).
+
+A "crash" is modeled by abandoning the engine object and starting a new
+query on the same checkpoint directory — exactly what happens when an
+application restarts.  The sink object survives (it models the external
+system the query writes to).
+"""
+
+import pytest
+
+from repro.sql import functions as F
+from repro.sinks.file import TransactionalFileSink
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+SCHEMA = (("k", "string"), ("v", "long"))
+
+
+def counts_df(session, stream):
+    return session.read_stream.memory(stream).group_by("k").count()
+
+
+def restart(session, df, sink, mode, checkpoint):
+    """Start a query reusing an existing sink + checkpoint (a restart)."""
+    return (df.write_stream.sink(sink).output_mode(mode).start(checkpoint))
+
+
+class TestRestartContinuesWhereLeftOff:
+    def test_offsets_resume(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = counts_df(session, stream)
+        q1 = start_memory_query(df, "complete", "out", checkpoint)
+        stream.add_data([{"k": "a", "v": 1}])
+        q1.process_all_available()
+        sink = q1.engine.sink
+
+        q2 = restart(session, df, sink, "complete", checkpoint)
+        stream.add_data([{"k": "a", "v": 2}])
+        q2.process_all_available()
+        assert sink.rows() == [{"k": "a", "count": 2}]
+
+    def test_state_restored_across_restart(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = counts_df(session, stream)
+        q1 = start_memory_query(df, "complete", "out", checkpoint)
+        stream.add_data([{"k": "a", "v": 1}, {"k": "b", "v": 1}])
+        q1.process_all_available()
+
+        q2 = restart(session, df, q1.engine.sink, "complete", checkpoint)
+        assert q2.engine.state_store.total_keys() == 2
+
+    def test_epoch_numbering_continues(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = counts_df(session, stream)
+        q1 = start_memory_query(df, "complete", "out", checkpoint)
+        stream.add_data([{"k": "a", "v": 1}])
+        q1.process_all_available()
+        q2 = restart(session, df, q1.engine.sink, "complete", checkpoint)
+        assert q2.engine.next_epoch == 1
+
+
+class TestCrashRecovery:
+    def _crash_after_offsets(self, session, checkpoint, stream, df, sink):
+        """Simulate: offsets logged, then crash before the sink write."""
+        engine_query = (df.write_stream.sink(sink)
+                        .output_mode("append").start(checkpoint))
+        engine = engine_query.engine
+        ends = engine._available_end_offsets()
+        engine.wal.write_offsets(engine.next_epoch, {
+            "sources": {
+                name: {"start": engine._start_offsets[name], "end": ends[name]}
+                for name in engine.sources
+            },
+            "watermarks": engine.watermarks.to_json(),
+            "trigger_time": 0.0,
+        })
+        # crash: abandon the engine here
+
+    def test_uncommitted_epoch_rerun_on_restart(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = session.read_stream.memory(stream)
+        sink = None
+        q0 = start_memory_query(df, "append", "out", checkpoint)
+        sink = q0.engine.sink
+        stream.add_data([{"k": "a", "v": 1}])
+        self._crash_after_offsets(session, checkpoint, stream, df, sink)
+        assert sink.rows() == []  # nothing delivered before the crash
+
+        q1 = restart(session, df, sink, "append", checkpoint)
+        # Recovery re-ran the logged epoch during construction.
+        assert sink.rows() == [{"k": "a", "v": 1}]
+        assert q1.engine.wal.is_committed(0)
+
+    def test_crash_between_sink_and_commit_is_exactly_once(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = session.read_stream.memory(stream)
+        q0 = start_memory_query(df, "append", "out", checkpoint)
+        sink = q0.engine.sink
+        stream.add_data([{"k": "a", "v": 1}])
+        q0.process_all_available()
+        # Simulate: sink write + state happened, but the commit record was
+        # lost (crash between steps 3 and 4 of Figure 4).
+        q0.engine.wal.rollback_to(-1)
+        q0.engine.wal.write_offsets(0, {
+            "sources": {"source-0": {"start": {"0": 0}, "end": {"0": 1}}},
+            "watermarks": {}, "trigger_time": 0.0,
+        })
+        q1 = restart(session, df, sink, "append", checkpoint)
+        # The idempotent sink deduplicates the re-delivered epoch.
+        assert sink.rows() == [{"k": "a", "v": 1}]
+
+    def test_recovery_with_aggregate_state_replay(self, session, checkpoint):
+        """State checkpoint lags the commit log: recovery must replay
+        logged epochs to rebuild state (§6.1 step 4)."""
+        stream = make_stream(SCHEMA)
+        df = counts_df(session, stream)
+        q0 = (df.write_stream.format("memory").query_name("out")
+              .output_mode("complete")
+              .option("state_checkpoint_interval", 3)  # sparse checkpoints
+              .start(checkpoint))
+        sink = q0.engine.sink
+        for i in range(5):
+            stream.add_data([{"k": "a", "v": i}])
+            q0.run_epoch()
+        assert sink.rows() == [{"k": "a", "count": 5}]
+
+        q1 = restart(session, df, sink, "complete", checkpoint)
+        stream.add_data([{"k": "a", "v": 99}])
+        q1.process_all_available()
+        assert sink.rows() == [{"k": "a", "count": 6}]
+
+
+class TestPartialStateCommitCrash:
+    def test_mid_commit_crash_does_not_double_apply(self, session, checkpoint):
+        """A crash between two operators' state commits leaves them at
+        different versions; recovery must restore both to a consistent
+        base and replay — never double-apply an epoch to one of them."""
+        left_schema = (("k", "long"), ("t", "timestamp"), ("l", "string"))
+        right_schema = (("k", "long"), ("t2", "timestamp"), ("r", "string"))
+        ls = make_stream(left_schema)
+        rs = make_stream(right_schema)
+        left = session.read_stream.memory(ls).with_watermark("t", "100s")
+        right = session.read_stream.memory(rs).with_watermark("t2", "100s")
+        df = left.join(right, on="k", within=("t", "t2", "1000s"))
+
+        q0 = start_memory_query(df, "append", "out", checkpoint)
+        sink = q0.engine.sink
+        ls.add_data([{"k": 1, "t": 1.0, "l": "x"}])
+        q0.process_all_available()
+        rs.add_data([{"k": 1, "t2": 2.0, "r": "y"}])
+        q0.process_all_available()
+        assert len(sink.rows()) == 1
+
+        # Simulate the crash: one join-side handle committed epoch 1,
+        # the other did not (its version-1 files vanish).
+        import os
+
+        right_dir = os.path.join(checkpoint, "state", "join-right-1")
+        for name in os.listdir(right_dir):
+            if name.startswith("0000000001."):
+                os.unlink(os.path.join(right_dir, name))
+
+        q1 = restart(session, df, sink, "append", checkpoint)
+        # Both sides were rewound to version 0 and epoch 1 replayed: the
+        # buffered rows exist exactly once on each side.
+        left_entries = q1.engine.state_store.handle("join-left-0").get((1,))
+        right_entries = q1.engine.state_store.handle("join-right-1").get((1,))
+        assert len(left_entries) == 1
+        assert len(right_entries) == 1
+        # And the sink result is still exactly-once.
+        rs.add_data([{"k": 1, "t2": 3.0, "r": "z"}])
+        q1.process_all_available()
+        assert len(sink.rows()) == 2
+
+
+class TestExactlyOnceFileOutput:
+    def test_file_sink_exactly_once_across_restart(self, session, checkpoint, tmp_path):
+        stream = make_stream(SCHEMA)
+        df = session.read_stream.memory(stream)
+        out_dir = str(tmp_path / "table")
+        q0 = (df.write_stream.format("file").option("path", out_dir)
+              .output_mode("append").start(checkpoint))
+        stream.add_data([{"k": "a", "v": 1}])
+        q0.process_all_available()
+
+        # Crash and restart; re-run everything pending.
+        q1 = (df.write_stream.format("file").option("path", out_dir)
+              .output_mode("append").start(checkpoint))
+        stream.add_data([{"k": "b", "v": 2}])
+        q1.process_all_available()
+        sink = TransactionalFileSink(out_dir)
+        assert sink.read_rows() == [{"k": "a", "v": 1}, {"k": "b", "v": 2}]
+
+
+class TestManualRollback:
+    def test_rollback_and_recompute(self, session, checkpoint):
+        """§7.2: roll the log back to an epoch, recompute from there."""
+        stream = make_stream(SCHEMA)
+        df = session.read_stream.memory(stream)
+        q0 = start_memory_query(df, "append", "out", checkpoint)
+        sink = q0.engine.sink
+        for v in range(3):
+            stream.add_data([{"k": "a", "v": v}])
+            q0.process_all_available()
+        assert len(sink.rows()) == 3
+
+        # Administrator decides epochs 1-2 were wrong: roll back.
+        q0.engine.wal.rollback_to(0)
+        sink.clear()
+        sink.add_batch(0, q0.engine.empty_result(), "append")  # keep epoch 0 marker
+
+        q1 = restart(session, df, sink, "append", checkpoint)
+        q1.process_all_available()
+        # Epochs 1+ recomputed from the retained source data.
+        assert [r["v"] for r in sink.rows()] == [1, 2]
+
+    def test_rollback_recomputes_state(self, session, checkpoint):
+        stream = make_stream(SCHEMA)
+        df = counts_df(session, stream)
+        q0 = start_memory_query(df, "complete", "out", checkpoint)
+        for _ in range(4):
+            stream.add_data([{"k": "a", "v": 1}])
+            q0.process_all_available()
+        q0.engine.wal.rollback_to(1)
+
+        sink = q0.engine.sink
+        sink.clear()
+        q1 = restart(session, df, sink, "complete", checkpoint)
+        q1.process_all_available()
+        # Recomputed: epochs 2,3 re-run on state as of epoch 1.
+        assert sink.rows() == [{"k": "a", "count": 4}]
+
+
+class TestCodeUpdate:
+    def test_udf_update_resumes_from_failure(self, session, checkpoint):
+        """§7.1: a crashing UDF is fixed and the app restarted; it resumes
+        where it left off and uses the new code."""
+        stream = make_stream(SCHEMA)
+
+        def buggy(v):
+            if v == 2:
+                raise ValueError("cannot parse input")
+            return v * 10
+
+        def make_df(fn):
+            udf = F.udf(fn, "long")
+            return (session.read_stream.memory(stream)
+                    .select(udf(F.col("v")).alias("v10")))
+
+        q0 = start_memory_query(make_df(buggy), "append", "out", checkpoint)
+        sink = q0.engine.sink
+        stream.add_data([{"k": "a", "v": 1}])
+        q0.process_all_available()
+        stream.add_data([{"k": "a", "v": 2}])
+        with pytest.raises(ValueError, match="cannot parse"):
+            q0.process_all_available()
+
+        # Fix the UDF and restart on the same checkpoint: recovery re-runs
+        # the failed epoch with the new code automatically (§2.3).
+        fixed_df = make_df(lambda v: v * 10)
+        q1 = restart(session, fixed_df, sink, "append", checkpoint)
+        assert [r["v10"] for r in sink.rows()] == [10, 20]
+
+    def test_stateful_udf_update_keeps_state(self, session, checkpoint):
+        """Stateful operator UDFs can change as long as the state schema
+        stays compatible (§7.1)."""
+        stream = make_stream(SCHEMA)
+        out_schema = (("k", "string"), ("n", "long"))
+
+        def v1(key, rows, state):
+            n = state.get_option(0) + sum(1 for _ in rows)
+            state.update(n)
+            return {"n": n}
+
+        def v2(key, rows, state):  # counts by 10s now, same state schema
+            n = state.get_option(0) + 10 * sum(1 for _ in rows)
+            state.update(n)
+            return {"n": n}
+
+        def make_df(fn):
+            return (session.read_stream.memory(stream)
+                    .group_by_key("k").map_groups_with_state(fn, out_schema))
+
+        q0 = start_memory_query(make_df(v1), "update", "out", checkpoint)
+        sink = q0.engine.sink
+        stream.add_data([{"k": "a", "v": 1}])
+        q0.process_all_available()
+
+        q1 = restart(session, make_df(v2), sink, "update", checkpoint)
+        stream.add_data([{"k": "a", "v": 2}])
+        q1.process_all_available()
+        assert sink.rows() == [{"k": "a", "n": 11}]  # old state + new logic
+
+
+class TestWatermarkRecovery:
+    def test_watermark_survives_restart(self, session, checkpoint):
+        stream = make_stream((("t", "timestamp"), ("k", "string")))
+        df = (session.read_stream.memory(stream)
+              .with_watermark("t", "10s")
+              .group_by(F.window("t", "10s")).count())
+        q0 = start_memory_query(df, "append", "out", checkpoint)
+        sink = q0.engine.sink
+        stream.add_data([{"t": 5.0, "k": "a"}])
+        q0.process_all_available()
+        stream.add_data([{"t": 30.0, "k": "a"}])
+        q0.process_all_available()  # watermark -> 20 after this epoch
+
+        q1 = restart(session, df, sink, "append", checkpoint)
+        assert q1.engine.watermarks.current("t") == 20.0
+        # The pre-restart window [0,10) emits on the next epoch.
+        stream.add_data([{"t": 31.0, "k": "a"}])
+        q1.process_all_available()
+        assert {(r["window_start"], r["count"]) for r in sink.rows()} == {(0.0, 1)}

@@ -1,0 +1,84 @@
+"""Tests for schema inference, cache, and small DataFrame actions."""
+
+import pytest
+
+from repro.sql import functions as F
+
+
+class TestSchemaInference:
+    def test_types_inferred_from_rows(self, session):
+        df = session.create_dataframe([
+            {"name": "a", "n": 1, "x": 1.5, "ok": True},
+        ])
+        types = {f.name: f.data_type.simple_name for f in df.schema}
+        assert types == {"name": "string", "n": "long", "x": "double",
+                         "ok": "boolean"}
+
+    def test_null_in_first_row_uses_later_value(self, session):
+        df = session.create_dataframe([{"s": None}, {"s": "x"}])
+        assert df.schema.type_of("s").simple_name == "string"
+
+    def test_all_null_column_rejected(self, session):
+        with pytest.raises(ValueError, match="all values null"):
+            session.create_dataframe([{"s": None}])
+
+    def test_zero_rows_rejected(self, session):
+        with pytest.raises(ValueError, match="zero rows"):
+            session.create_dataframe([])
+
+    def test_inferred_frame_queries_normally(self, session):
+        df = session.create_dataframe([{"k": "a", "v": 1}, {"k": "a", "v": 2}])
+        out = df.group_by("k").sum("v").collect()
+        assert out == [{"k": "a", "sum(v)": 3}]
+
+
+class TestSmallActions:
+    @pytest.fixture
+    def df(self, session):
+        return session.create_dataframe(
+            [{"v": 3}, {"v": 1}, {"v": 2}], (("v", "long"),))
+
+    def test_take(self, df):
+        assert df.take(2) == [{"v": 3}, {"v": 1}]
+
+    def test_first(self, df):
+        assert df.first() == {"v": 3}
+
+    def test_first_empty(self, df):
+        assert df.where(F.col("v") > 99).first() is None
+
+    def test_is_empty(self, df):
+        assert not df.is_empty()
+        assert df.where(F.col("v") > 99).is_empty()
+
+
+class TestCache:
+    def test_cache_materializes_once(self, session):
+        calls = {"n": 0}
+
+        class CountingProvider:
+            def read_batches(self):
+                calls["n"] += 1
+                from repro.sql.batch import RecordBatch
+                from repro.sql.types import StructType
+
+                schema = StructType((("v", "long"),))
+                return [RecordBatch.from_rows([{"v": 1}], schema)]
+
+        from repro.sql import logical as L
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.types import StructType
+
+        scan = L.Scan(StructType((("v", "long"),)), CountingProvider(), False)
+        df = DataFrame(scan, session)
+        cached = df.cache()
+        assert calls["n"] == 1
+        cached.collect()
+        cached.collect()
+        assert calls["n"] == 1  # provider never re-read
+
+    def test_cache_result_matches(self, session):
+        df = session.create_dataframe([{"v": i} for i in range(5)])
+        filtered = df.where(F.col("v") > 1).cache()
+        assert filtered.count_rows() == 3
+        assert filtered.group_by(F.lit(1).alias("g")).sum("v").collect()[0]["sum(v)"] == 9

@@ -1,0 +1,142 @@
+"""Tests for streaming sources: the replayability contract (§3, §6.1)."""
+
+import pytest
+
+from repro.bus import Broker
+from repro.sources.file import FileSourceDescriptor, FileStreamSource
+from repro.sources.kafka import KafkaSourceDescriptor
+from repro.sources.memory import MemoryStream
+from repro.sources.rate import RateSource
+from repro.sql.types import StructType
+from repro.storage import write_jsonl
+
+SCHEMA = StructType((("v", "long"),))
+
+
+class TestKafkaSource:
+    @pytest.fixture
+    def source(self):
+        broker = Broker()
+        topic = broker.create_topic("t", 2)
+        topic.publish_to(0, [{"v": 1}, {"v": 2}])
+        topic.publish_to(1, [{"v": 10}])
+        return KafkaSourceDescriptor(broker, "t", SCHEMA).create()
+
+    def test_partitions(self, source):
+        assert source.partitions() == ["0", "1"]
+
+    def test_offsets(self, source):
+        assert source.initial_offsets() == {"0": 0, "1": 0}
+        assert source.latest_offsets() == {"0": 2, "1": 1}
+
+    def test_get_batch_merges_partitions(self, source):
+        batch = source.get_batch({"0": 0, "1": 0}, {"0": 2, "1": 1})
+        assert sorted(batch.column("v").tolist()) == [1, 2, 10]
+
+    def test_partial_range(self, source):
+        batch = source.get_batch({"0": 1, "1": 0}, {"0": 2, "1": 0})
+        assert batch.column("v").tolist() == [2]
+
+    def test_replayable(self, source):
+        a = source.get_batch({"0": 0, "1": 0}, {"0": 2, "1": 1})
+        b = source.get_batch({"0": 0, "1": 0}, {"0": 2, "1": 1})
+        assert a.to_rows() == b.to_rows()
+
+    def test_json_records_mode(self):
+        broker = Broker()
+        topic = broker.create_topic("j")
+        topic.publish_to(0, ['{"v": 5}'])
+        source = KafkaSourceDescriptor(broker, "j", SCHEMA, records_are_json=True).create()
+        assert source.get_batch({"0": 0}, {"0": 1}).to_rows() == [{"v": 5}]
+
+    def test_offsets_delta(self, source):
+        assert source.offsets_delta({"0": 0, "1": 0}, {"0": 2, "1": 1}) == 3
+
+
+class TestFileSource:
+    @pytest.fixture
+    def directory(self, tmp_path):
+        return str(tmp_path / "in")
+
+    def test_empty_directory(self, directory):
+        source = FileStreamSource(directory, SCHEMA)
+        assert source.latest_offsets() == {"files": 0}
+
+    def test_files_become_offsets(self, directory):
+        source = FileStreamSource(directory, SCHEMA)
+        write_jsonl(f"{directory}/a.jsonl", [{"v": 1}])
+        write_jsonl(f"{directory}/b.jsonl", [{"v": 2}, {"v": 3}])
+        assert source.latest_offsets() == {"files": 2}
+        batch = source.get_batch({"files": 0}, {"files": 2})
+        assert batch.column("v").tolist() == [1, 2, 3]
+
+    def test_incremental_reads_only_new_files(self, directory):
+        source = FileStreamSource(directory, SCHEMA)
+        write_jsonl(f"{directory}/a.jsonl", [{"v": 1}])
+        first_end = source.latest_offsets()
+        write_jsonl(f"{directory}/b.jsonl", [{"v": 2}])
+        batch = source.get_batch(first_end, source.latest_offsets())
+        assert batch.column("v").tolist() == [2]
+
+    def test_sorted_listing_gives_stable_offsets(self, directory):
+        source = FileStreamSource(directory, SCHEMA)
+        write_jsonl(f"{directory}/2.jsonl", [{"v": 2}])
+        write_jsonl(f"{directory}/1.jsonl", [{"v": 1}])
+        batch = source.get_batch({"files": 0}, {"files": 2})
+        assert batch.column("v").tolist() == [1, 2]
+
+    def test_non_matching_suffix_ignored(self, directory):
+        source = FileStreamSource(directory, SCHEMA)
+        write_jsonl(f"{directory}/a.jsonl", [{"v": 1}])
+        write_jsonl(f"{directory}/junk.txt", [{"v": 9}])
+        assert source.latest_offsets() == {"files": 1}
+
+    def test_descriptor_roundtrip(self, directory):
+        descriptor = FileSourceDescriptor(directory, SCHEMA)
+        write_jsonl(f"{directory}/a.jsonl", [{"v": 7}])
+        assert descriptor.create().latest_offsets() == {"files": 1}
+
+
+class TestRateSource:
+    def test_deterministic_replay(self):
+        clock_value = [0.0]
+        source = RateSource(100.0, clock=lambda: clock_value[0])
+        clock_value[0] = 1.0
+        assert source.latest_offsets() == {"0": 100}
+        a = source.get_batch({"0": 0}, {"0": 100})
+        b = source.get_batch({"0": 0}, {"0": 100})
+        assert a.column("value").tolist() == b.column("value").tolist()
+
+    def test_timestamps_spaced_by_rate(self):
+        clock_value = [0.0]
+        source = RateSource(10.0, clock=lambda: clock_value[0])
+        batch = source.get_batch({"0": 0}, {"0": 3})
+        t = batch.column("timestamp")
+        assert (t[1] - t[0]) == pytest.approx(0.1)
+
+    def test_values_are_sequence_numbers(self):
+        source = RateSource(10.0, clock=lambda: 0.0)
+        assert source.get_batch({"0": 2}, {"0": 5}).column("value").tolist() == [2, 3, 4]
+
+
+class TestMemoryStream:
+    def test_add_and_read(self):
+        stream = MemoryStream(SCHEMA)
+        stream.add_data([{"v": 1}, {"v": 2}])
+        assert stream.latest_offsets() == {"0": 2}
+        assert stream.get_batch({"0": 0}, {"0": 2}).column("v").tolist() == [1, 2]
+
+    def test_fully_retained_for_replay(self):
+        stream = MemoryStream(SCHEMA)
+        stream.add_data([{"v": 1}])
+        stream.add_data([{"v": 2}])
+        assert stream.get_batch({"0": 0}, {"0": 1}).column("v").tolist() == [1]
+
+    def test_is_its_own_descriptor(self):
+        stream = MemoryStream(SCHEMA)
+        assert stream.create() is stream
+
+    def test_tuple_schema_accepted(self):
+        stream = MemoryStream((("a", "string"),))
+        stream.add_data([{"a": "x"}])
+        assert stream.get_batch({"0": 0}, {"0": 1}).to_rows() == [{"a": "x"}]

@@ -1,0 +1,190 @@
+"""Tests for the SQL SELECT dialect (repro.sql.parser)."""
+
+import pytest
+
+from repro.sql.parser import SqlParseError
+
+from tests.conftest import rows_set
+
+
+ROWS = [
+    {"country": "US", "latency": 10.0, "time": 3.0},
+    {"country": "CA", "latency": 20.0, "time": 64.0},
+    {"country": "US", "latency": 30.0, "time": 65.0},
+]
+
+
+@pytest.fixture
+def sql(session):
+    df = session.create_dataframe(
+        ROWS, (("country", "string"), ("latency", "double"), ("time", "timestamp")))
+    df.create_or_replace_temp_view("events")
+    dim = session.create_dataframe(
+        [{"country": "US", "region": "NA"}],
+        (("country", "string"), ("region", "string")))
+    dim.create_or_replace_temp_view("dim")
+    return session.sql
+
+
+class TestProjection:
+    def test_star(self, sql):
+        assert len(sql("SELECT * FROM events").collect()) == 3
+
+    def test_columns(self, sql):
+        out = sql("SELECT country FROM events").collect()
+        assert [r["country"] for r in out] == ["US", "CA", "US"]
+
+    def test_expression_with_alias(self, sql):
+        out = sql("SELECT latency / 10 AS l FROM events").collect()
+        assert [r["l"] for r in out] == [1.0, 2.0, 3.0]
+
+    def test_implicit_alias(self, sql):
+        out = sql("SELECT latency l FROM events").collect()
+        assert "l" in out[0]
+
+    def test_arithmetic_precedence(self, sql):
+        out = sql("SELECT 1 + 2 * 3 AS x FROM events LIMIT 1").collect()
+        assert out[0]["x"] == 7
+
+    def test_unary_minus(self, sql):
+        out = sql("SELECT -latency AS neg FROM events LIMIT 1").collect()
+        assert out[0]["neg"] == -10.0
+
+    def test_parentheses(self, sql):
+        out = sql("SELECT (1 + 2) * 3 AS x FROM events LIMIT 1").collect()
+        assert out[0]["x"] == 9
+
+
+class TestWhere:
+    def test_comparison(self, sql):
+        assert len(sql("SELECT * FROM events WHERE latency > 15").collect()) == 2
+
+    def test_equality_single_equals(self, sql):
+        assert len(sql("SELECT * FROM events WHERE country = 'US'").collect()) == 2
+
+    def test_not_equal_both_spellings(self, sql):
+        assert len(sql("SELECT * FROM events WHERE country <> 'US'").collect()) == 1
+        assert len(sql("SELECT * FROM events WHERE country != 'US'").collect()) == 1
+
+    def test_and_or_not(self, sql):
+        q = "SELECT * FROM events WHERE latency > 5 AND NOT country = 'CA' OR latency = 20"
+        assert len(sql(q).collect()) == 3
+
+    def test_in_list(self, sql):
+        assert len(sql("SELECT * FROM events WHERE country IN ('CA', 'MX')").collect()) == 1
+
+    def test_is_null(self, session):
+        df = session.create_dataframe(
+            [{"s": None}, {"s": "x"}], (("s", "string"),))
+        df.create_or_replace_temp_view("t")
+        assert len(session.sql("SELECT * FROM t WHERE s IS NULL").collect()) == 1
+        assert len(session.sql("SELECT * FROM t WHERE s IS NOT NULL").collect()) == 1
+
+    def test_string_escape(self, sql):
+        assert sql("SELECT 'it''s' AS s FROM events LIMIT 1").collect()[0]["s"] == "it's"
+
+
+class TestGroupBy:
+    def test_count_star(self, sql):
+        out = sql("SELECT country, COUNT(*) AS n FROM events GROUP BY country").collect()
+        assert rows_set(out) == rows_set([
+            {"country": "US", "n": 2}, {"country": "CA", "n": 1}])
+
+    def test_all_aggregates(self, sql):
+        out = sql(
+            "SELECT country, SUM(latency) AS s, AVG(latency) AS a, "
+            "MIN(latency) AS lo, MAX(latency) AS hi FROM events GROUP BY country"
+        ).collect()
+        us = next(r for r in out if r["country"] == "US")
+        assert (us["s"], us["a"], us["lo"], us["hi"]) == (40.0, 20.0, 10.0, 30.0)
+
+    def test_window_function(self, sql):
+        out = sql(
+            "SELECT WINDOW(time, '30 seconds'), COUNT(*) AS n "
+            "FROM events GROUP BY WINDOW(time, '30 seconds')"
+        ).collect()
+        counts = {r["window_start"]: r["n"] for r in out}
+        assert counts == {0.0: 1, 60.0: 2}
+
+    def test_non_grouped_column_rejected(self, sql):
+        with pytest.raises(SqlParseError, match="GROUP BY"):
+            sql("SELECT latency, COUNT(*) FROM events GROUP BY country")
+
+    def test_group_by_without_aggregate_rejected(self, sql):
+        with pytest.raises(SqlParseError, match="aggregate"):
+            sql("SELECT country FROM events GROUP BY country")
+
+    def test_default_aggregate_name(self, sql):
+        out = sql("SELECT country, COUNT(*) FROM events GROUP BY country").collect()
+        assert "count" in out[0]
+
+
+class TestOrderLimit:
+    def test_order_desc(self, sql):
+        out = sql("SELECT * FROM events ORDER BY latency DESC").collect()
+        assert out[0]["latency"] == 30.0
+
+    def test_order_asc_default(self, sql):
+        out = sql("SELECT * FROM events ORDER BY latency").collect()
+        assert out[0]["latency"] == 10.0
+
+    def test_order_on_aggregate_alias(self, sql):
+        out = sql(
+            "SELECT country, COUNT(*) AS n FROM events GROUP BY country ORDER BY n DESC"
+        ).collect()
+        assert out[0]["country"] == "US"
+
+    def test_limit(self, sql):
+        assert len(sql("SELECT * FROM events LIMIT 2").collect()) == 2
+
+
+class TestJoin:
+    def test_join_using(self, sql):
+        out = sql("SELECT country, region, latency FROM events JOIN dim USING (country)")
+        assert out.count_rows() == 2
+
+    def test_left_join(self, sql):
+        out = sql("SELECT country, region FROM events LEFT JOIN dim USING (country)").collect()
+        regions = {(r["country"], r["region"]) for r in out}
+        assert ("CA", None) in regions
+
+
+class TestDistinct:
+    def test_select_distinct_column(self, sql):
+        out = sql("SELECT DISTINCT country FROM events").collect()
+        assert rows_set(out) == rows_set([{"country": "US"}, {"country": "CA"}])
+
+    def test_select_distinct_star(self, sql):
+        assert len(sql("SELECT DISTINCT * FROM events").collect()) == 3
+
+
+class TestErrors:
+    def test_unknown_view(self, sql):
+        with pytest.raises(KeyError):
+            sql("SELECT * FROM missing")
+
+    def test_unknown_function(self, sql):
+        with pytest.raises(SqlParseError, match="unknown function"):
+            sql("SELECT median(latency) FROM events")
+
+    def test_garbage_rejected(self, sql):
+        with pytest.raises(SqlParseError):
+            sql("SELECT FROM WHERE")
+
+    def test_trailing_tokens_rejected(self, sql):
+        with pytest.raises(SqlParseError):
+            sql("SELECT * FROM events extra tokens ;;;")
+
+    def test_unclosed_paren(self, sql):
+        with pytest.raises(SqlParseError):
+            sql("SELECT (1 + 2 FROM events")
+
+
+class TestStreamingSql:
+    def test_sql_over_streaming_view_is_streaming(self, session):
+        from tests.conftest import make_stream
+
+        stream = make_stream((("k", "string"), ("v", "double")))
+        session.read_stream.memory(stream).create_or_replace_temp_view("s")
+        df = session.sql("SELECT k, COUNT(*) AS n FROM s GROUP BY k")
+        assert df.is_streaming

@@ -1,0 +1,91 @@
+"""Streaming deduplication with and without watermark-bounded state."""
+
+import pytest
+
+from tests.conftest import make_stream, start_memory_query
+
+SCHEMA = (("id", "long"), ("t", "timestamp"), ("payload", "string"))
+
+
+def dedup_query(session, stream, watermark=None, subset=("id",)):
+    df = session.read_stream.memory(stream)
+    if watermark is not None:
+        df = df.with_watermark("t", watermark)
+    return df.drop_duplicates(list(subset))
+
+
+class TestBasicDedup:
+    def test_within_one_epoch(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(dedup_query(session, stream), "append", "out")
+        stream.add_data([
+            {"id": 1, "t": 1.0, "payload": "first"},
+            {"id": 1, "t": 2.0, "payload": "dup"},
+            {"id": 2, "t": 3.0, "payload": "other"},
+        ])
+        query.process_all_available()
+        assert [r["payload"] for r in query.engine.sink.rows()] == ["first", "other"]
+
+    def test_across_epochs(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(dedup_query(session, stream), "append", "out")
+        stream.add_data([{"id": 1, "t": 1.0, "payload": "a"}])
+        query.process_all_available()
+        stream.add_data([{"id": 1, "t": 9.0, "payload": "dup"},
+                         {"id": 3, "t": 9.5, "payload": "b"}])
+        query.process_all_available()
+        assert [r["id"] for r in query.engine.sink.rows()] == [1, 3]
+
+    def test_state_grows_without_watermark(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(dedup_query(session, stream), "append", "out")
+        stream.add_data([{"id": i, "t": float(i), "payload": "x"} for i in range(10)])
+        query.process_all_available()
+        assert query.engine.state_store.total_keys() == 10
+
+    def test_full_row_distinct(self, session):
+        stream = make_stream(SCHEMA)
+        df = session.read_stream.memory(stream).distinct()
+        query = start_memory_query(df, "append", "out")
+        stream.add_data([
+            {"id": 1, "t": 1.0, "payload": "a"},
+            {"id": 1, "t": 1.0, "payload": "a"},
+            {"id": 1, "t": 1.0, "payload": "b"},
+        ])
+        query.process_all_available()
+        assert len(query.engine.sink.rows()) == 2
+
+
+class TestWatermarkedDedup:
+    def test_state_evicted_below_watermark(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(
+            dedup_query(session, stream, watermark="5s", subset=("id", "t")),
+            "append", "out")
+        stream.add_data([{"id": 1, "t": 1.0, "payload": "a"}])
+        query.process_all_available()
+        stream.add_data([{"id": 2, "t": 50.0, "payload": "b"}])
+        query.process_all_available()
+        stream.add_data([{"id": 3, "t": 51.0, "payload": "c"}])
+        query.process_all_available()
+        # id=1/t=1 entry is far below the watermark (45): evicted.
+        remaining = list(query.engine.state_store.handle("dedup-0").keys())
+        assert all(key[1] > 40 for key in remaining)
+
+    def test_late_duplicate_dropped_even_after_eviction(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(
+            dedup_query(session, stream, watermark="5s", subset=("id", "t")),
+            "append", "out")
+        stream.add_data([{"id": 1, "t": 1.0, "payload": "a"}])
+        query.process_all_available()
+        stream.add_data([{"id": 2, "t": 50.0, "payload": "b"}])
+        query.process_all_available()
+        stream.add_data([{"id": 3, "t": 51.0, "payload": "c"}])
+        query.process_all_available()
+        # A record below the watermark cannot be re-admitted.
+        stream.add_data([{"id": 1, "t": 1.0, "payload": "late-dup"}])
+        progress = query.process_all_available()
+        assert progress[-1].late_rows_dropped == 1
+        payloads = [r["payload"] for r in query.engine.sink.rows()]
+        assert "late-dup" not in payloads

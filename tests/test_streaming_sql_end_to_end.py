@@ -1,0 +1,106 @@
+"""Streaming SQL end to end: the paper's §8.1 workflow of developing a
+query on batch data and deploying the same text against the stream."""
+
+import pytest
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+EVENTS = (("host", "string"), ("bytes", "long"), ("t", "timestamp"))
+
+
+@pytest.fixture
+def stream_view(session):
+    stream = make_stream(EVENTS)
+    session.read_stream.memory(stream).create_or_replace_temp_view("events")
+    return stream
+
+
+class TestStreamingSqlQueries:
+    def test_filtered_projection(self, session, stream_view):
+        df = session.sql("SELECT host, bytes * 8 AS bits FROM events WHERE bytes > 0")
+        query = start_memory_query(df, "append", "out")
+        stream_view.add_data([{"host": "h1", "bytes": 2, "t": 1.0},
+                              {"host": "h2", "bytes": 0, "t": 2.0}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [{"host": "h1", "bits": 16}]
+
+    def test_aggregate_with_alias_projection(self, session, stream_view):
+        df = session.sql(
+            "SELECT host, SUM(bytes) AS total FROM events GROUP BY host")
+        query = start_memory_query(df, "update", "out")
+        stream_view.add_data([{"host": "h1", "bytes": 5, "t": 1.0}])
+        query.process_all_available()
+        stream_view.add_data([{"host": "h1", "bytes": 7, "t": 2.0}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [{"host": "h1", "total": 12}]
+
+    def test_having_over_streaming_aggregate(self, session, stream_view):
+        """HAVING filters each epoch's emissions — keys qualify as their
+        running aggregate crosses the threshold (standard streaming
+        HAVING caveat: no retraction if they'd later 'unqualify')."""
+        df = session.sql(
+            "SELECT host, SUM(bytes) AS total FROM events "
+            "GROUP BY host HAVING total > 10")
+        query = start_memory_query(df, "update", "alerts")
+        stream_view.add_data([{"host": "h1", "bytes": 6, "t": 1.0},
+                              {"host": "h2", "bytes": 20, "t": 2.0}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [{"host": "h2", "total": 20}]
+        stream_view.add_data([{"host": "h1", "bytes": 6, "t": 3.0}])
+        query.process_all_available()
+        assert rows_set(query.engine.sink.rows()) == rows_set([
+            {"host": "h1", "total": 12}, {"host": "h2", "total": 20}])
+
+    def test_windowed_sql_aggregate_complete(self, session, stream_view):
+        df = session.sql(
+            "SELECT WINDOW(t, '10 seconds'), COUNT(*) AS n "
+            "FROM events GROUP BY WINDOW(t, '10 seconds') ORDER BY n DESC")
+        query = start_memory_query(df, "complete", "win")
+        stream_view.add_data([{"host": "h", "bytes": 1, "t": t}
+                              for t in (1.0, 2.0, 15.0)])
+        query.process_all_available()
+        rows = query.engine.sink.rows()
+        assert rows[0] == {"window_start": 0.0, "window_end": 10.0, "n": 2}
+
+    def test_case_when_in_streaming_select(self, session, stream_view):
+        df = session.sql(
+            "SELECT host, CASE WHEN bytes > 10 THEN 'big' ELSE 'small' END "
+            "AS size FROM events")
+        query = start_memory_query(df, "append", "out")
+        stream_view.add_data([{"host": "h1", "bytes": 100, "t": 1.0},
+                              {"host": "h2", "bytes": 1, "t": 2.0}])
+        query.process_all_available()
+        assert [r["size"] for r in query.engine.sink.rows()] == ["big", "small"]
+
+    def test_develop_on_batch_deploy_on_stream(self, session, stream_view):
+        """§8.1: the analyst tunes a query on historical (batch) data,
+        then pushes the same SQL text to the streaming cluster."""
+        text = ("SELECT host, SUM(bytes) AS total FROM {src} "
+                "GROUP BY host HAVING total > 100")
+        history = [{"host": "h1", "bytes": 90, "t": 1.0},
+                   {"host": "h1", "bytes": 20, "t": 2.0},
+                   {"host": "h2", "bytes": 5, "t": 3.0}]
+        session.create_dataframe(history, EVENTS) \
+            .create_or_replace_temp_view("history")
+        tuned = session.sql(text.format(src="history")).collect()
+        assert tuned == [{"host": "h1", "total": 110}]
+
+        live = session.sql(text.format(src="events"))
+        query = start_memory_query(live, "update", "live_alerts")
+        stream_view.add_data(history)
+        query.process_all_available()
+        assert query.engine.sink.rows() == tuned
+
+    def test_join_with_static_view_in_streaming_sql(self, session, stream_view):
+        session.create_dataframe(
+            [{"host": "h1", "owner": "alice"}],
+            (("host", "string"), ("owner", "string"))
+        ).create_or_replace_temp_view("inventory")
+        df = session.sql(
+            "SELECT host, owner, bytes FROM events JOIN inventory USING (host)")
+        query = start_memory_query(df, "append", "out")
+        stream_view.add_data([{"host": "h1", "bytes": 3, "t": 1.0},
+                              {"host": "hX", "bytes": 4, "t": 2.0}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == [
+            {"host": "h1", "owner": "alice", "bytes": 3}]

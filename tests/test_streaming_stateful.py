@@ -1,0 +1,280 @@
+"""Custom stateful processing: map/flat_map_groups_with_state (§4.3.2).
+
+Includes the paper's Figure 3 sessionization pattern with both timeout
+kinds, and the batch-mode behaviour ("the update function will only be
+called once").
+"""
+
+import pytest
+
+from repro.sql.types import StructType
+from repro.streaming.stateful import GroupState, normalize_func_output
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+EVENTS = (("user", "string"), ("page", "long"))
+OUT = (("user", "string"), ("events", "long"))
+
+
+def counting_func(key, rows, state):
+    total = state.get_option(0) + sum(1 for _ in rows)
+    state.update(total)
+    return {"events": total}
+
+
+class TestGroupStateObject:
+    def test_get_without_state_raises(self):
+        state = GroupState()
+        assert not state.exists
+        with pytest.raises(KeyError):
+            state.get()
+
+    def test_get_option_default(self):
+        assert GroupState().get_option(42) == 42
+
+    def test_update_and_get(self):
+        state = GroupState()
+        state.update({"a": 1})
+        assert state.exists
+        assert state.get() == {"a": 1}
+
+    def test_update_none_rejected(self):
+        with pytest.raises(ValueError):
+            GroupState().update(None)
+
+    def test_remove(self):
+        state = GroupState(value=1, exists=True)
+        state.remove()
+        assert not state.exists
+        assert state._outcome()["removed"]
+
+    def test_timeout_duration_needs_processing_conf(self):
+        state = GroupState(processing_time=100.0, timeout_conf="none")
+        with pytest.raises(RuntimeError):
+            state.set_timeout_duration("10s")
+
+    def test_timeout_duration_computes_deadline(self):
+        state = GroupState(processing_time=100.0, timeout_conf="processing_time")
+        state.set_timeout_duration("30s")
+        assert state._outcome()["timeout_timestamp"] == 130.0
+
+    def test_event_time_timeout_must_beat_watermark(self):
+        state = GroupState(watermark=50.0, timeout_conf="event_time")
+        with pytest.raises(ValueError):
+            state.set_timeout_timestamp(40.0)
+        state.set_timeout_timestamp(60.0)
+
+    def test_clock_accessors(self):
+        state = GroupState(watermark=5.0, processing_time=9.0)
+        assert state.current_watermark == 5.0
+        assert state.current_processing_time == 9.0
+
+
+class TestNormalizeOutput:
+    def test_map_returns_single_row_with_keys(self):
+        rows = normalize_func_output({"n": 3}, False, ["user"], ("u1",))
+        assert rows == [{"user": "u1", "n": 3}]
+
+    def test_map_none_returns_nothing(self):
+        assert normalize_func_output(None, False, ["user"], ("u1",)) == []
+
+    def test_map_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_func_output(3, False, ["user"], ("u1",))
+
+    def test_flat_returns_many(self):
+        rows = normalize_func_output(
+            [{"n": 1}, {"n": 2}], True, ["user"], ("u1",))
+        assert len(rows) == 2
+        assert all(r["user"] == "u1" for r in rows)
+
+    def test_flat_none_is_empty(self):
+        assert normalize_func_output(None, True, ["user"], ("u1",)) == []
+
+
+class TestMapGroupsWithState:
+    def test_counts_across_epochs(self, session):
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user").map_groups_with_state(counting_func, OUT))
+        query = start_memory_query(df, "update", "out")
+        stream.add_data([{"user": "u1", "page": 1}, {"user": "u1", "page": 2},
+                         {"user": "u2", "page": 3}])
+        query.process_all_available()
+        stream.add_data([{"user": "u1", "page": 4}])
+        query.process_all_available()
+        assert rows_set(query.engine.sink.rows()) == rows_set([
+            {"user": "u1", "events": 3}, {"user": "u2", "events": 1}])
+
+    def test_state_removal(self, session):
+        def remove_at_three(key, rows, state):
+            total = state.get_option(0) + sum(1 for _ in rows)
+            if total >= 3:
+                state.remove()
+                return {"events": -1}
+            state.update(total)
+            return {"events": total}
+
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user").map_groups_with_state(remove_at_three, OUT))
+        query = start_memory_query(df, "update", "out")
+        stream.add_data([{"user": "u1", "page": 1}] * 3)
+        query.process_all_available()
+        assert query.engine.state_store.total_keys() == 0
+        stream.add_data([{"user": "u1", "page": 1}])
+        query.process_all_available()
+        # fresh state after removal
+        assert query.engine.sink.rows()[0]["events"] == 1
+
+    def test_requires_update_mode(self, session):
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user").map_groups_with_state(counting_func, OUT))
+        with pytest.raises(Exception, match="update"):
+            start_memory_query(df, "append", "out")
+
+    def test_processing_time_timeout_fires_without_data(self, session):
+        clock = [1000.0]
+
+        def session_func(key, rows, state):
+            if state.has_timed_out:
+                total = state.get_option(0)
+                state.remove()
+                return {"events": -total}  # negative marks a closed session
+            total = state.get_option(0) + sum(1 for _ in rows)
+            state.update(total)
+            state.set_timeout_duration("30s")
+            return {"events": total}
+
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user")
+              .map_groups_with_state(session_func, OUT, timeout="processing_time"))
+        query = start_memory_query(df, "update", "out")
+        query.engine.clock = lambda: clock[0]
+
+        stream.add_data([{"user": "u1", "page": 1}])
+        query.process_all_available()
+        clock[0] += 60  # beyond the 30s timeout, no new data for u1
+        stream.add_data([{"user": "u2", "page": 1}])
+        query.process_all_available()
+        rows = {r["user"]: r["events"] for r in query.engine.sink.rows()}
+        assert rows["u1"] == -1  # session closed by timeout
+        assert query.engine.state_store.handle("mgws-0").get(("u1",)) is None
+
+    def test_timeout_fires_even_with_empty_input(self, session):
+        clock = [0.0]
+
+        def fn(key, rows, state):
+            if state.has_timed_out:
+                state.remove()
+                return {"events": 99}
+            state.update(1)
+            state.set_timeout_duration("10s")
+            return {"events": 1}
+
+        stream = make_stream(EVENTS)
+        emitted = []
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user")
+              .map_groups_with_state(fn, OUT, timeout="processing_time"))
+        query = (df.write_stream
+                 .foreach(lambda e, rows, mode: emitted.extend(rows))
+                 .output_mode("update").start())
+        query.engine.clock = lambda: clock[0]
+        stream.add_data([{"user": "u1", "page": 1}])
+        query.process_all_available()
+        clock[0] = 100.0
+        # No new data at all: the pending timeout alone triggers an epoch.
+        progress = query.run_epoch()
+        assert progress is not None
+        assert {r["events"] for r in emitted} == {1, 99}
+
+    def test_event_time_timeout_with_watermark(self, session):
+        schema = (("user", "string"), ("t", "timestamp"))
+
+        def fn(key, rows, state):
+            if state.has_timed_out:
+                state.remove()
+                return {"events": -1}
+            rows = list(rows)
+            state.update(len(rows))
+            last = max(r["t"] for r in rows)
+            state.set_timeout_timestamp(last + 10.0)
+            return {"events": len(rows)}
+
+        stream = make_stream(schema)
+        emitted = []
+        df = (session.read_stream.memory(stream)
+              .with_watermark("t", "0s")
+              .group_by_key("user")
+              .map_groups_with_state(fn, OUT, timeout="event_time"))
+        query = (df.write_stream
+                 .foreach(lambda e, rows, mode: emitted.extend(rows))
+                 .output_mode("update").start())
+        stream.add_data([{"user": "u1", "t": 1.0}])
+        query.process_all_available()
+        stream.add_data([{"user": "u2", "t": 50.0}])
+        query.process_all_available()  # watermark advances to 1, then 50
+        stream.add_data([{"user": "u2", "t": 60.0}])
+        query.process_all_available()  # watermark 50 > 11: u1 times out
+        rows = [r for r in emitted if r["user"] == "u1"]
+        assert {r["events"] for r in rows} == {1, -1}
+
+
+class TestFlatMapGroupsWithState:
+    def test_multiple_outputs_per_key(self, session):
+        def explode(key, rows, state):
+            return [{"events": r["page"]} for r in rows]
+
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user").flat_map_groups_with_state(explode, OUT))
+        query = start_memory_query(df, "append", "out")
+        stream.add_data([{"user": "u1", "page": 1}, {"user": "u1", "page": 2}])
+        query.process_all_available()
+        assert len(query.engine.sink.rows()) == 2
+
+    def test_zero_outputs_allowed(self, session):
+        stream = make_stream(EVENTS)
+        df = (session.read_stream.memory(stream)
+              .group_by_key("user")
+              .flat_map_groups_with_state(lambda k, r, s: None, OUT))
+        query = start_memory_query(df, "append", "out")
+        stream.add_data([{"user": "u1", "page": 1}])
+        query.process_all_available()
+        assert query.engine.sink.rows() == []
+
+
+class TestBatchMode:
+    """§4.3.2: both operators also work in batch jobs — one call per key."""
+
+    def test_map_groups_in_batch(self, session):
+        df = session.create_dataframe(
+            [{"user": "u1", "page": 1}, {"user": "u1", "page": 2},
+             {"user": "u2", "page": 3}], EVENTS)
+        out = (df.group_by_key("user")
+               .map_groups_with_state(counting_func, OUT).collect())
+        assert rows_set(out) == rows_set([
+            {"user": "u1", "events": 2}, {"user": "u2", "events": 1}])
+
+    def test_flat_map_groups_in_batch(self, session):
+        df = session.create_dataframe([{"user": "u1", "page": 5}], EVENTS)
+        out = (df.group_by_key("user")
+               .flat_map_groups_with_state(
+                   lambda k, rows, s: [{"events": r["page"]} for r in rows], OUT)
+               .collect())
+        assert out == [{"user": "u1", "events": 5}]
+
+    def test_composite_key_batch(self, session):
+        schema = (("a", "string"), ("b", "long"), ("v", "long"))
+        df = session.create_dataframe(
+            [{"a": "x", "b": 1, "v": 10}, {"a": "x", "b": 1, "v": 20}], schema)
+        out_schema = StructType((("a", "string"), ("b", "long"), ("total", "long")))
+
+        def fn(key, rows, state):
+            return {"total": sum(r["v"] for r in rows)}
+
+        out = df.group_by_key("a", "b").map_groups_with_state(fn, out_schema).collect()
+        assert out == [{"a": "x", "b": 1, "total": 30}]

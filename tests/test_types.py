@@ -1,0 +1,142 @@
+"""Unit tests for the type system (repro.sql.types)."""
+
+import numpy as np
+import pytest
+
+from repro.sql import types as T
+
+
+class TestSingletonsAndEquality:
+    def test_same_class_instances_equal(self):
+        assert T.IntegerType() == T.INTEGER
+
+    def test_different_types_not_equal(self):
+        assert T.IntegerType() != T.StringType()
+
+    def test_hashable_as_dict_keys(self):
+        d = {T.LONG: 1, T.STRING: 2}
+        assert d[T.LongType()] == 1
+
+    def test_simple_name(self):
+        assert T.TIMESTAMP.simple_name == "timestamp"
+        assert T.BOOLEAN.simple_name == "boolean"
+
+    def test_repr(self):
+        assert repr(T.DOUBLE) == "DoubleType"
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", T.INTEGER), ("integer", T.INTEGER), ("long", T.LONG),
+        ("bigint", T.LONG), ("double", T.DOUBLE), ("float", T.DOUBLE),
+        ("string", T.STRING), ("boolean", T.BOOLEAN), ("bool", T.BOOLEAN),
+        ("timestamp", T.TIMESTAMP),
+    ])
+    def test_known_names(self, name, expected):
+        assert T.type_from_name(name) == expected
+
+    def test_case_and_whitespace_insensitive(self):
+        assert T.type_from_name("  String ") == T.STRING
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown data type"):
+            T.type_from_name("decimal")
+
+
+class TestInference:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; inference must not confuse them.
+        assert T.infer_type(True) == T.BOOLEAN
+
+    def test_int(self):
+        assert T.infer_type(42) == T.LONG
+
+    def test_float(self):
+        assert T.infer_type(1.5) == T.DOUBLE
+
+    def test_str(self):
+        assert T.infer_type("x") == T.STRING
+
+    def test_numpy_scalars(self):
+        assert T.infer_type(np.int64(3)) == T.LONG
+        assert T.infer_type(np.float64(3.5)) == T.DOUBLE
+
+    def test_uninferable_raises(self):
+        with pytest.raises(TypeError):
+            T.infer_type(object())
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert T.common_type(T.LONG, T.LONG) == T.LONG
+
+    def test_int_double_widens(self):
+        assert T.common_type(T.LONG, T.DOUBLE) == T.DOUBLE
+
+    def test_int_int_stays_long(self):
+        assert T.common_type(T.INTEGER, T.LONG) == T.LONG
+
+    def test_timestamp_numeric(self):
+        assert T.common_type(T.TIMESTAMP, T.LONG) == T.DOUBLE
+
+    def test_string_numeric_raises(self):
+        with pytest.raises(TypeError, match="incompatible"):
+            T.common_type(T.STRING, T.LONG)
+
+
+class TestAccepts:
+    def test_none_always_accepted(self):
+        assert T.STRING.accepts(None)
+        assert T.LONG.accepts(None)
+
+    def test_string_accepts_str_only(self):
+        assert T.STRING.accepts("a")
+        assert not T.STRING.accepts(3)
+
+    def test_double_accepts_int(self):
+        assert T.DOUBLE.accepts(3)
+
+
+class TestStructType:
+    def test_tuple_spec_construction(self):
+        schema = T.StructType((("a", "long"), ("b", T.STRING)))
+        assert schema.names == ["a", "b"]
+        assert schema.type_of("b") == T.STRING
+
+    def test_nullable_flag_in_spec(self):
+        schema = T.StructType((("a", "long", False),))
+        assert not schema.field("a").nullable
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(TypeError):
+            T.StructType(("bad",))
+
+    def test_contains_and_field(self):
+        schema = T.schema_of(a="long", b="string")
+        assert "a" in schema
+        assert "z" not in schema
+        with pytest.raises(KeyError):
+            schema.field("z")
+
+    def test_add_returns_new_schema(self):
+        schema = T.schema_of(a="long")
+        extended = schema.add("b", "string")
+        assert extended.names == ["a", "b"]
+        assert schema.names == ["a"]
+
+    def test_select_preserves_requested_order(self):
+        schema = T.schema_of(a="long", b="string", c="double")
+        assert schema.select(["c", "a"]).names == ["c", "a"]
+
+    def test_merge_disjoint(self):
+        merged = T.schema_of(a="long").merge(T.schema_of(b="string"))
+        assert merged.names == ["a", "b"]
+
+    def test_merge_duplicate_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            T.schema_of(a="long").merge(T.schema_of(a="string"))
+
+    def test_len_and_iter(self):
+        schema = T.schema_of(a="long", b="string")
+        assert len(schema) == 2
+        assert [f.name for f in schema] == ["a", "b"]

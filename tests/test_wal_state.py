@@ -1,0 +1,216 @@
+"""Tests for the write-ahead log and versioned state store (§6.1)."""
+
+import os
+
+import pytest
+
+from repro.streaming.state import OperatorStateHandle, StateStore, decode_key, encode_key
+from repro.streaming.wal import WriteAheadLog
+
+
+class TestWriteAheadLog:
+    @pytest.fixture
+    def wal(self, tmp_path):
+        return WriteAheadLog(str(tmp_path / "ckpt"))
+
+    def test_empty_log(self, wal):
+        assert wal.latest_logged_epoch() is None
+        assert wal.latest_committed_epoch() is None
+        assert wal.logged_epochs() == []
+
+    def test_offsets_roundtrip(self, wal):
+        entry = {"sources": {"s": {"start": {"0": 0}, "end": {"0": 5}}}}
+        wal.write_offsets(0, entry)
+        read = wal.read_offsets(0)
+        assert read["sources"] == entry["sources"]
+        assert read["epoch"] == 0
+
+    def test_commit_tracking(self, wal):
+        wal.write_offsets(0, {"sources": {}})
+        assert not wal.is_committed(0)
+        wal.write_commit(0)
+        assert wal.is_committed(0)
+        assert wal.latest_committed_epoch() == 0
+
+    def test_commit_extra_payload(self, wal):
+        wal.write_commit(1, {"watermarks": {"watermarks": {"t": 5.0}}})
+        assert wal.read_commit(1)["watermarks"]["watermarks"]["t"] == 5.0
+
+    def test_latest_logged_vs_committed(self, wal):
+        wal.write_offsets(0, {"sources": {}})
+        wal.write_commit(0)
+        wal.write_offsets(1, {"sources": {}})
+        assert wal.latest_logged_epoch() == 1
+        assert wal.latest_committed_epoch() == 0
+
+    def test_rollback_removes_later_entries(self, wal):
+        for epoch in range(4):
+            wal.write_offsets(epoch, {"sources": {}})
+            wal.write_commit(epoch)
+        wal.rollback_to(1)
+        assert wal.logged_epochs() == [0, 1]
+        assert wal.committed_epochs() == [0, 1]
+
+    def test_rollback_to_beginning(self, wal):
+        wal.write_offsets(0, {"sources": {}})
+        wal.rollback_to(-1)
+        assert wal.logged_epochs() == []
+
+    def test_metadata_written_once(self, wal):
+        wal.write_metadata({"output_mode": "append"})
+        wal.write_metadata({"output_mode": "complete"})
+        assert wal.read_metadata()["output_mode"] == "append"
+
+    def test_entries_are_human_readable_json(self, wal, tmp_path):
+        wal.write_offsets(0, {"sources": {"s": {"start": {"0": 0}, "end": {"0": 2}}}})
+        path = os.path.join(str(tmp_path / "ckpt"), "offsets", "0000000000.json")
+        with open(path) as f:
+            text = f.read()
+        assert '"epoch": 0' in text  # pretty-printed, inspectable (§7.2)
+
+
+class TestKeyEncoding:
+    @pytest.mark.parametrize("key", ["a", 5, 2.5, ("a", 1), (1.0, 2.0, "x"), True])
+    def test_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    def test_tuples_become_canonical(self):
+        assert encode_key(("a", 1)) == '["a", 1]'
+
+
+class TestOperatorStateHandle:
+    @pytest.fixture
+    def handle(self, tmp_path):
+        return OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+
+    def test_put_get_remove(self, handle):
+        handle.put("k", {"n": 1})
+        assert handle.get("k") == {"n": 1}
+        assert handle.contains("k")
+        handle.remove("k")
+        assert handle.get("k") is None
+        assert len(handle) == 0
+
+    def test_items_decode_keys(self, handle):
+        handle.put(("a", 1), 10)
+        assert list(handle.items()) == [(("a", 1), 10)]
+        assert list(handle.keys()) == [("a", 1)]
+
+    def test_get_default(self, handle):
+        assert handle.get("missing", 42) == 42
+
+    def test_commit_restore_roundtrip(self, handle, tmp_path):
+        handle.put("a", 1)
+        handle.commit(0)
+        handle.put("b", 2)
+        handle.commit(1)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        fresh.restore(1)
+        assert fresh.get("a") == 1 and fresh.get("b") == 2
+
+    def test_restore_earlier_version(self, handle, tmp_path):
+        handle.put("a", 1)
+        handle.commit(0)
+        handle.put("a", 2)
+        handle.commit(1)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        fresh.restore(0)
+        assert fresh.get("a") == 1
+
+    def test_deltas_record_removals(self, handle, tmp_path):
+        handle.put("a", 1)
+        handle.put("b", 2)
+        handle.commit(0)
+        handle.remove("a")
+        handle.commit(1)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        fresh.restore(1)
+        assert fresh.get("a") is None and fresh.get("b") == 2
+
+    def test_snapshot_interval_produces_snapshots(self, handle, tmp_path):
+        for version in range(7):
+            handle.put(f"k{version}", version)
+            handle.commit(version)
+        names = os.listdir(str(tmp_path / "op"))
+        snapshots = [n for n in names if ".snapshot." in n]
+        deltas = [n for n in names if ".delta." in n]
+        assert len(snapshots) == 3  # versions 0, 3, 6
+        assert len(deltas) == 4
+
+    def test_restore_uses_nearest_snapshot_plus_deltas(self, handle, tmp_path):
+        for version in range(7):
+            handle.put(f"k{version}", version)
+            handle.commit(version)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        restored = fresh.restore(5)
+        assert restored == 5
+        assert fresh.get("k5") == 5
+        assert fresh.get("k6") is None
+
+    def test_restore_none_gives_empty(self, handle):
+        handle.put("a", 1)
+        assert handle.restore(None) is None
+        assert len(handle) == 0
+
+    def test_restore_returns_floor_version(self, handle, tmp_path):
+        handle.put("a", 1)
+        handle.commit(2)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        assert fresh.restore(7) == 2  # newest checkpoint <= 7
+
+    def test_sparse_versions_replay_correctly(self, handle, tmp_path):
+        # Checkpoint intervals > 1 produce version gaps; deltas are
+        # relative to the previous commit, so restore still works.
+        handle.put("a", 1)
+        handle.commit(0)
+        handle.put("b", 2)
+        handle.put("c", 3)
+        handle.commit(4)  # gap: versions 1-3 never committed
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=100)
+        assert fresh.restore(4) == 4
+        assert fresh.get("c") == 3
+
+    def test_commit_metrics(self, handle):
+        handle.put("a", 1)
+        metrics = handle.commit(1)  # version 1: delta
+        assert metrics["keys_written"] == 1
+        assert metrics["num_keys"] == 1
+
+
+class TestStateStore:
+    def test_handles_are_cached(self, tmp_path):
+        store = StateStore(str(tmp_path))
+        assert store.handle("agg-0") is store.handle("agg-0")
+
+    def test_commit_and_restore_all(self, tmp_path):
+        store = StateStore(str(tmp_path))
+        store.handle("a").put("x", 1)
+        store.handle("b").put("y", 2)
+        store.commit_all(0)
+
+        fresh = StateStore(str(tmp_path))
+        fresh.handle("a")
+        fresh.handle("b")
+        assert fresh.restore_all(0) == 0
+        assert fresh.handle("a").get("x") == 1
+        assert fresh.handle("b").get("y") == 2
+
+    def test_restore_all_empty_when_no_checkpoints(self, tmp_path):
+        store = StateStore(str(tmp_path))
+        store.handle("a")
+        assert store.restore_all(5) is None
+
+    def test_total_keys(self, tmp_path):
+        store = StateStore(str(tmp_path))
+        store.handle("a").put("x", 1)
+        store.handle("b").put("y", 2)
+        store.handle("b").put("z", 3)
+        assert store.total_keys() == 3
+
+    def test_latest_complete_version(self, tmp_path):
+        store = StateStore(str(tmp_path))
+        store.handle("a").put("x", 1)
+        store.commit_all(0)
+        store.handle("a").put("x", 2)
+        store.commit_all(1)
+        assert store.latest_complete_version() == 1

@@ -1,0 +1,93 @@
+"""Tests for watermark semantics (§4.3.1)."""
+
+import pytest
+
+from repro.streaming.watermark import WatermarkTracker
+
+
+class TestBasicSemantics:
+    def test_unset_until_data_seen(self):
+        tracker = WatermarkTracker({"t": 10.0})
+        assert tracker.current("t") is None
+
+    def test_max_minus_delay(self):
+        tracker = WatermarkTracker({"t": 10.0})
+        tracker.observe("t", 100.0)
+        tracker.advance()
+        assert tracker.current("t") == 90.0
+
+    def test_takes_effect_only_after_advance(self):
+        # The watermark for epoch N comes from data in epochs < N.
+        tracker = WatermarkTracker({"t": 10.0})
+        tracker.observe("t", 100.0)
+        assert tracker.current("t") is None
+        tracker.advance()
+        assert tracker.current("t") == 90.0
+
+    def test_monotonic_under_out_of_order_data(self):
+        tracker = WatermarkTracker({"t": 10.0})
+        tracker.observe("t", 100.0)
+        tracker.advance()
+        tracker.observe("t", 50.0)  # late data must not move it back
+        tracker.advance()
+        assert tracker.current("t") == 90.0
+
+    def test_max_observation_wins_within_epoch(self):
+        tracker = WatermarkTracker({"t": 5.0})
+        tracker.observe("t", 30.0)
+        tracker.observe("t", 20.0)
+        tracker.advance()
+        assert tracker.current("t") == 25.0
+
+    def test_unknown_column_ignored(self):
+        tracker = WatermarkTracker({"t": 5.0})
+        tracker.observe("other", 100.0)
+        tracker.advance()
+        assert tracker.current("t") is None
+
+    def test_columns_listing(self):
+        tracker = WatermarkTracker({"b": 1.0, "a": 2.0})
+        assert tracker.columns == ["a", "b"]
+
+
+class TestGlobalMinimum:
+    def test_none_when_no_watermarks(self):
+        assert WatermarkTracker({}).global_minimum() is None
+
+    def test_none_until_all_columns_seen(self):
+        tracker = WatermarkTracker({"a": 1.0, "b": 1.0})
+        tracker.observe("a", 10.0)
+        tracker.advance()
+        assert tracker.global_minimum() is None
+
+    def test_minimum_across_columns(self):
+        tracker = WatermarkTracker({"a": 1.0, "b": 1.0})
+        tracker.observe("a", 10.0)
+        tracker.observe("b", 5.0)
+        tracker.advance()
+        assert tracker.global_minimum() == 4.0
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        tracker = WatermarkTracker({"t": 10.0})
+        tracker.observe("t", 100.0)
+        tracker.advance()
+        tracker.observe("t", 120.0)  # un-advanced observation persists too
+
+        restored = WatermarkTracker({"t": 10.0})
+        restored.load_json(tracker.to_json())
+        assert restored.current("t") == 90.0
+        restored.advance()
+        assert restored.current("t") == 110.0
+
+    def test_backlog_robustness(self):
+        # §4.3.1: if processing falls behind, the watermark stalls with
+        # the data actually seen, so nothing within the threshold drops.
+        tracker = WatermarkTracker({"t": 10.0})
+        tracker.observe("t", 50.0)
+        tracker.advance()
+        before = tracker.current("t")
+        for _ in range(5):  # idle epochs with no new data
+            tracker.advance()
+        assert tracker.current("t") == before
