@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench examples verify clean
+.PHONY: install test bench bench-smoke examples verify clean
 
 install:
 	$(PY) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	STATE_SCALING_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py --benchmark-only -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done

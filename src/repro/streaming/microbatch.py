@@ -89,17 +89,30 @@ class MicrobatchEngine:
 
     def _attach_event_log(self, checkpoint_dir: str) -> None:
         """Append each epoch's progress as a JSON line to the structured
-        event log (§7.4): ``<checkpoint>/events.jsonl``."""
+        event log (§7.4): ``<checkpoint>/events.jsonl``.
+
+        One append handle is held for the engine's lifetime (flushed per
+        epoch so readers see completed lines) instead of reopening the
+        file every epoch; :meth:`stop` closes it."""
         import json
         import os
 
         path = os.path.join(checkpoint_dir, "events.jsonl")
+        self._event_log = open(path, "a", encoding="utf-8")
 
         def log_event(progress):
-            with open(path, "a", encoding="utf-8") as f:
-                f.write(json.dumps(progress.to_json()) + "\n")
+            if self._event_log.closed:
+                return
+            self._event_log.write(json.dumps(progress.to_json()) + "\n")
+            self._event_log.flush()
 
         self.progress.listeners.append(log_event)
+
+    def stop(self) -> None:
+        """Release engine resources (idempotent); called by query.stop."""
+        event_log = getattr(self, "_event_log", None)
+        if event_log is not None and not event_log.closed:
+            event_log.close()
 
     # ------------------------------------------------------------------
     # Recovery (§6.1 step 4)

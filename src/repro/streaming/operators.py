@@ -265,6 +265,10 @@ class StatefulAggregateOp(IncrementalOp):
                 if g.references() == {watermark_column}:
                     self._key_time_index = i
                     break
+        if watermark_column is not None:
+            # Expiry-indexed state: advancing the watermark pops only
+            # finalized keys instead of scanning the whole store.
+            self.state.set_expiry(lambda key, _value: self._key_expiry(key))
 
     # -- event-time bound of a key ------------------------------------
     def _key_expiry(self, key_tuple):
@@ -357,15 +361,15 @@ class StatefulAggregateOp(IncrementalOp):
         return expanded, new_codes, new_uniques
 
     def _evict_finalized(self, watermark) -> list:
-        """Remove keys the watermark finalized; returns (key, buffers)."""
+        """Remove keys the watermark finalized; returns (key, buffers).
+
+        Uses the state handle's expiry index: cost is proportional to the
+        number of finalized keys, not the total key count."""
         if watermark is None:
             return []
-        finalized = []
-        for key, buffers in list(self.state.items()):
-            expiry = self._key_expiry(key)
-            if expiry is not None and expiry <= watermark:
-                finalized.append((key, buffers))
-                self.state.remove(key)
+        finalized = self.state.pop_expired(watermark)
+        for key, _buffers in finalized:
+            self.state.remove(key)
         finalized.sort(key=lambda kv: kv[0])
         return finalized
 
@@ -393,6 +397,9 @@ class StreamingDedupOp(IncrementalOp):
             node.subset.index(self.watermark_column)
             if self.watermark_column is not None else None
         )
+        if self.watermark_column is not None:
+            # State values are the key's event time: expiry == value.
+            self.state.set_expiry(lambda _key, value: value)
 
     def process(self, ctx: EpochContext) -> RecordBatch:
         batch = self.child.process(ctx)
@@ -405,26 +412,37 @@ class StreamingDedupOp(IncrementalOp):
         codes, uniques = encode_groups(
             [batch.columns[n] for n in self._node.subset]
         )
-        keep_rows = []
-        emitted_codes = set()
-        for i, code in enumerate(codes.tolist()):
-            if code in emitted_codes:
-                continue
-            key = uniques[code]
-            if watermark is not None and key[self._time_index] <= watermark:
-                ctx.metrics["late_rows_dropped"] += 1
-                emitted_codes.add(code)  # late: drop all its occurrences
-                continue
-            if not self.state.contains(key):
-                self.state.put(key, key[self._time_index] if self._time_index is not None else 1)
-                keep_rows.append(i)
-            emitted_codes.add(code)
+        # First occurrence of each dense code, vectorized: codes are
+        # 0..G-1 with every code present, so np.unique's return_index
+        # gives the first row position per code.
+        _, first_pos = np.unique(codes, return_index=True)
+        live_codes = np.arange(len(uniques))
         if watermark is not None:
-            for key, value in list(self.state.items()):
-                if value <= watermark:
-                    self.state.remove(key)
+            key_times = np.asarray(
+                [uniques[g][self._time_index] for g in range(len(uniques))],
+                dtype=np.float64,
+            )
+            late = key_times <= watermark
+            if late.any():
+                # Every occurrence of a late key is a dropped row (§7.4).
+                counts = np.bincount(codes, minlength=len(uniques))
+                ctx.metrics["late_rows_dropped"] += int(counts[late].sum())
+                live_codes = live_codes[~late]
+        keep_rows = []
+        for g in live_codes.tolist():
+            key = uniques[g]
+            if not self.state.contains(key):
+                self.state.put(
+                    key,
+                    key[self._time_index] if self._time_index is not None else 1,
+                )
+                keep_rows.append(first_pos[g])
+        if watermark is not None:
+            for key, _value in self.state.pop_expired(watermark):
+                self.state.remove(key)
         if not keep_rows:
             return self._empty()
+        keep_rows.sort()
         return batch.take(np.asarray(keep_rows, dtype=np.int64))
 
 
@@ -456,44 +474,33 @@ class StreamStreamJoinOp(IncrementalOp):
         self._right_state = right_state
         self.within = node.within  # (left_time_col, right_time_col, skew)
         self.output_schema = node.schema
+        self._inner = self._inner_schema()
+        if self.within is not None:
+            left_col, right_col, skew = self.within
+            lt = self.left.output_schema.names.index(left_col)
+            rt = self.right.output_schema.names.index(right_col)
+            # A key's entries become evictable starting at
+            # min(entry time) + skew; re-puts refresh the index.
+            self._left_state.set_expiry(
+                lambda _key, entries, i=lt, s=skew:
+                min(e[0][i] for e in entries) + s if entries else None)
+            self._right_state.set_expiry(
+                lambda _key, entries, i=rt, s=skew:
+                min(e[0][i] for e in entries) + s if entries else None)
 
     # State entry per side: key -> list of [row_values, matched_flag].
-    def _entries_to_batch(self, state, schema: StructType) -> RecordBatch:
-        rows = []
-        for _key, entries in state.items():
-            for values, _matched in entries:
-                rows.append(dict(zip(schema.names, values)))
-        return RecordBatch.from_rows(rows, schema)
-
-    def _append_entries(self, state, batch: RecordBatch, key_names):
-        names = batch.schema.names
-        key_idx = [names.index(k) for k in key_names]
-        for row in zip(*(batch.columns[n].tolist() for n in names)):
-            key = tuple(row[i] for i in key_idx)
-            entries = state.get(key) or []
-            entries.append([list(row), False])
-            state.put(key, entries)
-
-    def _mark_matched(self, state, batch: RecordBatch, matched_row_indices):
-        """Mark state entries whose row appears among matched indices."""
-        if not len(matched_row_indices):
-            return
+    def _rows_by_key(self, batch: RecordBatch) -> dict:
+        """Group the delta's rows (as value lists) by join key, in row
+        order — the only materialization this epoch performs."""
+        by_key = {}
+        if batch.num_rows == 0:
+            return by_key
         names = batch.schema.names
         key_idx = [names.index(k) for k in self._node.on]
-        # Materialize as Python values: these become state-store keys and
-        # must be JSON-encodable.
-        columns = [batch.columns[n].tolist() for n in names]
-        matched_rows = set()
-        for i in set(matched_row_indices.tolist()):
-            matched_rows.add(tuple(c[i] for c in columns))
-        for key in {tuple(r[i] for i in key_idx) for r in matched_rows}:
-            entries = state.get(key)
-            if not entries:
-                continue
-            for entry in entries:
-                if tuple(entry[0]) in matched_rows:
-                    entry[1] = True
-            state.put(key, entries)
+        for row in zip(*(batch.columns[n].tolist() for n in names)):
+            key = tuple(row[i] for i in key_idx)
+            by_key.setdefault(key, []).append(list(row))
+        return by_key
 
     def _drop_late_input(self, batch: RecordBatch, time_col: str,
                          watermark, ctx: EpochContext) -> RecordBatch:
@@ -508,67 +515,111 @@ class StreamStreamJoinOp(IncrementalOp):
             batch = batch.filter(keep)
         return batch
 
-    def _filter_pairs(self, left_batch, right_batch, li, ri):
-        """Apply the within time bound to matched index pairs."""
-        if self.within is None or not len(li):
-            return li, ri
-        left_col, right_col, skew = self.within
-        lt = np.asarray(left_batch.columns[left_col], dtype=np.float64)[li]
-        rt = np.asarray(right_batch.columns[right_col], dtype=np.float64)[ri]
-        keep = np.abs(lt - rt) <= skew
-        return li[keep], ri[keep]
-
     def process(self, ctx: EpochContext) -> RecordBatch:
         new_left = self.left.process(ctx)
         new_right = self.right.process(ctx)
-        left_schema = self.left.output_schema
-        right_schema = self.right.output_schema
-        on = self._node.on
 
         if self.within is not None:
-            left_col, right_col, _skew = self.within
+            left_col, right_col, skew = self.within
             new_left = self._drop_late_input(
                 new_left, left_col, ctx.watermarks.current(left_col), ctx)
             new_right = self._drop_late_input(
                 new_right, right_col, ctx.watermarks.current(right_col), ctx)
+            lt_idx = self.left.output_schema.names.index(left_col)
+            rt_idx = self.right.output_schema.names.index(right_col)
+        else:
+            lt_idx = rt_idx = skew = None
 
-        buffered_left = self._entries_to_batch(self._left_state, left_schema)
-        buffered_right = self._entries_to_batch(self._right_state, right_schema)
+        left_by_key = self._rows_by_key(new_left)
+        right_by_key = self._rows_by_key(new_right)
 
-        # Add new rows to state first so matched flags land on them too.
-        self._append_entries(self._left_state, new_left, on)
-        self._append_entries(self._right_state, new_right, on)
+        # Probe the state store only for the distinct keys present in
+        # this epoch's deltas: per-epoch cost is O(delta + matches), not
+        # O(total buffered state).
+        right_names = self.right.output_schema.names
+        rest_idx = [
+            i for i, n in enumerate(right_names) if n not in self._node.on
+        ]
+        out_rows = []
+        probe_keys = list(left_by_key)
+        probe_keys.extend(k for k in right_by_key if k not in left_by_key)
+        for key in probe_keys:
+            nl = left_by_key.get(key)
+            nr = right_by_key.get(key)
+            l_entries = self._left_state.get(key)
+            r_entries = self._right_state.get(key)
+            # Add new rows to state first so matched flags land on them.
+            bl = len(l_entries) if l_entries else 0
+            br = len(r_entries) if r_entries else 0
+            if nl:
+                if l_entries is None:
+                    l_entries = []
+                l_entries.extend([row, False] for row in nl)
+                self._left_state.put(key, l_entries)
+            if nr:
+                if r_entries is None:
+                    r_entries = []
+                r_entries.extend([row, False] for row in nr)
+                self._right_state.put(key, r_entries)
+            if not l_entries or not r_entries:
+                continue
+            # new-left x (buffered + new right), then buffered-left x
+            # new-right: together every pair exactly once.
+            matched = self._join_pairs(
+                l_entries[bl:], r_entries, out_rows,
+                lt_idx, rt_idx, skew, rest_idx)
+            matched |= self._join_pairs(
+                l_entries[:bl], r_entries[br:], out_rows,
+                lt_idx, rt_idx, skew, rest_idx)
+            # Flag flips mutate entries in place; re-put so the change
+            # lands in the next delta checkpoint.
+            if matched:
+                if not nl:
+                    self._left_state.put(key, l_entries)
+                if not nr:
+                    self._right_state.put(key, r_entries)
 
-        all_right = RecordBatch.concat([buffered_right, new_right], right_schema)
         out_parts = []
-        # new-left x (buffered+new right)
-        li, ri, _, _ = join_indices(new_left, all_right, on, "inner")
-        li, ri = self._filter_pairs(new_left, all_right, li, ri)
-        if len(li):
-            out_parts.append(assemble_join_output(
-                new_left, all_right, on, "inner",
-                self._inner_schema(), li, ri,
-                np.empty(0, np.int64), np.empty(0, np.int64),
-            ))
-            self._mark_matched(self._left_state, new_left, li)
-            self._mark_matched(self._right_state, all_right, ri)
-        # buffered-left x new-right
-        li2, ri2, _, _ = join_indices(buffered_left, new_right, on, "inner")
-        li2, ri2 = self._filter_pairs(buffered_left, new_right, li2, ri2)
-        if len(li2):
-            out_parts.append(assemble_join_output(
-                buffered_left, new_right, on, "inner",
-                self._inner_schema(), li2, ri2,
-                np.empty(0, np.int64), np.empty(0, np.int64),
-            ))
-            self._mark_matched(self._left_state, buffered_left, li2)
-            self._mark_matched(self._right_state, new_right, ri2)
-
+        if out_rows:
+            out_parts.append(self._matched_batch(out_rows))
         out_parts.extend(self._evict(ctx))
         if not out_parts:
             return self._empty()
         parts = [self._to_output_schema(p) for p in out_parts]
         return RecordBatch.concat(parts, self.output_schema)
+
+    @staticmethod
+    def _join_pairs(l_entries, r_entries, out_rows,
+                    lt_idx, rt_idx, skew, rest_idx) -> bool:
+        """Emit the cross product of two entry lists (within the time
+        bound), flipping matched flags by entry identity; True if any
+        pair matched."""
+        matched = False
+        for l_entry in l_entries:
+            l_values = l_entry[0]
+            for r_entry in r_entries:
+                r_values = r_entry[0]
+                if skew is not None and \
+                        abs(l_values[lt_idx] - r_values[rt_idx]) > skew:
+                    continue
+                out_rows.append(l_values + [r_values[j] for j in rest_idx])
+                l_entry[1] = True
+                r_entry[1] = True
+                matched = True
+        return matched
+
+    def _matched_batch(self, out_rows: list) -> RecordBatch:
+        """Build the matched-pair batch (inner schema) from value lists."""
+        columns = {}
+        for idx, field in enumerate(self._inner):
+            values = [row[idx] for row in out_rows]
+            if field.data_type.numpy_dtype is object:
+                arr = np.empty(len(values), dtype=object)
+                arr[:] = values
+            else:
+                arr = np.asarray(values, dtype=field.data_type.numpy_dtype)
+            columns[field.name] = arr
+        return RecordBatch(columns, self._inner)
 
     def _inner_schema(self) -> StructType:
         """Schema of matched pairs (no null padding yet)."""
@@ -600,6 +651,10 @@ class StreamStreamJoinOp(IncrementalOp):
         time in [t - skew, t + skew]; since late right input is dropped
         at the right watermark, the left row is final once
         ``right_watermark >= t + skew`` — and symmetrically.
+
+        The expiry index pops exactly the keys holding at least one
+        evictable entry (their earliest entry time + skew has passed), so
+        the scan is proportional to evicted keys, not buffered state.
         """
         if self.within is None:
             return []
@@ -615,7 +670,7 @@ class StreamStreamJoinOp(IncrementalOp):
                 continue
             time_index = schema.names.index(own_col)
             unmatched_rows = []
-            for key, entries in list(state.items()):
+            for key, entries in state.pop_expired(other_watermark):
                 keep = []
                 for values, matched in entries:
                     if values[time_index] + skew <= other_watermark:
@@ -671,14 +726,15 @@ class MapGroupsWithStateOp(IncrementalOp):
         self.state = state_handle
         self.output_schema = node.schema
         self.watermark_column = watermark_column
+        if node.timeout != "none":
+            # Index armed timeouts so expiry checks need no full scan.
+            self.state.set_expiry(lambda _key, value: value.get("t"))
 
     def has_pending_timeout(self, processing_time: float) -> bool:
         if self._node.timeout != "processing_time":
             return False
-        return any(
-            value.get("t") is not None and value["t"] <= processing_time
-            for _key, value in self.state.items()
-        )
+        earliest = self.state.next_expiry()
+        return earliest is not None and earliest <= processing_time
 
     def _watermark(self, ctx: EpochContext):
         if self.watermark_column is None:
@@ -747,17 +803,19 @@ class MapGroupsWithStateOp(IncrementalOp):
         if now is None:
             return []
         out_rows = []
-        for key, entry in sorted(self.state.items(), key=lambda kv: str(kv[0])):
+        expired = sorted(self.state.pop_expired(now), key=lambda kv: str(kv[0]))
+        for key, entry in expired:
             if key in processed_keys:
+                # Saw data this epoch: fires next epoch (as the old full
+                # scan would), so put the index entry back untouched.
+                self.state.reindex(key)
                 continue
-            timeout = entry.get("t")
-            if timeout is not None and timeout <= now:
-                # Clear the timeout before invoking so the function can
-                # re-arm or remove state explicitly.
-                self.state.put(key, {"s": entry.get("s"), "t": None})
-                out_rows.extend(self._invoke(
-                    key, [], ctx, watermark, has_timed_out=True
-                ))
+            # Clear the timeout before invoking so the function can
+            # re-arm or remove state explicitly.
+            self.state.put(key, {"s": entry.get("s"), "t": None})
+            out_rows.extend(self._invoke(
+                key, [], ctx, watermark, has_timed_out=True
+            ))
         return out_rows
 
 

@@ -17,6 +17,7 @@ human-readable as the paper's WAL.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 
@@ -30,6 +31,14 @@ def encode_key(key) -> str:
     return json.dumps(key)
 
 
+def _cache_key(key):
+    """A hashable cache key that distinguishes types JSON encodes
+    differently but Python hashes identically (1 vs 1.0 vs True)."""
+    if isinstance(key, tuple):
+        return (key, tuple(type(v) for v in key))
+    return (key, type(key))
+
+
 def decode_key(text: str):
     """Invert :func:`encode_key` (lists become tuples)."""
     value = json.loads(text)
@@ -39,7 +48,20 @@ def decode_key(text: str):
 
 
 class OperatorStateHandle:
-    """One operator's keyed state, with dirty tracking for delta commits."""
+    """One operator's keyed state, with dirty tracking for delta commits.
+
+    Two hot-path structures keep per-access cost independent of total
+    state size (the delta-proportionality the paper claims in §5.2/§6.1):
+
+    * an **interned-key cache** so ``encode_key``'s ``json.dumps`` runs
+      once per distinct key, not once per ``get``/``put``/``contains``;
+    * an optional **expiry index** (min-heap with lazy invalidation,
+      maintained on ``put``/``remove``) so watermark-gated operators pop
+      only finalized keys instead of scanning the full store.
+
+    Neither structure is persisted: the on-disk checkpoint format is
+    unchanged, and the index is rebuilt from data on ``restore``.
+    """
 
     def __init__(self, directory: str, snapshot_interval: int = 10):
         self._directory = directory
@@ -47,34 +69,120 @@ class OperatorStateHandle:
         self._data = {}
         self._dirty = set()
         self._removed = set()
+        self._key_cache = {}
+        self._expiry_fn = None
+        #: encoded key -> currently valid expiry (heap entries that
+        #: disagree with this map are stale and dropped lazily).
+        self._expiry = {}
+        self._heap = []
         self.last_committed_version = None
         os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------
     # Keyed access (in-memory working state)
     # ------------------------------------------------------------------
+    def _encode(self, key) -> str:
+        cache_key = _cache_key(key)
+        encoded = self._key_cache.get(cache_key)
+        if encoded is None:
+            if len(self._key_cache) > max(4096, 4 * len(self._data)):
+                self._key_cache.clear()
+            encoded = encode_key(key)
+            self._key_cache[cache_key] = encoded
+        return encoded
+
     def get(self, key, default=None):
         """Value for a key, or default."""
-        return self._data.get(encode_key(key), default)
+        return self._data.get(self._encode(key), default)
 
     def contains(self, key) -> bool:
         """True if the key has state."""
-        return encode_key(key) in self._data
+        return self._encode(key) in self._data
 
     def put(self, key, value) -> None:
         """Set a key's state (JSON-serializable value)."""
-        encoded = encode_key(key)
+        encoded = self._encode(key)
         self._data[encoded] = value
         self._dirty.add(encoded)
         self._removed.discard(encoded)
+        if self._expiry_fn is not None:
+            self._index_put(encoded, key, value)
 
     def remove(self, key) -> None:
         """Delete a key's state."""
-        encoded = encode_key(key)
+        encoded = self._encode(key)
         if encoded in self._data:
             del self._data[encoded]
             self._dirty.discard(encoded)
             self._removed.add(encoded)
+            self._expiry.pop(encoded, None)
+
+    # ------------------------------------------------------------------
+    # Expiry index (watermark eviction without full scans)
+    # ------------------------------------------------------------------
+    def set_expiry(self, fn) -> None:
+        """Register ``fn(decoded_key, value) -> expiry | None`` and index
+        existing state.  With an expiry function set, ``pop_expired`` and
+        ``next_expiry`` answer watermark questions in O(expired log n)
+        rather than O(total keys)."""
+        self._expiry_fn = fn
+        self._rebuild_expiry_index()
+
+    def _rebuild_expiry_index(self) -> None:
+        self._expiry = {}
+        self._heap = []
+        if self._expiry_fn is None:
+            return
+        for encoded, value in self._data.items():
+            expiry = self._expiry_fn(decode_key(encoded), value)
+            if expiry is not None:
+                self._expiry[encoded] = expiry
+                self._heap.append((expiry, encoded))
+        heapq.heapify(self._heap)
+
+    def _index_put(self, encoded: str, key, value) -> None:
+        expiry = self._expiry_fn(key, value)
+        if expiry is None:
+            self._expiry.pop(encoded, None)
+        elif self._expiry.get(encoded) != expiry:
+            self._expiry[encoded] = expiry
+            heapq.heappush(self._heap, (expiry, encoded))
+
+    def reindex(self, key) -> None:
+        """Re-register a key's expiry from its current value without
+        marking it dirty (used to defer a popped-but-unhandled key)."""
+        if self._expiry_fn is None:
+            return
+        encoded = self._encode(key)
+        if encoded in self._data:
+            self._index_put(encoded, key, self._data[encoded])
+
+    def next_expiry(self):
+        """The smallest live expiry, or None (O(stale) amortized)."""
+        heap = self._heap
+        while heap:
+            expiry, encoded = heap[0]
+            if self._expiry.get(encoded) == expiry:
+                return expiry
+            heapq.heappop(heap)
+        return None
+
+    def pop_expired(self, bound) -> list:
+        """Pop and return ``[(decoded_key, value), ...]`` for every key
+        whose expiry is <= ``bound``.
+
+        Popped keys leave the index but not the store: the caller decides
+        to ``remove`` them, ``put`` them back (re-indexing under a new
+        expiry), or ``reindex`` to defer untouched."""
+        heap = self._heap
+        popped = []
+        while heap and heap[0][0] <= bound:
+            expiry, encoded = heapq.heappop(heap)
+            if self._expiry.get(encoded) != expiry:
+                continue  # stale entry: superseded or removed
+            del self._expiry[encoded]
+            popped.append((decode_key(encoded), self._data[encoded]))
+        return popped
 
     def items(self):
         """Iterate (decoded_key, value) pairs of the working state."""
@@ -190,10 +298,12 @@ class OperatorStateHandle:
         self._removed.clear()
         self.last_committed_version = None
         if version is None:
+            self._rebuild_expiry_index()
             return None
         versions = self._available_versions()
         usable = sorted(v for v in versions if v <= version)
         if not usable:
+            self._rebuild_expiry_index()
             return None
         # Newest snapshot at or below the target is the replay base.
         base = None
@@ -211,6 +321,7 @@ class OperatorStateHandle:
             for key in delta["removes"]:
                 self._data.pop(key, None)
         self.last_committed_version = usable[-1]
+        self._rebuild_expiry_index()
         return usable[-1]
 
 

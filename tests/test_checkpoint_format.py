@@ -1,0 +1,118 @@
+"""Golden tests pinning the on-disk state-checkpoint format byte-for-byte.
+
+The expiry-indexed eviction, probe-based join, and interned-key cache are
+pure in-memory structures: the JSON delta/snapshot files they produce must
+stay byte-identical to the pre-index format so old checkpoints restore and
+mixed old/new restarts agree.  The expected strings below were captured
+from the full-scan implementation; any drift here is a recovery break, not
+a formatting nit.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sql import functions as F
+
+from tests.conftest import make_stream, start_memory_query
+
+AGG_GOLDEN = {
+    "agg-0/0000000000.snapshot.json": (
+        '{\n  "data": {\n    "[\\"a\\", 0.0]": [\n      1\n    ],\n'
+        '    "[\\"b\\", 0.0]": [\n      1\n    ]\n  },\n'
+        '  "kind": "snapshot"\n}'
+    ),
+    "agg-0/0000000002.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n'
+        '    "[\\"a\\", 0.0]": [\n      2\n    ],\n'
+        '    "[\\"c\\", 200.0]": [\n      1\n    ]\n  },\n'
+        '  "removes": []\n}'
+    ),
+    "agg-0/0000000004.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n'
+        '    "[\\"d\\", 210.0]": [\n      2\n    ]\n  },\n'
+        '  "removes": [\n    "[\\"a\\", 0.0]",\n    "[\\"b\\", 0.0]"\n  ]\n}'
+    ),
+}
+
+JOIN_GOLDEN = {
+    "join-left-0/0000000000.snapshot.json": (
+        '{\n  "data": {\n    "[1]": [\n      [\n        [\n          1,\n'
+        '          1.0,\n          "x"\n        ],\n        false\n'
+        '      ]\n    ]\n  },\n  "kind": "snapshot"\n}'
+    ),
+    # The matched flag flips in place: same entry, same key encoding.
+    "join-left-0/0000000001.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[1]": [\n      [\n'
+        '        [\n          1,\n          1.0,\n          "x"\n'
+        '        ],\n        true\n      ]\n    ]\n  },\n'
+        '  "removes": []\n}'
+    ),
+    "join-left-0/0000000002.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[2]": [\n      [\n'
+        '        [\n          2,\n          3.0,\n          "z"\n'
+        '        ],\n        false\n      ]\n    ]\n  },\n'
+        '  "removes": []\n}'
+    ),
+    "join-right-1/0000000000.snapshot.json": (
+        '{\n  "data": {},\n  "kind": "snapshot"\n}'
+    ),
+    "join-right-1/0000000001.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[1]": [\n      [\n'
+        '        [\n          1,\n          2.0,\n          "y"\n'
+        '        ],\n        true\n      ]\n    ]\n  },\n'
+        '  "removes": []\n}'
+    ),
+    "join-right-1/0000000002.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {},\n  "removes": []\n}'
+    ),
+}
+
+
+def read_state_files(checkpoint: str) -> dict:
+    state_dir = os.path.join(checkpoint, "state")
+    found = {}
+    for op in sorted(os.listdir(state_dir)):
+        op_dir = os.path.join(state_dir, op)
+        for name in sorted(os.listdir(op_dir)):
+            with open(os.path.join(op_dir, name), encoding="utf-8") as f:
+                found[f"{op}/{name}"] = f.read()
+    return found
+
+
+def test_windowed_agg_checkpoint_bytes(session, checkpoint):
+    stream = make_stream([("t", "timestamp"), ("k", "string")])
+    df = session.read_stream.memory(stream).with_watermark("t", "100s")
+    counts = df.group_by(F.window("t", "10s"), "k").count()
+    query = start_memory_query(counts, "update", "golden-agg", checkpoint,
+                               state_checkpoint_interval=2)
+    epochs = [
+        [{"t": 1.0, "k": "a"}, {"t": 2.0, "k": "b"}],
+        [{"t": 5.0, "k": "a"}],
+        [{"t": 200.0, "k": "c"}],   # advances the watermark past window 0
+        [{"t": 210.0, "k": "d"}],   # epoch 3: a/b evicted, checkpoint at 4
+        [{"t": 211.0, "k": "d"}],
+    ]
+    for rows in epochs:
+        stream.add_data(rows)
+        query.process_all_available()
+
+    assert read_state_files(checkpoint) == AGG_GOLDEN
+
+
+def test_stream_stream_join_checkpoint_bytes(session, checkpoint):
+    ls = make_stream([("k", "long"), ("t", "timestamp"), ("l", "string")])
+    rs = make_stream([("k", "long"), ("t2", "timestamp"), ("r", "string")])
+    left = session.read_stream.memory(ls).with_watermark("t", "10s")
+    right = session.read_stream.memory(rs).with_watermark("t2", "10s")
+    joined = left.join(right, on="k")
+    query = start_memory_query(joined, "append", "golden-join", checkpoint)
+
+    ls.add_data([{"k": 1, "t": 1.0, "l": "x"}])
+    query.process_all_available()
+    rs.add_data([{"k": 1, "t2": 2.0, "r": "y"}])
+    query.process_all_available()
+    ls.add_data([{"k": 2, "t": 3.0, "l": "z"}])
+    query.process_all_available()
+
+    assert read_state_files(checkpoint) == JOIN_GOLDEN

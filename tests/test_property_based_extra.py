@@ -1,5 +1,9 @@
 """More property-based tests: optimizer semantics, join equivalence,
-session-window chunking invariance."""
+session-window chunking invariance, and crash recovery through the
+probe-join / indexed-eviction state paths."""
+
+import json
+import os
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
@@ -12,6 +16,7 @@ from repro.sql.physical import execute
 from repro.sql.session import Session, _InMemoryProvider
 from repro.sql.types import StructType
 from repro.streaming.sessions import session_windows
+from repro.streaming.state import decode_key, encode_key
 
 from tests.conftest import make_stream, rows_set, start_memory_query
 
@@ -126,6 +131,153 @@ def test_stream_stream_join_equals_batch(left, right, seed):
             rq = rq[take:]
         query.process_all_available()
     assert rows_set(query.engine.sink.rows()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery through the probe-join / indexed-eviction paths, with
+# state checkpoints lagging commits (interval > 1)
+# ---------------------------------------------------------------------------
+
+def assert_canonical_state_files(checkpoint: str):
+    """Every state file must be in the pre-index on-disk format: canonical
+    sorted-key indent-2 JSON with string-encoded state keys that survive a
+    decode/encode roundtrip.  The expiry index and key cache are memory-only;
+    nothing about them may leak to disk."""
+    state_dir = os.path.join(checkpoint, "state")
+    if not os.path.isdir(state_dir):
+        return
+    for op in os.listdir(state_dir):
+        for name in os.listdir(os.path.join(state_dir, op)):
+            path = os.path.join(state_dir, op, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            payload = json.loads(text)
+            assert text == json.dumps(payload, indent=2, sort_keys=True)
+            if payload["kind"] == "snapshot":
+                assert set(payload) == {"kind", "data"}
+                state_keys = list(payload["data"])
+            else:
+                assert set(payload) == {"kind", "puts", "removes"}
+                state_keys = list(payload["puts"]) + payload["removes"]
+            for state_key in state_keys:
+                assert encode_key(decode_key(state_key)) == state_key
+
+
+within_join_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.floats(0, 50, allow_nan=False)),
+    min_size=0, max_size=12,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(left=within_join_rows, right=within_join_rows,
+       crash_mask=st.lists(st.booleans(), min_size=1, max_size=10),
+       seed=st.integers(0, 2**16))
+def test_within_join_exactly_once_under_restarts(
+        tmp_path_factory, left, right, crash_mask, seed):
+    """Time-bounded join with eviction live, state checkpoints every 3rd
+    epoch, and restarts at random points: output still equals the batch
+    join.  Both sides arrive time-sorted, so no input is late and eviction
+    only ever drops provably unmatchable rows."""
+    rng = np.random.default_rng(seed)
+    checkpoint = str(tmp_path_factory.mktemp("ckpt"))
+    session = Session()
+    skew = 10.0
+    left_rows = sorted(({"k": k, "t": t} for k, t in left),
+                       key=lambda r: r["t"])
+    right_rows = sorted(({"k": k, "t2": t} for k, t in right),
+                        key=lambda r: r["t2"])
+    expected = {
+        (l["k"], l["t"], r["t2"])
+        for l in left_rows for r in right_rows
+        if l["k"] == r["k"] and abs(l["t"] - r["t2"]) <= skew
+    }
+
+    ls = make_stream((("k", "long"), ("t", "timestamp")))
+    rs = make_stream((("k", "long"), ("t2", "timestamp")))
+    joined = (session.read_stream.memory(ls).with_watermark("t", "5s")
+              .join(session.read_stream.memory(rs).with_watermark("t2", "5s"),
+                    on="k", within=("t", "t2", "10s")))
+    query = start_memory_query(joined, "append", "out", checkpoint,
+                               state_checkpoint_interval=3)
+    sink = query.engine.sink
+
+    crashes = iter(crash_mask)
+    lq, rq = list(left_rows), list(right_rows)
+    while lq or rq:
+        if lq and (not rq or rng.random() < 0.5):
+            take = int(rng.integers(1, len(lq) + 1))
+            ls.add_data(lq[:take])
+            lq = lq[take:]
+        elif rq:
+            take = int(rng.integers(1, len(rq) + 1))
+            rs.add_data(rq[:take])
+            rq = rq[take:]
+        if next(crashes, False):
+            query = (joined.write_stream.sink(sink).output_mode("append")
+                     .option("state_checkpoint_interval", 3)
+                     .start(checkpoint))
+        query.process_all_available()
+    query = (joined.write_stream.sink(sink).output_mode("append")
+             .option("state_checkpoint_interval", 3).start(checkpoint))
+    query.process_all_available()
+
+    assert {(r["k"], r["t"], r["t2"]) for r in sink.rows()} == expected
+    assert_canonical_state_files(checkpoint)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.lists(
+           st.tuples(st.sampled_from(["a", "b", "c"]),
+                     st.floats(0, 100, allow_nan=False)),
+           min_size=1, max_size=15),
+       crash_mask=st.lists(st.booleans(), min_size=1, max_size=15),
+       seed=st.integers(0, 2**16))
+def test_windowed_aggregate_exactly_once_under_restarts(
+        tmp_path_factory, data, crash_mask, seed):
+    """Watermarked windowed counts with heap-indexed eviction firing as the
+    watermark advances, lagged state checkpoints, and random restarts: the
+    last update per (key, window) equals the batch count.  Rows arrive
+    time-sorted so none are dropped as late."""
+    rng = np.random.default_rng(seed)
+    checkpoint = str(tmp_path_factory.mktemp("ckpt"))
+    session = Session()
+    from repro.sql import functions as F
+
+    rows = sorted(({"t": t, "k": k} for k, t in data), key=lambda r: r["t"])
+    expected = {}
+    for r in rows:
+        window_start = (r["t"] // 10.0) * 10.0
+        key = (r["k"], window_start)
+        expected[key] = expected.get(key, 0) + 1
+
+    stream = make_stream((("t", "timestamp"), ("k", "string")))
+    df = (session.read_stream.memory(stream).with_watermark("t", "5s")
+          .group_by(F.window("t", "10s"), "k").count())
+    query = start_memory_query(df, "update", "agg", checkpoint,
+                               state_checkpoint_interval=3)
+    sink = query.engine.sink
+
+    crashes = iter(crash_mask)
+    remaining = list(rows)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        stream.add_data(remaining[:take])
+        remaining = remaining[take:]
+        if next(crashes, False):
+            query = (df.write_stream.sink(sink).output_mode("update")
+                     .option("state_checkpoint_interval", 3)
+                     .start(checkpoint))
+        query.process_all_available()
+    query = (df.write_stream.sink(sink).output_mode("update")
+             .option("state_checkpoint_interval", 3).start(checkpoint))
+    query.process_all_available()
+
+    got = {}
+    for r in sink.rows():  # later updates overwrite earlier ones
+        got[(r["k"], r["window_start"])] = r["count"]
+    assert got == expected
+    assert_canonical_state_files(checkpoint)
 
 
 # ---------------------------------------------------------------------------

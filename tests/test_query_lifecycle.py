@@ -152,6 +152,21 @@ class TestEventLog:
             events = [json.loads(line) for line in f]
         assert [e["epoch"] for e in events] == [0, 1]
 
+    def test_single_append_handle_closed_on_stop(self, session, checkpoint):
+        stream = make_stream((("v", "long"),))
+        query = start_memory_query(
+            session.read_stream.memory(stream), "append", "ev3", checkpoint)
+        handle = query.engine._event_log
+        stream.add_data([{"v": 1}])
+        query.process_all_available()
+        stream.add_data([{"v": 2}])
+        query.process_all_available()
+        # Same handle across epochs (no reopen per epoch), closed on stop.
+        assert query.engine._event_log is handle and not handle.closed
+        query.stop()
+        assert handle.closed
+        query.stop()  # idempotent
+
 
 class TestStreamingExplain:
     def test_explain_shows_incremental_operators(self, session, capsys):

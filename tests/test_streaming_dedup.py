@@ -89,3 +89,23 @@ class TestWatermarkedDedup:
         assert progress[-1].late_rows_dropped == 1
         payloads = [r["payload"] for r in query.engine.sink.rows()]
         assert "late-dup" not in payloads
+
+    def test_every_late_row_counted_not_just_distinct_keys(self, session):
+        stream = make_stream(SCHEMA)
+        query = start_memory_query(
+            dedup_query(session, stream, watermark="5s", subset=("id", "t")),
+            "append", "out")
+        stream.add_data([{"id": 1, "t": 50.0, "payload": "a"}])
+        query.process_all_available()
+        stream.add_data([{"id": 2, "t": 51.0, "payload": "b"}])
+        query.process_all_available()
+        # Four late rows over two distinct keys: all four must be counted.
+        stream.add_data([
+            {"id": 9, "t": 1.0, "payload": "late"},
+            {"id": 9, "t": 1.0, "payload": "late"},
+            {"id": 9, "t": 1.0, "payload": "late"},
+            {"id": 8, "t": 2.0, "payload": "late"},
+        ])
+        progress = query.process_all_available()
+        assert progress[-1].late_rows_dropped == 4
+        assert [r["id"] for r in query.engine.sink.rows()] == [1, 2]

@@ -177,6 +177,80 @@ class TestOperatorStateHandle:
         assert metrics["num_keys"] == 1
 
 
+class TestExpiryIndex:
+    """The heap-backed expiry index behind watermark eviction."""
+
+    @pytest.fixture
+    def handle(self, tmp_path):
+        handle = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        handle.set_expiry(lambda _key, value: value)
+        return handle
+
+    def test_pop_expired_returns_only_due_keys(self, handle):
+        handle.put("a", 5.0)
+        handle.put("b", 10.0)
+        handle.put("c", 1.0)
+        popped = handle.pop_expired(5.0)
+        assert sorted(popped) == [("a", 5.0), ("c", 1.0)]
+        assert handle.next_expiry() == 10.0
+        # Popped keys stay in the store until the caller removes them.
+        assert handle.get("a") == 5.0
+
+    def test_overwrite_supersedes_old_expiry(self, handle):
+        handle.put("a", 1.0)
+        handle.put("a", 100.0)  # stale heap entry for 1.0 remains
+        assert handle.pop_expired(50.0) == []
+        assert handle.next_expiry() == 100.0
+
+    def test_removed_keys_never_pop(self, handle):
+        handle.put("a", 1.0)
+        handle.remove("a")
+        assert handle.next_expiry() is None
+        assert handle.pop_expired(1e9) == []
+
+    def test_none_expiry_unindexes(self, handle):
+        handle.put("a", 2.0)
+        handle.set_expiry(lambda _key, value: None if value < 0 else value)
+        handle.put("a", -1.0)
+        assert handle.next_expiry() is None
+
+    def test_reindex_defers_without_dirtying(self, handle):
+        handle.put("a", 3.0)
+        handle.commit(0)
+        assert handle.pop_expired(3.0) == [("a", 3.0)]
+        handle.reindex("a")
+        assert handle.next_expiry() == 3.0
+        # reindex is index-only: the next delta must be empty.
+        metrics = handle.commit(1)
+        assert metrics["keys_written"] == 0
+
+    def test_restore_rebuilds_index(self, handle, tmp_path):
+        handle.put("a", 1.0)
+        handle.put("b", 7.0)
+        handle.commit(0)
+        fresh = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=3)
+        fresh.set_expiry(lambda _key, value: value)
+        fresh.restore(0)
+        assert fresh.next_expiry() == 1.0
+        assert fresh.pop_expired(2.0) == [("a", 1.0)]
+
+    def test_key_cache_distinguishes_equal_hash_types(self, tmp_path):
+        # 1, 1.0 and True hash identically but encode differently; the
+        # interned-key cache must not alias them.
+        handle = OperatorStateHandle(str(tmp_path / "op"))
+        handle.put(1, "int")
+        handle.put(1.0, "float")
+        handle.put(True, "bool")
+        handle.put((1,), "int-tuple")
+        handle.put((1.0,), "float-tuple")
+        assert handle.get(1) == "int"
+        assert handle.get(1.0) == "float"
+        assert handle.get(True) == "bool"
+        assert handle.get((1,)) == "int-tuple"
+        assert handle.get((1.0,)) == "float-tuple"
+        assert len(handle) == 5
+
+
 class TestStateStore:
     def test_handles_are_cached(self, tmp_path):
         store = StateStore(str(tmp_path))
