@@ -1,6 +1,9 @@
 # Convenience targets for the reproduction.
 
 PY ?= python3
+# Extra pytest flags for bench-smoke; CI passes --timeout=... here
+# (requires pytest-timeout, which is not a local dependency).
+BENCH_SMOKE_FLAGS ?=
 
 .PHONY: install test bench bench-smoke examples verify clean
 
@@ -14,7 +17,7 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:
-	STATE_SCALING_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py --benchmark-only -q
+	STATE_SCALING_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py --benchmark-only -q $(BENCH_SMOKE_FLAGS)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done

@@ -9,6 +9,17 @@ counterpart.
 :class:`~repro.sql.batch.RecordBatch`.  ``overrides`` lets callers inject
 data for specific scan nodes — the streaming engine uses it to run the
 epoch's new input through the plan.
+
+Since the whole-plan compiler (:mod:`repro.sql.plancompiler`, §5.3),
+``execute`` compiles each plan once (memoized by plan identity) and runs
+the compiled pipeline; repeated executions of the same plan object pay no
+plan-walk or expression-compilation cost.  The pre-compiler recursive
+interpreter survives as :func:`execute_interpreted` — it is the
+per-batch-compilation baseline arm in the ablation benchmark and the
+reference implementation the compiled path is equivalence-tested against.
+The shared operator kernels (:func:`join_batches`, :func:`sort_batch`,
+:func:`dedup_batch`, :func:`run_aggregate`, :func:`map_groups_batch`) are
+used by both paths, so the two differ only in *when* dispatch happens.
 """
 
 from __future__ import annotations
@@ -27,7 +38,22 @@ def execute(plan: L.LogicalPlan, overrides: dict = None) -> RecordBatch:
     """Evaluate a logical plan, returning one result batch.
 
     ``overrides`` maps a :class:`~repro.sql.logical.Scan` node (by object
-    identity) to a RecordBatch to use as its data.
+    identity) to a RecordBatch to use as its data.  The plan is compiled
+    on first use and the compiled pipeline cached, so calling ``execute``
+    repeatedly on one plan object (as the streaming engine does per
+    epoch) walks and compiles it only once.
+    """
+    from repro.sql.plancompiler import compiled_for
+
+    return compiled_for(plan)(overrides or {})
+
+
+def execute_interpreted(plan: L.LogicalPlan, overrides: dict = None) -> RecordBatch:
+    """Evaluate a plan by recursive descent, compiling expressions per batch.
+
+    This is the pre-whole-plan-compilation execution strategy, retained as
+    the baseline for the codegen ablation and as the independent reference
+    for compiled-vs-interpreted equivalence tests.
     """
     overrides = overrides or {}
     return _execute(plan, overrides)
@@ -43,13 +69,15 @@ def _execute(plan: L.LogicalPlan, overrides: dict) -> RecordBatch:
     if isinstance(plan, L.Aggregate):
         return _execute_aggregate(plan, overrides)
     if isinstance(plan, L.Join):
-        return _execute_join(plan, overrides)
+        left = _execute(plan.left, overrides)
+        right = _execute(plan.right, overrides)
+        return join_batches(left, right, plan)
     if isinstance(plan, L.Sort):
-        return _execute_sort(plan, overrides)
+        return sort_batch(_execute(plan.child, overrides), plan.orders)
     if isinstance(plan, L.Limit):
         return _execute(plan.child, overrides).slice(0, plan.n)
     if isinstance(plan, L.Deduplicate):
-        return _execute_dedup(plan, overrides)
+        return dedup_batch(_execute(plan.child, overrides), plan.subset)
     if isinstance(plan, L.Union):
         left = _execute(plan.left, overrides)
         right = _execute(plan.right, overrides)
@@ -59,7 +87,7 @@ def _execute(plan: L.LogicalPlan, overrides: dict) -> RecordBatch:
         # execution they are a no-op passthrough (§4.3.1).
         return _execute(plan.child, overrides)
     if isinstance(plan, L.MapGroupsWithState):
-        return _execute_map_groups(plan, overrides)
+        return map_groups_batch(plan, _execute(plan.child, overrides))
     raise NotImplementedError(f"no batch executor for {type(plan).__name__}")
 
 
@@ -99,11 +127,10 @@ def _execute_filter(plan: L.Filter, overrides: dict) -> RecordBatch:
     return child.filter(mask)
 
 
-def _execute_join(plan: L.Join, overrides: dict) -> RecordBatch:
+def join_batches(left: RecordBatch, right: RecordBatch, plan: L.Join) -> RecordBatch:
+    """Join two batches per a :class:`~repro.sql.logical.Join` node."""
     from repro.sql.joins import apply_time_bound
 
-    left = _execute(plan.left, overrides)
-    right = _execute(plan.right, overrides)
     indices = join_indices(left, right, plan.on, plan.how)
     if plan.within is not None:
         indices = apply_time_bound(left, right, plan.how, plan.within, *indices)
@@ -112,40 +139,43 @@ def _execute_join(plan: L.Join, overrides: dict) -> RecordBatch:
     )
 
 
-def _execute_sort(plan: L.Sort, overrides: dict) -> RecordBatch:
-    child = _execute(plan.child, overrides)
-    if child.num_rows == 0:
-        return child
+def sort_batch(batch: RecordBatch, orders) -> RecordBatch:
+    """Stable lexicographic sort of a batch by ``[(name, ascending), ...]``."""
+    if batch.num_rows == 0:
+        return batch
     # Lexicographic sort: least-significant key first for np.lexsort.
     keys = []
-    for name, ascending in reversed(plan.orders):
-        col = child.columns[name]
+    for name, ascending in reversed(orders):
+        col = batch.columns[name]
         if col.dtype == object:
             # Rank-encode object columns so lexsort can handle them.
             _, inverse = np.unique(np.array([str(v) for v in col]), return_inverse=True)
             col = inverse
         keys.append(col if ascending else _descending_key(col))
     order = np.lexsort(keys)
-    return child.take(order)
+    return batch.take(order)
 
 
 def _descending_key(col: np.ndarray) -> np.ndarray:
     if col.dtype.kind in "iu":
-        return -col.astype(np.int64)
+        # Rank-based key: negating the value itself overflows for
+        # np.int64.min and for uint64 values above 2**63.  Ranks are
+        # bounded by the row count, so their negation is always safe
+        # and lexsort only needs relative order anyway.
+        _, inverse = np.unique(col, return_inverse=True)
+        return -inverse.astype(np.int64)
     return -col.astype(np.float64)
 
 
-def _execute_dedup(plan: L.Deduplicate, overrides: dict) -> RecordBatch:
-    child = _execute(plan.child, overrides)
-    if child.num_rows == 0:
-        return child
-    codes, uniques = encode_groups([child.columns[n] for n in plan.subset])
-    first_idx = np.full(len(uniques), -1, dtype=np.int64)
-    # Keep the first occurrence of each key, preserving arrival order.
-    for i, code in enumerate(codes.tolist()):
-        if first_idx[code] < 0:
-            first_idx[code] = i
-    return child.take(np.sort(first_idx))
+def dedup_batch(batch: RecordBatch, subset) -> RecordBatch:
+    """Drop duplicate rows by ``subset`` keys, keeping first occurrences."""
+    if batch.num_rows == 0:
+        return batch
+    codes, _uniques = encode_groups([batch.columns[n] for n in subset])
+    # encode_groups returns dense codes, so return_index yields the first
+    # occurrence of every key; sorting restores arrival order.
+    _, first_idx = np.unique(codes, return_index=True)
+    return batch.take(np.sort(first_idx))
 
 
 def group_rows_expanded(plan: L.Aggregate, batch: RecordBatch):
@@ -207,9 +237,12 @@ def _column_from_values(values, data_type) -> np.ndarray:
     return np.asarray(values, dtype=data_type.numpy_dtype)
 
 
-def _execute_aggregate(plan: L.Aggregate, overrides: dict) -> RecordBatch:
-    child = _execute(plan.child, overrides)
-    expanded, codes, uniques = group_rows_expanded(plan, child)
+def run_aggregate(plan: L.Aggregate, expanded: RecordBatch, codes, uniques) -> RecordBatch:
+    """Finish a batch aggregate from pre-encoded groups.
+
+    ``expanded``/``codes``/``uniques`` come from
+    :func:`group_rows_expanded` (or its compiled counterpart).
+    """
     buffers = []
     num_groups = len(uniques)
     partials_per_agg = [
@@ -227,12 +260,17 @@ def _execute_aggregate(plan: L.Aggregate, overrides: dict) -> RecordBatch:
     return aggregate_result_batch(plan, uniques, merged)
 
 
-def _execute_map_groups(plan: L.MapGroupsWithState, overrides: dict) -> RecordBatch:
+def _execute_aggregate(plan: L.Aggregate, overrides: dict) -> RecordBatch:
+    child = _execute(plan.child, overrides)
+    expanded, codes, uniques = group_rows_expanded(plan, child)
+    return run_aggregate(plan, expanded, codes, uniques)
+
+
+def map_groups_batch(plan: L.MapGroupsWithState, child: RecordBatch) -> RecordBatch:
     """Batch-mode stateful operator: the update function runs once per key
     with all of its rows and fresh state (§4.3.2)."""
     from repro.streaming.stateful import GroupState, normalize_func_output
 
-    child = _execute(plan.child, overrides)
     key_arrays = [child.columns[n] for n in plan.key_columns]
     out_rows = []
     if child.num_rows:

@@ -22,6 +22,9 @@ from __future__ import annotations
 import threading
 import time
 
+import numpy as np
+
+from repro.streaming import operators as ops
 from repro.streaming.incrementalizer import incrementalize
 from repro.streaming.operators import EpochContext
 from repro.streaming.progress import EpochProgress, ProgressReporter
@@ -130,6 +133,11 @@ class ContinuousEngine:
         #: Set by a worker whose pipeline raised; re-raised to callers.
         self._worker_error = None
         self.next_epoch = 0
+        #: Pre-bound chunk pipeline over the compiled operators: built
+        #: once here, so the per-chunk hot path allocates no
+        #: EpochContext and does no operator-tree dispatch (§6.3's
+        #: "compiled stateless pipeline").  None -> EpochContext path.
+        self._chunk_fn = self._build_chunk_pipeline(self.plan.root)
         self._start_offsets = self.source.initial_offsets()
         self._recover()
 
@@ -143,8 +151,48 @@ class ContinuousEngine:
         self._start_offsets = dict(entry["sources"][self.source_name]["end"])
         self.next_epoch = last + 1
 
+    def _build_chunk_pipeline(self, op):
+        """Bind the map-like operator tree into one chunk closure.
+
+        Every supported operator shape gets a direct call path — the
+        compiled StatelessOp pipeline, watermark observation, the
+        delta-vs-static join — with no per-chunk context object.
+        Returns ``None`` for shapes that still need the generic
+        EpochContext path (e.g. unions with a static side).
+        """
+        if isinstance(op, ops.StreamScanOp):
+            return lambda batch: batch
+        if isinstance(op, ops.StatelessOp):
+            inner = self._build_chunk_pipeline(op.child)
+            if inner is None:
+                return None
+            return lambda batch: op.apply(inner(batch))
+        if isinstance(op, ops.WatermarkTrackOp):
+            inner = self._build_chunk_pipeline(op.child)
+            if inner is None:
+                return None
+            watermarks = self.watermarks
+            column = op.column
+
+            def run_watermark(batch):
+                batch = inner(batch)
+                if batch.num_rows:
+                    watermarks.observe(
+                        column, float(np.max(batch.columns[column])))
+                return batch
+
+            return run_watermark
+        if isinstance(op, ops.StreamStaticJoinOp):
+            inner = self._build_chunk_pipeline(op.stream)
+            if inner is None:
+                return None
+            return lambda batch: op.join_delta(inner(batch))
+        return None
+
     def pipeline(self, batch):
         """Run one chunk through the stateless operator tree."""
+        if self._chunk_fn is not None:
+            return self._chunk_fn(batch)
         ctx = EpochContext(
             epoch_id=self.next_epoch,
             inputs={self.source_name: batch},

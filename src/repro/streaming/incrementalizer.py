@@ -72,7 +72,14 @@ class _Builder:
             self.sources.append((name, plan.provider))
             return ops.StreamScanOp(name, plan.schema)
         if isinstance(plan, (L.Project, L.Filter)):
-            return ops.StatelessOp(plan, self.build(plan.child))
+            # Collapse the maximal adjacent Project/Filter chain into ONE
+            # StatelessOp, which compiles it as a fused pipeline (§5.3) —
+            # one operator boundary per stateless segment, not per node.
+            bottom = plan
+            while isinstance(bottom.child, (L.Project, L.Filter)) \
+                    and bottom.child.is_streaming:
+                bottom = bottom.child
+            return ops.StatelessOp(plan, self.build(bottom.child))
         if isinstance(plan, L.WithWatermark):
             return ops.WatermarkTrackOp(plan.column, self.build(plan.child))
         if isinstance(plan, L.Aggregate):

@@ -17,11 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sql import logical as L
+from repro.sql import plancompiler
 from repro.sql.batch import RecordBatch
-from repro.sql.codegen import compile_expression
 from repro.sql.grouping import encode_groups
 from repro.sql.joins import assemble_join_output, join_indices
-from repro.sql.physical import aggregate_result_batch, execute, group_rows_expanded
+from repro.sql.physical import aggregate_result_batch, execute
 from repro.sql.types import StructType
 from repro.streaming.stateful import GroupState, normalize_func_output
 
@@ -137,24 +137,41 @@ class StaticOp(IncrementalOp):
 
 
 class StatelessOp(IncrementalOp):
-    """Project/Filter (and other per-row nodes): applied to each delta.
+    """A maximal chain of Project/Filter nodes, applied to each delta.
 
     These operators are trivially incremental — f(old ∪ new) =
-    f(old) ∪ f(new) for per-row transformations — so they reuse the batch
-    executor on the epoch's delta.
+    f(old) ∪ f(new) for per-row transformations.  The incrementalizer
+    hands one ``StatelessOp`` the *whole* adjacent stateless chain, which
+    is compiled here once at construction into a fused pipeline
+    (:mod:`repro.sql.plancompiler`, §5.3); each epoch then runs only the
+    compiled kernels over the delta, with no plan walk or expression
+    compilation.
     """
 
     def __init__(self, node: L.LogicalPlan, child: IncrementalOp):
         self._placeholder = make_placeholder(child.output_schema)
-        self._node = node.with_children((self._placeholder,))
+        self._node = self._graft(node)
         self.output_schema = self._node.schema
         self.child = child
+        self._compiled = plancompiler.compile_plan(self._node)
+
+    def _graft(self, node: L.LogicalPlan) -> L.LogicalPlan:
+        """Rebuild the stateless chain with the placeholder scan at its
+        bottom (the operator's child boundary)."""
+        if isinstance(node, (L.Project, L.Filter)) and \
+                isinstance(node.child, (L.Project, L.Filter)):
+            return node.with_children((self._graft(node.child),))
+        return node.with_children((self._placeholder,))
+
+    def apply(self, batch: RecordBatch) -> RecordBatch:
+        """Run the compiled chain on one delta batch."""
+        return self._compiled({id(self._placeholder): batch})
 
     def process(self, ctx: EpochContext) -> RecordBatch:
         batch = self.child.process(ctx)
         if batch.num_rows == 0:
             return self._empty()
-        return execute(self._node, {id(self._placeholder): batch})
+        return self.apply(batch)
 
 
 class WatermarkTrackOp(IncrementalOp):
@@ -215,8 +232,8 @@ class StreamStaticJoinOp(IncrementalOp):
         self.stream_is_left = stream_is_left
         self.output_schema = node.schema
 
-    def process(self, ctx: EpochContext) -> RecordBatch:
-        delta = self.stream.process(ctx)
+    def join_delta(self, delta: RecordBatch) -> RecordBatch:
+        """Join one stream delta against the static side."""
         if delta.num_rows == 0:
             return self._empty()
         static_batch = self.static.materialize()
@@ -228,6 +245,9 @@ class StreamStaticJoinOp(IncrementalOp):
         return assemble_join_output(
             left, right, self._node.on, self._node.how, self.output_schema, *indices
         )
+
+    def process(self, ctx: EpochContext) -> RecordBatch:
+        return self.join_delta(self.stream.process(ctx))
 
 
 class StatefulAggregateOp(IncrementalOp):
@@ -258,6 +278,8 @@ class StatefulAggregateOp(IncrementalOp):
         #: the window's time column, or a directly watermarked group key.
         self.watermark_column = watermark_column
         self._window = node.window
+        #: Group-key pipeline compiled once; per epoch only kernels run.
+        self._grouping = plancompiler.compile_grouping(node)
         #: Index of the watermarked plain grouping key (non-window case).
         self._key_time_index = None
         if watermark_column is not None and self._window is None:
@@ -311,7 +333,7 @@ class StatefulAggregateOp(IncrementalOp):
         of changed keys."""
         if batch.num_rows == 0:
             return set()
-        expanded, codes, uniques = group_rows_expanded(self._node, batch)
+        expanded, codes, uniques = self._grouping(batch)
         if watermark is not None and len(uniques):
             expanded, codes, uniques = self._drop_late(
                 expanded, codes, uniques, watermark, ctx
@@ -831,7 +853,8 @@ class CompleteModePostOp(IncrementalOp):
         self._node = node.with_children((self._placeholder,))
         self.output_schema = self._node.schema
         self.child = child
+        self._compiled = plancompiler.compile_plan(self._node)
 
     def process(self, ctx: EpochContext) -> RecordBatch:
         batch = self.child.process(ctx)
-        return execute(self._node, {id(self._placeholder): batch})
+        return self._compiled({id(self._placeholder): batch})

@@ -186,6 +186,15 @@ class TestOrderLimit:
     def test_limit(self, df):
         assert df.order_by("latency").limit(2).count_rows() == 2
 
+    def test_descending_sort_at_int64_extremes(self, session):
+        # Negating the value overflows at np.int64.min; the rank-based
+        # descending key must order the full int64 range correctly.
+        lo, hi = -(2 ** 63), 2 ** 63 - 1
+        data = [{"v": lo}, {"v": 7}, {"v": hi}, {"v": 0}]
+        out = session.create_dataframe(data, (("v", "long"),)) \
+            .order_by("-v").collect()
+        assert [r["v"] for r in out] == [hi, 7, 0, lo]
+
 
 class TestUdfs:
     def test_udf_in_select(self, df):

@@ -160,9 +160,12 @@ class TestValidation:
         stream = make_stream((("v", "long"), ("x", "long")))
         df = session.read_stream.memory(stream).select("v").where(F.col("v") > 0)
         result = incrementalize(plan_of(df), "append", store, run_optimizer=False)
-        # Unoptimized: Filter above Project, two stateless layers.
+        # Unoptimized: Filter above Project — but adjacent stateless
+        # nodes fuse into one compiled StatelessOp over the scan, and the
+        # unoptimized chain still projects before filtering.
         assert isinstance(result.root, ops.StatelessOp)
-        assert isinstance(result.root.child, ops.StatelessOp)
+        assert isinstance(result.root.child, ops.StreamScanOp)
+        assert result.root.output_schema.names == ["v"]
 
 
 class TestRestartModeGuard:

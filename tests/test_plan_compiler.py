@@ -1,0 +1,349 @@
+"""Whole-plan compiler tests (§5.3 analogue).
+
+Two families of guarantees:
+
+* **Equivalence** — the compiled, stage-fused pipeline produces exactly
+  the batches that interpreted row-at-a-time evaluation (``eval_row``)
+  does, across randomized filter/project chains and windowed aggregates
+  (property-based, hypothesis).
+* **Compile-once** — a streaming query compiles its plan at start and
+  never again: no ``compile_expression`` call and no plan compilation
+  happens while epochs are served (spy + counter).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import expressions as E
+from repro.sql import functions as F
+from repro.sql import logical as L
+from repro.sql import plancompiler
+from repro.sql.batch import RecordBatch
+from repro.sql.physical import execute, execute_interpreted
+from repro.sql.session import Session
+from repro.sql.types import StructType
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+
+SCHEMA = StructType((("a", "long"), ("b", "double"), ("k", "string")))
+
+
+def scan_of(schema=SCHEMA):
+    return L.Scan(schema, None, False, name="input")
+
+
+def run_compiled(plan, scan, batch):
+    return plancompiler.compile_plan(plan)({id(scan): batch})
+
+
+def run_rows(plan, rows):
+    """Reference: interpret the plan row-at-a-time with ``eval_row``."""
+    if isinstance(plan, L.Scan):
+        return rows
+    child_rows = run_rows(plan.child, rows)
+    if isinstance(plan, L.Filter):
+        return [r for r in child_rows if bool(plan.condition.eval_row(r))]
+    if isinstance(plan, L.Project):
+        return [
+            {e.output_name: e.eval_row(r) for e in plan.exprs}
+            for r in child_rows
+        ]
+    raise NotImplementedError(type(plan).__name__)
+
+
+def assert_rows_equal(batch, expected_rows):
+    assert batch.schema.names == (
+        list(expected_rows[0].keys()) if expected_rows else batch.schema.names
+    )
+    actual = [dict(r.items()) for r in batch.to_rows()]
+    assert len(actual) == len(expected_rows)
+    for got, want in zip(actual, expected_rows):
+        assert got.keys() == want.keys()
+        for name in want:
+            g, w = got[name], want[name]
+            if isinstance(w, float) or isinstance(g, float):
+                assert g == pytest.approx(w, rel=1e-9, abs=1e-9), name
+            else:
+                assert g == w, name
+
+
+# ---------------------------------------------------------------------------
+# Randomized stateless plans
+# ---------------------------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.builds(
+        lambda a, b, k: {"a": a, "b": b, "k": k},
+        st.integers(-50, 50),
+        st.floats(-100, 100, allow_nan=False, width=32).map(float),
+        st.sampled_from(["x", "y", "z"]),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+def _predicate(draw, columns):
+    """A random total boolean expression over the available columns."""
+    name = draw(st.sampled_from(columns))
+    ref = E.ColumnRef(name)
+    if name == "k":
+        kind = draw(st.sampled_from(["eq", "in", "like"]))
+        if kind == "eq":
+            return E.Comparison(ref, E.Literal(draw(st.sampled_from("xyz"))), "==")
+        if kind == "in":
+            return E.In(ref, ["x", "y"])
+        return E.Like(ref, draw(st.sampled_from(["x%", "%y", "z"])))
+    op = draw(st.sampled_from([">", "<", ">=", "<=", "==", "!="]))
+    bound = E.Literal(draw(st.integers(-40, 40)))
+    base = E.Comparison(ref, bound, op)
+    if draw(st.booleans()):
+        return E.Not(base)
+    return base
+
+
+def _numeric_expr(draw, columns):
+    """A random total numeric expression over the available columns."""
+    numeric = [c for c in columns if c != "k"]
+    name = draw(st.sampled_from(numeric))
+    expr = E.ColumnRef(name)
+    for _ in range(draw(st.integers(0, 2))):
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        other = draw(st.one_of(
+            st.integers(-5, 5).map(E.Literal),
+            st.sampled_from(numeric).map(E.ColumnRef),
+        ))
+        expr = E.Arithmetic(expr, other, op)
+    return expr
+
+
+@st.composite
+def stateless_plans(draw):
+    """A random chain of 1-5 Filter/Project nodes over the scan."""
+    scan = scan_of()
+    plan = scan
+    columns = list(SCHEMA.names)
+    for _ in range(draw(st.integers(1, 5))):
+        if draw(st.booleans()):
+            cond = _predicate(draw, columns)
+            if draw(st.booleans()):
+                cond = E.BooleanOp(cond, _predicate(draw, columns),
+                                   draw(st.sampled_from(["and", "or"])))
+            plan = L.Filter(cond, plan)
+        else:
+            width = draw(st.integers(1, 3))
+            exprs = [
+                E.Alias(_numeric_expr(draw, columns), f"c{i}")
+                for i in range(width)
+            ]
+            keep_k = "k" in columns and draw(st.booleans())
+            if keep_k:
+                exprs.append(E.ColumnRef("k"))
+            plan = L.Project(exprs, plan)
+            columns = [f"c{i}" for i in range(width)] + (["k"] if keep_k else [])
+    return plan, scan
+
+
+@settings(max_examples=120, deadline=None)
+@given(plan_scan=stateless_plans(), rows=rows_strategy)
+def test_compiled_plan_equals_row_interpretation(plan_scan, rows):
+    plan, scan = plan_scan
+    batch = RecordBatch.from_rows(rows, SCHEMA)
+    result = run_compiled(plan, scan, batch)
+    assert_rows_equal(result, run_rows(plan, rows))
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan_scan=stateless_plans(), rows=rows_strategy)
+def test_compiled_plan_equals_interpreted_executor(plan_scan, rows):
+    plan, scan = plan_scan
+    batch = RecordBatch.from_rows(rows, SCHEMA)
+    compiled = run_compiled(plan, scan, batch)
+    interpreted = execute_interpreted(plan, {id(scan): batch})
+    assert compiled.schema.names == interpreted.schema.names
+    assert compiled.num_rows == interpreted.num_rows
+    for name in compiled.schema.names:
+        got, want = compiled.columns[name], interpreted.columns[name]
+        if got.dtype == object or want.dtype == object:
+            assert list(got) == list(want)
+        else:
+            np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Randomized windowed aggregates
+# ---------------------------------------------------------------------------
+
+timed_rows = st.lists(
+    st.builds(
+        lambda t, v, k: {"t": float(t), "v": float(v), "k": k},
+        st.floats(0, 100, allow_nan=False, width=16).map(float),
+        st.integers(-20, 20),
+        st.sampled_from(["x", "y"]),
+    ),
+    min_size=0, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=timed_rows, duration=st.sampled_from([5.0, 10.0]),
+       slide=st.sampled_from([None, 5.0]))
+def test_compiled_window_aggregate_equals_row_interpretation(
+        rows, duration, slide):
+    schema = StructType((("t", "double"), ("v", "double"), ("k", "string")))
+    scan = L.Scan(schema, None, False, name="input")
+    window = E.WindowExpr(E.ColumnRef("t"), duration, slide)
+    plan = L.Aggregate(
+        [E.ColumnRef("k"), window],
+        [(E.Count(None), "n"), (E.Sum(E.ColumnRef("v")), "s")],
+        scan,
+    )
+    batch = RecordBatch.from_rows(rows, schema)
+    result = run_compiled(plan, scan, batch)
+
+    # Row-at-a-time reference: assign each row to its windows, tally.
+    expected = {}
+    for row in rows:
+        for start in window.assign_row(row):
+            key = (row["k"], start)
+            n, s = expected.get(key, (0, 0.0))
+            expected[key] = (n + 1, s + row["v"])
+
+    got = {
+        (r["k"], r["window_start"]): (r["n"], r["s"], r["window_end"])
+        for r in (dict(x.items()) for x in result.to_rows())
+    }
+    assert set(got) == set(expected)
+    for key, (n, s) in expected.items():
+        gn, gs, gend = got[key]
+        assert gn == n
+        assert gs == pytest.approx(s, rel=1e-9, abs=1e-9)
+        assert gend == pytest.approx(key[1] + duration)
+
+
+# ---------------------------------------------------------------------------
+# Fusion-specific cases
+# ---------------------------------------------------------------------------
+
+def test_fused_filters_match_sequential_semantics():
+    scan = scan_of()
+    plan = L.Filter(
+        E.Comparison(E.ColumnRef("b"), E.Literal(0.0), ">"),
+        L.Filter(E.Comparison(E.ColumnRef("a"), E.Literal(0), ">"), scan),
+    )
+    rows = [
+        {"a": 1, "b": 1.0, "k": "x"},
+        {"a": -1, "b": 5.0, "k": "y"},
+        {"a": 3, "b": -2.0, "k": "z"},
+        {"a": 2, "b": 0.5, "k": "x"},
+    ]
+    out = run_compiled(plan, scan, RecordBatch.from_rows(rows, SCHEMA))
+    assert [dict(r.items()) for r in out.to_rows()] == [rows[0], rows[3]]
+
+
+def test_unsafe_filter_never_sees_rows_removed_below_it():
+    # A UDF predicate that raises for a == 0 sits above a filter that
+    # removes exactly those rows.  Naive mask-combining would evaluate
+    # the UDF on the unfiltered input and blow up; the compiler must
+    # seal the stage at the unsafe predicate instead.
+    def explosive(a):
+        if a == 0:
+            raise ValueError("saw a filtered-out row")
+        return a > 1
+
+    from repro.sql.types import BOOLEAN
+
+    scan = scan_of()
+    plan = L.Filter(
+        E.Udf(explosive, [E.ColumnRef("a")], BOOLEAN, "explosive"),
+        L.Filter(E.Comparison(E.ColumnRef("a"), E.Literal(0), "!="), scan),
+    )
+    rows = [{"a": 0, "b": 1.0, "k": "x"}, {"a": 2, "b": 2.0, "k": "y"},
+            {"a": 1, "b": 3.0, "k": "z"}]
+    out = run_compiled(plan, scan, RecordBatch.from_rows(rows, SCHEMA))
+    assert [r["a"] for r in out.to_rows()] == [2]
+
+
+def test_projection_inlines_through_filter():
+    # project (a+1 as c) -> filter (c > 2) -> project (c*2 as d): the
+    # whole chain fuses to one stage; output names come from the original
+    # projections, not the inlined expressions.
+    scan = scan_of()
+    plan = L.Project(
+        [E.Alias(E.Arithmetic(E.ColumnRef("c"), E.Literal(2), "*"), "d")],
+        L.Filter(
+            E.Comparison(E.ColumnRef("c"), E.Literal(2), ">"),
+            L.Project(
+                [E.Alias(E.Arithmetic(E.ColumnRef("a"), E.Literal(1), "+"), "c")],
+                scan,
+            ),
+        ),
+    )
+    rows = [{"a": 0, "b": 0.0, "k": "x"}, {"a": 2, "b": 0.0, "k": "y"},
+            {"a": 5, "b": 0.0, "k": "z"}]
+    out = run_compiled(plan, scan, RecordBatch.from_rows(rows, SCHEMA))
+    assert out.schema.names == ["d"]
+    assert [r["d"] for r in out.to_rows()] == [6, 12]
+
+
+# ---------------------------------------------------------------------------
+# Compile-once: no plan-time work on the hot path
+# ---------------------------------------------------------------------------
+
+def test_batch_execute_compiles_a_plan_object_once():
+    session = Session()
+    df = (session.create_dataframe(
+        [{"a": i, "b": float(i), "k": "x"} for i in range(10)],
+        (("a", "long"), ("b", "double"), ("k", "string")))
+        .where(F.col("a") > 2).select("a"))
+    plan = df.plan
+    before = plancompiler.PLAN_COMPILATIONS
+    first = execute(plan)
+    after_first = plancompiler.PLAN_COMPILATIONS
+    second = execute(plan)
+    assert plancompiler.PLAN_COMPILATIONS == after_first > before
+    assert rows_set(first.to_rows()) == rows_set(second.to_rows())
+
+
+def test_streaming_epochs_do_no_expression_compilation(monkeypatch, tmp_path):
+    """The acceptance criterion: after the query starts, serving epochs
+    calls neither compile_expression nor compile_plan."""
+    stream = make_stream((("k", "string"), ("t", "double")))
+    session = Session()
+    df = (session.read_stream.memory(stream)
+          .with_watermark("t", "10 seconds")
+          .where(F.col("t") >= 0)
+          .select("k", (F.col("t") * 1).alias("t"))
+          .group_by("k", F.window(F.col("t"), "10 seconds"))
+          .agg(F.count().alias("n")))
+    query = start_memory_query(df, "update", "compile_spy", str(tmp_path))
+    stream.add_data([{"k": "a", "t": 1.0}, {"k": "b", "t": 2.0}])
+    query.process_all_available()
+
+    # Arm the spies only after the first epoch: construction-time
+    # compilation is expected, per-epoch compilation is the bug.
+    calls = {"expr": 0}
+    import repro.sql.codegen as codegen_mod
+    import repro.sql.physical as physical_mod
+    real = codegen_mod.compile_expression
+
+    def spy(expr, schema):
+        calls["expr"] += 1
+        return real(expr, schema)
+
+    monkeypatch.setattr(codegen_mod, "compile_expression", spy)
+    monkeypatch.setattr(physical_mod, "compile_expression", spy)
+    plans_before = plancompiler.PLAN_COMPILATIONS
+
+    for epoch in range(3):
+        stream.add_data([
+            {"k": "a", "t": 3.0 + epoch}, {"k": "c", "t": 4.0 + epoch},
+        ])
+        query.process_all_available()
+
+    assert calls["expr"] == 0
+    assert plancompiler.PLAN_COMPILATIONS == plans_before
+    query.stop()
