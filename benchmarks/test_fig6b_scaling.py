@@ -16,8 +16,12 @@ near-linear scaling, >=85% parallel efficiency at 20 nodes.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
+from repro.cluster import TaskScheduler
 from repro.cluster.perfmodel import ClusterPerformanceModel
 from repro.sql.session import Session
 from repro.workloads.yahoo import structured_streaming_query
@@ -27,6 +31,8 @@ from benchmarks.reporting import emit
 N = 400_000
 NODE_COUNTS = (1, 5, 10, 20)
 PAPER_SERIES = {1: 11.5e6, 5: 63e6, 10: 115e6, 20: 225e6}
+WORKER_COUNTS = (1, 2, 4, 8)
+SWEEP_SHARDS = 8
 
 
 def _drain(broker, workload) -> int:
@@ -69,3 +75,119 @@ def test_scaling_series(benchmark, columnar_events, workload):
     assert efficiency >= 0.85
     # The paper's 20-vs-1 ratio is 225/11.5 ~ 19.6x.
     assert 16.0 <= model.speedup(20) <= 20.0
+
+
+# ---------------------------------------------------------------------------
+# Worker sweep over the hash-partitioned epoch (§6.1-§6.2)
+# ---------------------------------------------------------------------------
+
+def _drain_partitioned(broker, workload, scheduler) -> float:
+    """One full run of the Yahoo pipeline through the partitioned engine;
+    returns the epoch wall time."""
+    session = Session()
+    query = structured_streaming_query(session, broker, "events", workload)
+    handle = (query.write_stream.format("memory").query_name("fig6b-sweep")
+              .output_mode("update")
+              .option("scheduler", scheduler)
+              .option("num_shards", SWEEP_SHARDS)
+              .start())
+    started = time.perf_counter()
+    handle.process_all_available()
+    return time.perf_counter() - started
+
+
+def _makespan(durations, workers: int) -> float:
+    """LPT list-scheduling makespan of the measured tasks on k workers."""
+    loads = [0.0] * workers
+    for seconds in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += seconds
+    return max(loads)
+
+
+def _projected_epoch_seconds(wall, stage_reports, workers: int) -> float:
+    """Epoch time at k workers from measured per-shard task durations:
+    the serial residual (everything outside scheduler tasks) plus each
+    stage's k-worker makespan.  Stages run sequentially in an epoch, so
+    makespans add."""
+    task_time = sum(s["seconds"] for r in stage_reports for s in r["tasks"])
+    residual = max(wall - task_time, 0.0)
+    return residual + sum(
+        _makespan([s["seconds"] for s in report["tasks"]], workers)
+        for report in stage_reports
+    )
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_worker_sweep_partitioned_epoch(benchmark, columnar_events, workload):
+    """Epoch throughput vs worker count for the hash-partitioned engine.
+
+    Per-shard task wall times are measured from real runs (the
+    scheduler's stage reports); the k-worker series is their LPT
+    makespan on k workers plus the measured serial residual — the same
+    measure-then-model substitution DESIGN.md documents for the node
+    sweep above, since this container exposes a single core
+    (os.cpu_count() == 1) and cannot exhibit thread speedup directly.
+    Measured single-core wall times are reported alongside.
+    """
+    measured = {}
+    reports = {}
+
+    def sweep():
+        for workers in WORKER_COUNTS:
+            scheduler = TaskScheduler(workers, speculation=False)
+            try:
+                best_wall, best_reports = None, None
+                for _ in range(3):
+                    before = len(scheduler.stage_reports)
+                    wall = _drain_partitioned(
+                        columnar_events, workload, scheduler)
+                    if best_wall is None or wall < best_wall:
+                        best_wall = wall
+                        best_reports = scheduler.stage_reports[before:]
+                measured[workers] = best_wall
+                reports[workers] = best_reports
+            finally:
+                scheduler.shutdown()
+        return len(measured)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Project every worker count from the 1-worker run's task timings
+    # (uncontended: tasks never interleave, so per-task walls are clean).
+    base_wall, base_reports = measured[1], reports[1]
+    projected = {
+        workers: _projected_epoch_seconds(base_wall, base_reports, workers)
+        for workers in WORKER_COUNTS
+    }
+
+    lines = [
+        "Figure 6b (extension) — epoch throughput vs workers, "
+        f"hash-partitioned Yahoo! pipeline ({SWEEP_SHARDS} shards, "
+        f"{N:,} events/epoch)",
+        f"host cores: {os.cpu_count()} (k-worker series projected from "
+        "measured per-shard task times; see DESIGN.md)",
+        f"{'workers':>8}{'measured ms':>13}{'projected ms':>14}"
+        f"{'proj rec/s':>14}{'speedup':>9}",
+    ]
+    for workers in WORKER_COUNTS:
+        speedup = projected[1] / projected[workers]
+        lines.append(
+            f"{workers:>8}{measured[workers] * 1000:>11.1f}ms"
+            f"{projected[workers] * 1000:>12.1f}ms"
+            f"{N / projected[workers]:>14,.0f}{speedup:>8.2f}x"
+        )
+    lines.append(
+        f"4-worker epoch speedup: {projected[1] / projected[4]:.2f}x "
+        "(acceptance floor: 1.5x)")
+    emit("fig6b_worker_sweep", lines)
+
+    benchmark.extra_info["projected_speedup_at_4"] = projected[1] / projected[4]
+    benchmark.extra_info["measured_wall_ms"] = {
+        w: measured[w] * 1000 for w in WORKER_COUNTS}
+
+    # The partitioned decomposition must actually expose parallelism:
+    # >1.5x epoch throughput at 4 workers vs 1 on the windowed
+    # aggregation pipeline, and monotone through 8.
+    assert projected[1] / projected[4] > 1.5
+    assert projected[2] <= projected[1]
+    assert projected[8] <= projected[4]

@@ -1,9 +1,9 @@
 """Fine-grained task scheduler with speculation and retries (§6.2).
 
-A stage is a set of independent tasks (one per input partition, as in
-the microbatch engine's epochs).  Worker threads pull tasks from a
-shared queue — that *is* dynamic load balancing: a slow worker simply
-pulls fewer tasks.  The scheduler additionally provides:
+A stage is a set of independent tasks (one per input partition or state
+shard, as in the microbatch engine's epochs).  Worker threads pull tasks
+from a shared queue — that *is* dynamic load balancing: a slow worker
+simply pulls fewer tasks.  The scheduler additionally provides:
 
 * **fault recovery** — a failed task is retried (possibly elsewhere)
   without restarting the stage;
@@ -14,6 +14,13 @@ pulls fewer tasks.  The scheduler additionally provides:
 
 Tasks must be idempotent (they may run twice under speculation), the
 same requirement Spark places on its tasks.
+
+``run_stage`` returns results keyed **in task submission order** (not
+completion order), so downstream merges are deterministic regardless of
+worker timing; per-task wall time and attempt counts are recorded in
+:attr:`TaskScheduler.last_stage_report` and summarized across stages by
+:meth:`TaskScheduler.stage_metrics` (straggler tuning + progress
+reporting, §7.4).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -44,6 +52,7 @@ class Task:
 class _Attempt:
     task: Task
     attempt: int
+    speculative: bool = False
     started_at: float = field(default=0.0)
 
 
@@ -55,12 +64,16 @@ class _StageState:
         self.results = {}
         self.failures = {}
         self.attempts_launched = {t.task_id: 0 for t in tasks}
-        self.running = {}  # task_id -> set of attempt numbers
+        self.running = {}  # task_id -> {attempt number: _Attempt}
         self.durations = []
+        #: task_id -> {"seconds", "attempts", "speculative_won"} for the
+        #: winning attempt (satellite: per-task wall time + attempts).
+        self.task_stats = {}
         self.error = None
         self.done = threading.Event()
         self.remaining = {t.task_id for t in tasks}
         self.speculative_launches = 0
+        self.speculative_wins = 0
         self.retries = 0
 
 
@@ -70,7 +83,7 @@ class TaskScheduler:
     def __init__(self, num_workers: int, max_retries: int = 3,
                  speculation: bool = True, speculation_multiplier: float = 2.0,
                  speculation_min_seconds: float = 0.05,
-                 injectors=()):
+                 injectors=(), stage_history: int = 256):
         self._max_retries = max_retries
         self._speculation = speculation
         self._speculation_multiplier = speculation_multiplier
@@ -85,6 +98,9 @@ class TaskScheduler:
         self._shutdown = threading.Event()
         self._stage = None
         self._stage_lock = threading.Lock()
+        #: Report of the most recent completed stage (see _stage_report).
+        self.last_stage_report = None
+        self._stage_records = deque(maxlen=stage_history)
         for _ in range(num_workers):
             self._add_worker()
 
@@ -131,8 +147,11 @@ class TaskScheduler:
     def run_stage(self, tasks, timeout: float = 60.0) -> dict:
         """Run tasks to completion; returns ``{task_id: result}``.
 
-        Raises :class:`TaskFailure` if any task exhausts its retries.
-        Only one stage runs at a time (as within one microbatch epoch).
+        The returned dict is ordered by task **submission order**, not
+        completion order, so iterating it (or zipping with the submitted
+        task list) is deterministic under any worker timing.  Raises
+        :class:`TaskFailure` if any task exhausts its retries.  Only one
+        stage runs at a time (as within one microbatch epoch).
         """
         tasks = list(tasks)
         if not tasks:
@@ -140,6 +159,7 @@ class TaskScheduler:
         with self._stage_lock:
             state = _StageState(tasks)
             self._stage = state
+            started = time.monotonic()
             for task in tasks:
                 self._enqueue(state, task)
             speculator = threading.Thread(
@@ -153,13 +173,74 @@ class TaskScheduler:
                 raise TimeoutError(f"stage did not finish within {timeout}s")
             if state.error is not None:
                 raise state.error
-            return dict(state.results)
+            self._record_stage(state, tasks, time.monotonic() - started)
+            return {t.task_id: state.results[t.task_id] for t in tasks}
 
-    def _enqueue(self, state: _StageState, task: Task) -> None:
+    def _record_stage(self, state: _StageState, tasks, wall_seconds) -> None:
+        report = {
+            "num_tasks": len(tasks),
+            "wall_seconds": wall_seconds,
+            # Stringify ids: task_id may be any hashable (tuples here),
+            # and the report is JSON-logged via EpochProgress.to_json.
+            "tasks": [
+                dict(state.task_stats[t.task_id], task_id=str(t.task_id))
+                for t in tasks
+            ],
+            "retries": state.retries,
+            "speculative_launched": state.speculative_launches,
+            "speculative_won": state.speculative_wins,
+        }
+        self.last_stage_report = report
+        self._stage_records.append(report)
+
+    @property
+    def stage_reports(self) -> list:
+        """Recorded per-stage reports, oldest first (bounded history)."""
+        return list(self._stage_records)
+
+    def stage_metrics(self) -> dict:
+        """Summary across recorded stages (feeds straggler tuning and the
+        progress reporter): p50/p95/max task wall time, total attempts,
+        retries, speculations launched and won."""
+        durations = []
+        attempts = 0
+        retries = 0
+        spec_launched = 0
+        spec_won = 0
+        num_tasks = 0
+        for report in self._stage_records:
+            for stats in report["tasks"]:
+                durations.append(stats["seconds"])
+                attempts += stats["attempts"]
+            num_tasks += report["num_tasks"]
+            retries += report["retries"]
+            spec_launched += report["speculative_launched"]
+            spec_won += report["speculative_won"]
+        durations.sort()
+
+        def quantile(q: float):
+            if not durations:
+                return None
+            return durations[min(int(q * len(durations)), len(durations) - 1)]
+
+        return {
+            "num_stages": len(self._stage_records),
+            "num_tasks": num_tasks,
+            "task_seconds_p50": quantile(0.50),
+            "task_seconds_p95": quantile(0.95),
+            "task_seconds_max": durations[-1] if durations else None,
+            "attempts": attempts,
+            "retries": retries,
+            "speculative_launched": spec_launched,
+            "speculative_won": spec_won,
+        }
+
+    def _enqueue(self, state: _StageState, task: Task,
+                 speculative: bool = False) -> None:
         with state.lock:
             attempt = state.attempts_launched[task.task_id]
             state.attempts_launched[task.task_id] = attempt + 1
-        self._queue.put((state, _Attempt(task, attempt)))
+        self._queue.put((state, _Attempt(task, attempt, speculative)))
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -190,7 +271,15 @@ class TaskScheduler:
             if task.task_id in state.remaining:
                 state.remaining.discard(task.task_id)
                 state.results[task.task_id] = result
-                state.durations.append(time.monotonic() - attempt.started_at)
+                seconds = time.monotonic() - attempt.started_at
+                state.durations.append(seconds)
+                state.task_stats[task.task_id] = {
+                    "seconds": seconds,
+                    "attempts": state.attempts_launched[task.task_id],
+                    "speculative_won": attempt.speculative,
+                }
+                if attempt.speculative:
+                    state.speculative_wins += 1
             state.running.get(task.task_id, {}).pop(attempt.attempt, None)
             if not state.remaining:
                 state.done.set()
@@ -238,4 +327,4 @@ class TaskScheduler:
                 for task in candidates:
                     state.speculative_launches += 1
             for task in candidates:
-                self._enqueue(state, task)
+                self._enqueue(state, task, speculative=True)

@@ -14,6 +14,9 @@ introduce nulls into numeric columns (outer joins) promote them to double.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+
 import numpy as np
 
 from repro.sql.types import DataType, DoubleType, StructType
@@ -183,6 +186,157 @@ class RecordBatch:
 
     def __repr__(self) -> str:
         return f"RecordBatch({self.num_rows} rows, {self.schema!r})"
+
+
+# ---------------------------------------------------------------------------
+# Stable hashing and hash partitioning (shared-nothing parallel execution)
+# ---------------------------------------------------------------------------
+#
+# The partitioned execution layer shards every epoch's delta by key so
+# that per-shard stateful operators never see each other's keys.  Two
+# requirements shape the hash:
+#
+# * **stable across processes and runs** — shard placement decides where
+#   a key's state lives, and recovery/rescaling must be able to recompute
+#   it from a restored checkpoint (so Python's randomized ``hash()`` is
+#   out);
+# * **computable both vectorized and per-key** — the hot path hashes
+#   whole key columns at once (:func:`stable_hash_arrays`), while restore
+#   and rescaling hash one decoded state-key tuple at a time
+#   (:func:`stable_hash_key`); the two MUST agree bit-for-bit.
+#
+# Numeric columns go through a splitmix64 finalizer on their 64-bit
+# patterns; strings (the object-dtype slow path) use a truncated blake2b.
+
+_MASK64 = (1 << 64) - 1
+_HASH_SEED = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_NONE_SENTINEL = 0x6E756C6C  # b'null'
+
+
+def _mix64_scalar(z: int) -> int:
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _mix64_array(z: np.ndarray) -> np.ndarray:
+    z = z.astype(np.uint64, copy=True)
+    z ^= z >> np.uint64(30)
+    z *= np.uint64(_MIX_A)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(_MIX_B)
+    z ^= z >> np.uint64(31)
+    return z
+
+
+def stable_hash_value(value) -> int:
+    """64-bit hash of a single key value; stable across runs.
+
+    Must agree with the per-dtype vectorized paths in
+    :func:`stable_hash_arrays`: ints/bools hash their two's-complement
+    bits, floats their IEEE-754 bits, strings a truncated blake2b digest.
+    """
+    if isinstance(value, (bool, int, np.integer)):
+        return _mix64_scalar(int(value) & _MASK64)
+    if isinstance(value, (float, np.floating)):
+        bits = int.from_bytes(struct.pack("<d", float(value)), "little")
+        return _mix64_scalar(bits)
+    if value is None:
+        return _mix64_scalar(_NONE_SENTINEL)
+    if isinstance(value, str):
+        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+        return _mix64_scalar(int.from_bytes(digest, "little"))
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    return _mix64_scalar(int.from_bytes(digest, "little"))
+
+
+def _hash_column(arr: np.ndarray, n: int) -> np.ndarray:
+    if arr.dtype == object:
+        return np.fromiter(
+            (stable_hash_value(v) for v in arr.tolist()),
+            dtype=np.uint64, count=n,
+        )
+    if arr.dtype.kind == "f":
+        bits = np.ascontiguousarray(arr, dtype=np.float64).view(np.uint64)
+    elif arr.dtype.kind == "b":
+        bits = arr.astype(np.uint64)
+    else:
+        bits = np.ascontiguousarray(arr, dtype=np.int64).view(np.uint64)
+    return _mix64_array(bits)
+
+
+def stable_hash_arrays(arrays) -> np.ndarray:
+    """Combined row hashes of parallel key columns (vectorized).
+
+    ``result[i]`` equals ``stable_hash_key(tuple(a[i] for a in arrays))``
+    for every row — the agreement the state-rescaling path relies on.
+    """
+    arrays = [np.asarray(a) for a in arrays]
+    n = len(arrays[0])
+    h = np.full(n, _HASH_SEED, dtype=np.uint64)
+    for i, arr in enumerate(arrays):
+        ch = _hash_column(arr, n)
+        ch += np.uint64(i + 1)
+        h = _mix64_array(h ^ ch)
+    return h
+
+
+def stable_hash_key(values) -> int:
+    """Combined hash of one key tuple (scalar twin of
+    :func:`stable_hash_arrays`)."""
+    if not isinstance(values, (tuple, list)):
+        values = (values,)
+    h = _HASH_SEED
+    for i, value in enumerate(values):
+        ch = (stable_hash_value(value) + i + 1) & _MASK64
+        h = _mix64_scalar(h ^ ch)
+    return h
+
+
+def shard_of_key(values, num_shards: int) -> int:
+    """The shard a key tuple belongs to (0 when only one shard)."""
+    if num_shards <= 1:
+        return 0
+    return stable_hash_key(values) % num_shards
+
+
+def shard_assignments(arrays, num_shards: int) -> np.ndarray:
+    """Per-row shard ids for parallel key columns."""
+    hashes = stable_hash_arrays(arrays)
+    return (hashes % np.uint64(num_shards)).astype(np.int64)
+
+
+def partition_by_assignment(batch: "RecordBatch", assign: np.ndarray,
+                            num_shards: int) -> tuple:
+    """Split ``batch`` into per-shard sub-batches by precomputed shard ids.
+
+    Returns ``(sub_batches, row_indices)``; ``row_indices[s]`` maps each
+    shard-local row back to its position in ``batch`` (row order within a
+    shard is preserved, which keeps merged outputs deterministic).
+    """
+    parts = []
+    indices = []
+    for s in range(num_shards):
+        idx = np.flatnonzero(assign == s)
+        indices.append(idx)
+        parts.append(batch.take(idx))
+    return parts, indices
+
+
+def hash_partition(batch: "RecordBatch", key_names, num_shards: int) -> tuple:
+    """Hash-partition ``batch`` by the named key columns.
+
+    The vectorized kernel behind the partitioned execution layer:
+    ``(sub_batches, row_indices)`` such that every row lands in the shard
+    :func:`shard_of_key` would assign its key tuple to.
+    """
+    assign = shard_assignments(
+        [batch.columns[n] for n in key_names], num_shards
+    )
+    return partition_by_assignment(batch, assign, num_shards)
 
 
 def promote_nullable(schema: StructType) -> StructType:

@@ -26,7 +26,8 @@ class IncrementalPlan:
     """The result of incrementalization, ready for an execution engine."""
 
     def __init__(self, root: ops.IncrementalOp, sources: list, watermark_delays: dict,
-                 stateful_ops: list, key_names: list, output_mode: str):
+                 stateful_ops: list, key_names: list, output_mode: str,
+                 num_shards: int = 1):
         #: Root incremental operator; its per-epoch output feeds the sink.
         self.root = root
         #: [(source_name, SourceDescriptor)] in plan order.
@@ -38,6 +39,8 @@ class IncrementalPlan:
         #: Output columns identifying a row, for update-mode sinks.
         self.key_names = key_names
         self.output_mode = output_mode
+        #: Shard count every stateful operator partitions by (§6.2).
+        self.num_shards = num_shards
 
 
 class _Builder:
@@ -48,9 +51,13 @@ class _Builder:
     store directories — the basis for code updates that keep state (§7.1).
     """
 
-    def __init__(self, state_store, output_mode: str):
+    def __init__(self, state_store, output_mode: str, num_shards: int = 1):
         self._state_store = state_store
         self._output_mode = output_mode
+        #: Shard count assigned to each stateful operator; the operators
+        #: hash-partition their input deltas by key into this many
+        #: independent tasks per epoch (§6.2).
+        self.num_shards = max(1, num_shards)
         self.sources = []
         self.stateful_ops = []
         self._op_counter = 0
@@ -79,7 +86,8 @@ class _Builder:
             while isinstance(bottom.child, (L.Project, L.Filter)) \
                     and bottom.child.is_streaming:
                 bottom = bottom.child
-            return ops.StatelessOp(plan, self.build(bottom.child))
+            return ops.StatelessOp(plan, self.build(bottom.child),
+                                   num_shards=self.num_shards)
         if isinstance(plan, L.WithWatermark):
             return ops.WatermarkTrackOp(plan.column, self.build(plan.child))
         if isinstance(plan, L.Aggregate):
@@ -92,6 +100,7 @@ class _Builder:
             op = ops.MapGroupsWithStateOp(
                 plan, self.build(plan.child), self._handle("mgws"),
                 watermark_column=_single_watermark_column(plan.child),
+                num_shards=self.num_shards,
             )
             self.stateful_ops.append(op)
             return op
@@ -129,6 +138,7 @@ class _Builder:
         op = ops.StatefulAggregateOp(
             plan, self.build(plan.child), self._handle("agg"),
             watermark_column=watermark_column,
+            num_shards=self.num_shards,
         )
         self.stateful_ops.append(op)
         return op
@@ -139,6 +149,7 @@ class _Builder:
         op = ops.StreamingDedupOp(
             plan, self.build(plan.child), self._handle("dedup"),
             watermark_column=in_subset[0] if in_subset else None,
+            num_shards=self.num_shards,
         )
         self.stateful_ops.append(op)
         return op
@@ -153,17 +164,18 @@ class _Builder:
                 self.build(plan.right),
                 self._handle("join-left"),
                 self._handle("join-right"),
+                num_shards=self.num_shards,
             )
             self.stateful_ops.append(op)
             return op
         if left_streaming:
             return ops.StreamStaticJoinOp(
                 plan, self.build(plan.left), ops.StaticOp(plan.right),
-                stream_is_left=True,
+                stream_is_left=True, num_shards=self.num_shards,
             )
         return ops.StreamStaticJoinOp(
             plan, self.build(plan.right), ops.StaticOp(plan.left),
-            stream_is_left=False,
+            stream_is_left=False, num_shards=self.num_shards,
         )
 
 
@@ -193,18 +205,22 @@ def _result_key_names(plan: L.LogicalPlan) -> list:
 
 
 def incrementalize(plan: L.LogicalPlan, output_mode: str, state_store,
-                   run_optimizer: bool = True) -> IncrementalPlan:
+                   run_optimizer: bool = True,
+                   num_shards: int = 1) -> IncrementalPlan:
     """Plan a streaming query: analyze, check, optimize, build operators.
 
     ``state_store`` supplies the keyed state handles for stateful
     operators; the engine commits/restores it around epochs.
+    ``num_shards`` is the partition count every stateful operator splits
+    its epoch work into (it should match the state store's shard count);
+    1 keeps the single-task path.
     """
     analyze(plan)
     check_streaming_supported(plan, output_mode)
     if run_optimizer:
         plan = optimize(plan)
         analyze(plan)
-    builder = _Builder(state_store, output_mode)
+    builder = _Builder(state_store, output_mode, num_shards)
     root = builder.build(plan)
     return IncrementalPlan(
         root=root,
@@ -213,4 +229,5 @@ def incrementalize(plan: L.LogicalPlan, output_mode: str, state_store,
         stateful_ops=builder.stateful_ops,
         key_names=_result_key_names(plan),
         output_mode=output_mode,
+        num_shards=builder.num_shards,
     )

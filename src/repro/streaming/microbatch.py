@@ -22,6 +22,7 @@ backlogged query automatically runs larger epochs until it catches up.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.sql.batch import RecordBatch
@@ -42,22 +43,34 @@ class MicrobatchEngine:
                  snapshot_interval: int = 10,
                  scheduler=None,
                  retain_epochs: int = None,
+                 num_shards: int = None,
                  clock=time.time):
         self.sink = sink
         self.output_mode = output_mode
         self.clock = clock
         self._max_records = max_records_per_epoch
         self._state_checkpoint_interval = max(1, state_checkpoint_interval)
-        #: Optional cluster TaskScheduler: per-partition reads run as
-        #: independent tasks ("map tasks", §6.2), giving the engine
-        #: fine-grained retry and straggler mitigation for ingestion.
+        #: Optional cluster TaskScheduler: per-partition reads and the
+        #: stateful operators' per-shard work run as independent tasks
+        #: ("map tasks", §6.2), giving the engine fine-grained retry and
+        #: straggler mitigation for the whole epoch.
         self.scheduler = scheduler
         #: Keep at least this many recent epochs of WAL + state for
         #: manual rollback (§7.2); None = retain everything.
         self._retain_epochs = retain_epochs
+        #: Hash-partition count for operator state and epoch tasks
+        #: (§6.2).  Checkpoints are shard-count independent, so a query
+        #: may restart at a different count (rescaling): restore simply
+        #: re-hashes every key.  REPRO_NUM_SHARDS supplies an env-driven
+        #: default so CI can exercise the partitioned path everywhere.
+        if num_shards is None:
+            num_shards = int(os.environ.get("REPRO_NUM_SHARDS", "1"))
+        self.num_shards = max(1, num_shards)
 
-        self.state_store = StateStore(checkpoint_dir, snapshot_interval)
-        self.plan = incrementalize(plan, output_mode, self.state_store)
+        self.state_store = StateStore(checkpoint_dir, snapshot_interval,
+                                      num_shards=self.num_shards)
+        self.plan = incrementalize(plan, output_mode, self.state_store,
+                                   num_shards=self.num_shards)
         self.sink.set_key_names(self.plan.key_names)
         if output_mode not in sink.supported_modes:
             raise ValueError(
@@ -168,6 +181,7 @@ class MicrobatchEngine:
             output_mode=self.output_mode,
             output_enabled=output_enabled,
             is_first_epoch=epoch == 0,
+            scheduler=self.scheduler,
         )
         result = self.plan.root.process(ctx)
         if output_enabled:
@@ -242,6 +256,7 @@ class MicrobatchEngine:
             output_mode=self.output_mode,
             output_enabled=True,
             is_first_epoch=epoch == 0,
+            scheduler=self.scheduler,
         )
         result = self.plan.root.process(ctx)
 
@@ -281,6 +296,10 @@ class MicrobatchEngine:
                 name: {"start": self._start_offsets[name], "end": ends[name]}
                 for name in self.sources
             },
+            task_metrics=(
+                self.scheduler.last_stage_report
+                if self.scheduler is not None else None
+            ),
         )
         self.progress.record(progress)
         return progress

@@ -16,13 +16,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sql import codegen
 from repro.sql import logical as L
 from repro.sql import plancompiler
-from repro.sql.batch import RecordBatch
+from repro.sql.batch import (
+    RecordBatch,
+    hash_partition,
+    partition_by_assignment,
+    shard_assignments,
+)
 from repro.sql.grouping import encode_groups
 from repro.sql.joins import assemble_join_output, join_indices
 from repro.sql.physical import aggregate_result_batch, execute
 from repro.sql.types import StructType
+from repro.streaming.state import encode_key
 from repro.streaming.stateful import GroupState, normalize_func_output
 
 
@@ -30,7 +37,8 @@ class EpochContext:
     """Everything an operator may read while processing one epoch."""
 
     def __init__(self, epoch_id: int, inputs: dict, watermarks, processing_time: float,
-                 output_mode: str, output_enabled: bool = True, is_first_epoch: bool = False):
+                 output_mode: str, output_enabled: bool = True, is_first_epoch: bool = False,
+                 scheduler=None):
         self.epoch_id = epoch_id
         #: source name -> RecordBatch of this epoch's new records.
         self.inputs = inputs
@@ -41,8 +49,38 @@ class EpochContext:
         #: False while replaying epochs purely to rebuild state (§6.1).
         self.output_enabled = output_enabled
         self.is_first_epoch = is_first_epoch
+        #: Optional cluster TaskScheduler: sharded operators submit one
+        #: task per (operator, shard) to it (§6.2); None runs them inline.
+        self.scheduler = scheduler
         #: Filled by operators for progress reporting (§7.4).
         self.metrics = {"rows_processed": 0, "late_rows_dropped": 0}
+
+
+def run_shard_tasks(ctx: EpochContext, label, fns) -> list:
+    """Run one zero-arg callable per shard; results in shard order.
+
+    With a scheduler on the context, each non-empty shard becomes one
+    scheduler task — the partitioned epoch execution of §6.2, with the
+    scheduler's retry and speculation applying per shard.  Tasks must be
+    *pure*: they read immutable pre-epoch state and return deferred
+    writes, so a retried or speculated attempt reproduces the same
+    result.  ``fns[i] is None`` marks an empty shard (skipped).  Without
+    a scheduler (or with one runnable shard) the callables run inline,
+    which keeps output bit-identical between the two paths.
+    """
+    runnable = [(i, fn) for i, fn in enumerate(fns) if fn is not None]
+    if ctx.scheduler is None or len(runnable) <= 1:
+        return [fn() if fn is not None else None for fn in fns]
+    from repro.cluster.scheduler import Task
+
+    tasks = [
+        Task((label, ctx.epoch_id, i), fn) for i, fn in runnable
+    ]
+    results = ctx.scheduler.run_stage(tasks)
+    out = [None] * len(fns)
+    for i, _fn in runnable:
+        out[i] = results[(label, ctx.epoch_id, i)]
+    return out
 
 
 class IncrementalOp:
@@ -148,11 +186,17 @@ class StatelessOp(IncrementalOp):
     compilation.
     """
 
-    def __init__(self, node: L.LogicalPlan, child: IncrementalOp):
+    #: Minimum rows before a delta is split into parallel slices; below
+    #: this, task overhead exceeds the kernels' GIL-released compute.
+    MIN_PARALLEL_ROWS = 8192
+
+    def __init__(self, node: L.LogicalPlan, child: IncrementalOp,
+                 num_shards: int = 1):
         self._placeholder = make_placeholder(child.output_schema)
         self._node = self._graft(node)
         self.output_schema = self._node.schema
         self.child = child
+        self.num_shards = max(1, num_shards)
         self._compiled = plancompiler.compile_plan(self._node)
 
     def _graft(self, node: L.LogicalPlan) -> L.LogicalPlan:
@@ -171,6 +215,28 @@ class StatelessOp(IncrementalOp):
         batch = self.child.process(ctx)
         if batch.num_rows == 0:
             return self._empty()
+        if (ctx.scheduler is not None and self.num_shards > 1
+                and batch.num_rows >= self.MIN_PARALLEL_ROWS):
+            # Row-wise operators need no key partitioning: contiguous
+            # row slices (zero-copy column views) run the compiled
+            # pipeline in parallel and concatenate back in slice order,
+            # so output row order matches the single-slice path exactly.
+            bounds = np.linspace(
+                0, batch.num_rows, self.num_shards + 1).astype(np.int64)
+            slices = [
+                RecordBatch(
+                    {n: batch.columns[n][lo:hi] for n in batch.schema.names},
+                    batch.schema,
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            outs = run_shard_tasks(ctx, ("stateless", id(self)), [
+                (lambda s=s: self.apply(s)) if s.num_rows else None
+                for s in slices
+            ])
+            return RecordBatch.concat(
+                [o for o in outs if o is not None], self.output_schema
+            )
         return self.apply(batch)
 
 
@@ -225,11 +291,12 @@ class StreamStaticJoinOp(IncrementalOp):
     """
 
     def __init__(self, node: L.Join, stream: IncrementalOp, static: StaticOp,
-                 stream_is_left: bool):
+                 stream_is_left: bool, num_shards: int = 1):
         self._node = node
         self.stream = stream
         self.static = static
         self.stream_is_left = stream_is_left
+        self.num_shards = max(1, num_shards)
         self.output_schema = node.schema
 
     def join_delta(self, delta: RecordBatch) -> RecordBatch:
@@ -247,7 +314,33 @@ class StreamStaticJoinOp(IncrementalOp):
         )
 
     def process(self, ctx: EpochContext) -> RecordBatch:
-        return self.join_delta(self.stream.process(ctx))
+        delta = self.stream.process(ctx)
+        if (ctx.scheduler is not None and self.num_shards > 1
+                and self.stream_is_left and self._node.how == "inner"
+                and delta.num_rows >= StatelessOp.MIN_PARALLEL_ROWS):
+            # Inner join with the stream on the left emits matched pairs
+            # in left-row order, so contiguous delta slices joined
+            # independently concatenate back to exactly the unsliced
+            # output.  (Outer joins append unmatched rows after all
+            # matches, which slicing would interleave — those and
+            # static-left joins keep the single-call path.)
+            bounds = np.linspace(
+                0, delta.num_rows, self.num_shards + 1).astype(np.int64)
+            slices = [
+                RecordBatch(
+                    {n: delta.columns[n][lo:hi] for n in delta.schema.names},
+                    delta.schema,
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            outs = run_shard_tasks(ctx, ("static-join", id(self)), [
+                (lambda s=s: self.join_delta(s)) if s.num_rows else None
+                for s in slices
+            ])
+            return RecordBatch.concat(
+                [o for o in outs if o is not None], self.output_schema
+            )
+        return self.join_delta(delta)
 
 
 class StatefulAggregateOp(IncrementalOp):
@@ -269,7 +362,7 @@ class StatefulAggregateOp(IncrementalOp):
     stateful = True
 
     def __init__(self, node: L.Aggregate, child: IncrementalOp, state_handle,
-                 watermark_column: str = None):
+                 watermark_column: str = None, num_shards: int = 1):
         self._node = node
         self.child = child
         self.state = state_handle
@@ -278,6 +371,19 @@ class StatefulAggregateOp(IncrementalOp):
         #: the window's time column, or a directly watermarked group key.
         self.watermark_column = watermark_column
         self._window = node.window
+        self.num_shards = max(1, num_shards)
+        #: Compiled per-row partition keys (None -> not shardable).  Any
+        #: plain grouping colocates a whole group (the state key extends
+        #: the plain values), so those expressions alone suffice; a
+        #: window-only aggregate shards by tumbling window start, and a
+        #: sliding window-only aggregate stays on the single-shard path
+        #: (one row belongs to several windows).
+        self._partition_key_fns = None
+        if node.plain_grouping:
+            self._partition_key_fns = [
+                codegen.compile_expression(g, node.child.schema)
+                for g in node.plain_grouping
+            ]
         #: Group-key pipeline compiled once; per epoch only kernels run.
         self._grouping = plancompiler.compile_grouping(node)
         #: Index of the watermarked plain grouping key (non-window case).
@@ -309,8 +415,11 @@ class StatefulAggregateOp(IncrementalOp):
         )
         changed = self._merge_new_data(batch, watermark, ctx)
         if ctx.output_mode == "complete":
+            # Canonical (encoded-key) order: state iteration order varies
+            # with the shard count, the emitted table must not.
             keys, buffers = [], []
-            for key, value in self.state.items():
+            for key, value in sorted(
+                    self.state.items(), key=lambda kv: encode_key(kv[0])):
                 keys.append(key)
                 buffers.append(value)
             return aggregate_result_batch(self._node, keys, buffers)
@@ -328,23 +437,78 @@ class StatefulAggregateOp(IncrementalOp):
             self._node, [k for k, _ in finalized], [b for _, b in finalized]
         )
 
+    def _partition_arrays(self, batch: RecordBatch):
+        """Per-row partition-key arrays, or None when not shardable."""
+        if self._partition_key_fns is not None:
+            return [fn(batch) for fn in self._partition_key_fns]
+        window = self._window
+        if window is not None and window.slide == window.duration:
+            # Tumbling window start, computed exactly as assign_batch's
+            # k=0 term so a group's rows land in one shard.
+            times = np.asarray(
+                window.time_expr.eval_batch(batch), dtype=np.float64)
+            return [np.floor(times / window.slide) * window.slide]
+        return None
+
     def _merge_new_data(self, batch: RecordBatch, watermark, ctx: EpochContext) -> set:
         """Fold the epoch's partial aggregates into state; returns the set
-        of changed keys."""
+        of changed keys.
+
+        With ``num_shards > 1`` the delta is hash-partitioned by group
+        key and each shard's grouping + partials run as an independent
+        task against read-only pre-epoch state; the returned per-shard
+        writes are applied here, in shard order, after every task
+        finished.  A group's rows always share a shard, so the folded
+        buffers are bit-identical to the single-shard fold.
+        """
         if batch.num_rows == 0:
             return set()
+        parts = None
+        if self.num_shards > 1 and batch.num_rows > 1:
+            arrays = self._partition_arrays(batch)
+            if arrays is not None:
+                assign = shard_assignments(arrays, self.num_shards)
+                parts, _ = partition_by_assignment(
+                    batch, assign, self.num_shards)
+        if parts is None:
+            results = [self._merge_shard(batch, watermark)]
+        else:
+            results = run_shard_tasks(ctx, ("agg", id(self)), [
+                (lambda p=p: self._merge_shard(p, watermark))
+                if p.num_rows else None
+                for p in parts
+            ])
+        changed = set()
+        for result in results:
+            if result is None:
+                continue
+            puts, shard_changed, late_rows = result
+            for key, buffers in puts.items():
+                self.state.put(key, buffers)
+            changed |= shard_changed
+            ctx.metrics["late_rows_dropped"] += late_rows
+        return changed
+
+    def _merge_shard(self, batch: RecordBatch, watermark) -> tuple:
+        """Pure shard task: group one sub-batch and fold its partials.
+
+        Reads pre-epoch state only; returns ``(puts, changed, late)``
+        with all writes deferred, so speculative or retried attempts are
+        idempotent.
+        """
         expanded, codes, uniques = self._grouping(batch)
+        late_rows = 0
         if watermark is not None and len(uniques):
-            expanded, codes, uniques = self._drop_late(
-                expanded, codes, uniques, watermark, ctx
+            expanded, codes, uniques, late_rows = self._drop_late(
+                expanded, codes, uniques, watermark
             )
         if not len(uniques):
-            return set()
+            return {}, set(), late_rows
         aggs = self._node.aggregates
         partials_per_agg = [
             fn.batch_partials(expanded, codes, len(uniques)) for fn, _ in aggs
         ]
-        changed = set()
+        puts = {}
         for g, key in enumerate(uniques):
             buffers = self.state.get(key)
             if buffers is None:
@@ -353,20 +517,19 @@ class StatefulAggregateOp(IncrementalOp):
                 fn.merge(buffers[j], partials_per_agg[j][g])
                 for j, (fn, _) in enumerate(aggs)
             ]
-            self.state.put(key, buffers)
-            changed.add(key)
-        return changed
+            puts[key] = buffers
+        return puts, set(puts), late_rows
 
-    def _drop_late(self, expanded, codes, uniques, watermark, ctx):
+    def _drop_late(self, expanded, codes, uniques, watermark):
         """Remove group memberships whose key is already finalized."""
         late_codes = {
             g for g, key in enumerate(uniques)
             if (expiry := self._key_expiry(key)) is not None and expiry <= watermark
         }
         if not late_codes:
-            return expanded, codes, uniques
+            return expanded, codes, uniques, 0
         keep = ~np.isin(codes, list(late_codes))
-        ctx.metrics["late_rows_dropped"] += int((~keep).sum())
+        late_rows = int((~keep).sum())
         expanded = expanded.filter(keep)
         kept_codes = codes[keep]
         # Re-encode to dense codes over surviving groups.
@@ -380,7 +543,7 @@ class StatefulAggregateOp(IncrementalOp):
                 mapping[code] = new
                 new_uniques.append(uniques[code])
             new_codes[i] = new
-        return expanded, new_codes, new_uniques
+        return expanded, new_codes, new_uniques, late_rows
 
     def _evict_finalized(self, watermark) -> list:
         """Remove keys the watermark finalized; returns (key, buffers).
@@ -407,11 +570,12 @@ class StreamingDedupOp(IncrementalOp):
     stateful = True
 
     def __init__(self, node: L.Deduplicate, child: IncrementalOp, state_handle,
-                 watermark_column: str = None):
+                 watermark_column: str = None, num_shards: int = 1):
         self._node = node
         self.child = child
         self.state = state_handle
         self.output_schema = node.schema
+        self.num_shards = max(1, num_shards)
         self.watermark_column = (
             watermark_column if watermark_column in node.subset else None
         )
@@ -431,6 +595,46 @@ class StreamingDedupOp(IncrementalOp):
             ctx.watermarks.current(self.watermark_column)
             if self.watermark_column is not None else None
         )
+        if self.num_shards > 1 and batch.num_rows > 1:
+            # Hash-partition by the dedup subset: every occurrence of a
+            # key lands in one shard, so per-shard first-seen decisions
+            # are globally correct.
+            parts, indices = hash_partition(
+                batch, self._node.subset, self.num_shards)
+            results = run_shard_tasks(ctx, ("dedup", id(self)), [
+                (lambda p=p: self._dedup_shard(p, watermark))
+                if p.num_rows else None
+                for p in parts
+            ])
+            keep_rows = []
+            for shard, result in enumerate(results):
+                if result is None:
+                    continue
+                puts, keep_local, late_rows = result
+                for key, value in puts.items():
+                    self.state.put(key, value)
+                keep_rows.extend(indices[shard][keep_local].tolist())
+                ctx.metrics["late_rows_dropped"] += late_rows
+        else:
+            puts, keep_local, late_rows = self._dedup_shard(batch, watermark)
+            for key, value in puts.items():
+                self.state.put(key, value)
+            keep_rows = list(keep_local)
+            ctx.metrics["late_rows_dropped"] += late_rows
+        if watermark is not None:
+            for key, _value in self.state.pop_expired(watermark):
+                self.state.remove(key)
+        if not keep_rows:
+            return self._empty()
+        keep_rows.sort()
+        return batch.take(np.asarray(keep_rows, dtype=np.int64))
+
+    def _dedup_shard(self, batch: RecordBatch, watermark) -> tuple:
+        """Pure shard task: first-seen rows of one sub-batch.
+
+        Returns ``(puts, keep_positions, late_rows)`` with positions
+        local to the sub-batch and state writes deferred.
+        """
         codes, uniques = encode_groups(
             [batch.columns[n] for n in self._node.subset]
         )
@@ -439,6 +643,7 @@ class StreamingDedupOp(IncrementalOp):
         # gives the first row position per code.
         _, first_pos = np.unique(codes, return_index=True)
         live_codes = np.arange(len(uniques))
+        late_rows = 0
         if watermark is not None:
             key_times = np.asarray(
                 [uniques[g][self._time_index] for g in range(len(uniques))],
@@ -448,24 +653,18 @@ class StreamingDedupOp(IncrementalOp):
             if late.any():
                 # Every occurrence of a late key is a dropped row (§7.4).
                 counts = np.bincount(codes, minlength=len(uniques))
-                ctx.metrics["late_rows_dropped"] += int(counts[late].sum())
+                late_rows = int(counts[late].sum())
                 live_codes = live_codes[~late]
-        keep_rows = []
+        puts = {}
+        keep_positions = []
         for g in live_codes.tolist():
             key = uniques[g]
             if not self.state.contains(key):
-                self.state.put(
-                    key,
-                    key[self._time_index] if self._time_index is not None else 1,
+                puts[key] = (
+                    key[self._time_index] if self._time_index is not None else 1
                 )
-                keep_rows.append(first_pos[g])
-        if watermark is not None:
-            for key, _value in self.state.pop_expired(watermark):
-                self.state.remove(key)
-        if not keep_rows:
-            return self._empty()
-        keep_rows.sort()
-        return batch.take(np.asarray(keep_rows, dtype=np.int64))
+                keep_positions.append(first_pos[g])
+        return puts, np.asarray(keep_positions, dtype=np.int64), late_rows
 
 
 class StreamStreamJoinOp(IncrementalOp):
@@ -488,12 +687,13 @@ class StreamStreamJoinOp(IncrementalOp):
     stateful = True
 
     def __init__(self, node: L.Join, left: IncrementalOp, right: IncrementalOp,
-                 left_state, right_state):
+                 left_state, right_state, num_shards: int = 1):
         self._node = node
         self.left = left
         self.right = right
         self._left_state = left_state
         self._right_state = right_state
+        self.num_shards = max(1, num_shards)
         self.within = node.within  # (left_time_col, right_time_col, skew)
         self.output_schema = node.schema
         self._inner = self._inner_schema()
@@ -511,17 +711,24 @@ class StreamStreamJoinOp(IncrementalOp):
                 min(e[0][i] for e in entries) + s if entries else None)
 
     # State entry per side: key -> list of [row_values, matched_flag].
-    def _rows_by_key(self, batch: RecordBatch) -> dict:
+    def _rows_by_key(self, batch: RecordBatch, row_offsets=None) -> dict:
         """Group the delta's rows (as value lists) by join key, in row
-        order — the only materialization this epoch performs."""
+        order — the only materialization this epoch performs.  Returns
+        ``key -> (first_row_index, [row_values, ...])``; indices come
+        from ``row_offsets`` (global positions of this sub-batch's rows)
+        so sharded probes can be merged back into global delta order."""
         by_key = {}
         if batch.num_rows == 0:
             return by_key
         names = batch.schema.names
         key_idx = [names.index(k) for k in self._node.on]
-        for row in zip(*(batch.columns[n].tolist() for n in names)):
+        for pos, row in enumerate(zip(*(batch.columns[n].tolist() for n in names))):
             key = tuple(row[i] for i in key_idx)
-            by_key.setdefault(key, []).append(list(row))
+            entry = by_key.get(key)
+            if entry is None:
+                first = int(row_offsets[pos]) if row_offsets is not None else pos
+                entry = by_key[key] = (first, [])
+            entry[1].append(list(row))
         return by_key
 
     def _drop_late_input(self, batch: RecordBatch, time_col: str,
@@ -552,54 +759,40 @@ class StreamStreamJoinOp(IncrementalOp):
         else:
             lt_idx = rt_idx = skew = None
 
-        left_by_key = self._rows_by_key(new_left)
-        right_by_key = self._rows_by_key(new_right)
+        if self.num_shards > 1 and new_left.num_rows + new_right.num_rows > 1:
+            # Hash-partition both deltas by join key: a key's rows (and
+            # its buffered state) belong to exactly one shard, so shard
+            # probes never overlap.
+            l_parts, l_idx = hash_partition(
+                new_left, self._node.on, self.num_shards)
+            r_parts, r_idx = hash_partition(
+                new_right, self._node.on, self.num_shards)
+            results = run_shard_tasks(ctx, ("join", id(self)), [
+                (lambda lp=lp, li=li, rp=rp, ri=ri:
+                 self._probe_shard(lp, li, rp, ri, lt_idx, rt_idx, skew))
+                if lp.num_rows or rp.num_rows else None
+                for lp, li, rp, ri in zip(l_parts, l_idx, r_parts, r_idx)
+            ])
+        else:
+            results = [self._probe_shard(
+                new_left, None, new_right, None, lt_idx, rt_idx, skew)]
 
-        # Probe the state store only for the distinct keys present in
-        # this epoch's deltas: per-epoch cost is O(delta + matches), not
-        # O(total buffered state).
-        right_names = self.right.output_schema.names
-        rest_idx = [
-            i for i, n in enumerate(right_names) if n not in self._node.on
-        ]
-        out_rows = []
-        probe_keys = list(left_by_key)
-        probe_keys.extend(k for k in right_by_key if k not in left_by_key)
-        for key in probe_keys:
-            nl = left_by_key.get(key)
-            nr = right_by_key.get(key)
-            l_entries = self._left_state.get(key)
-            r_entries = self._right_state.get(key)
-            # Add new rows to state first so matched flags land on them.
-            bl = len(l_entries) if l_entries else 0
-            br = len(r_entries) if r_entries else 0
-            if nl:
-                if l_entries is None:
-                    l_entries = []
-                l_entries.extend([row, False] for row in nl)
-                self._left_state.put(key, l_entries)
-            if nr:
-                if r_entries is None:
-                    r_entries = []
-                r_entries.extend([row, False] for row in nr)
-                self._right_state.put(key, r_entries)
-            if not l_entries or not r_entries:
+        chunks = []
+        for result in results:
+            if result is None:
                 continue
-            # new-left x (buffered + new right), then buffered-left x
-            # new-right: together every pair exactly once.
-            matched = self._join_pairs(
-                l_entries[bl:], r_entries, out_rows,
-                lt_idx, rt_idx, skew, rest_idx)
-            matched |= self._join_pairs(
-                l_entries[:bl], r_entries[br:], out_rows,
-                lt_idx, rt_idx, skew, rest_idx)
-            # Flag flips mutate entries in place; re-put so the change
-            # lands in the next delta checkpoint.
-            if matched:
-                if not nl:
-                    self._left_state.put(key, l_entries)
-                if not nr:
-                    self._right_state.put(key, r_entries)
+            left_puts, right_puts, shard_chunks = result
+            for key, entries in left_puts.items():
+                self._left_state.put(key, entries)
+            for key, entries in right_puts.items():
+                self._right_state.put(key, entries)
+            chunks.extend(shard_chunks)
+        # Global probe order: left keys by first delta row, then
+        # right-only keys — independent of shard count and worker timing.
+        chunks.sort(key=lambda c: c[0])
+        out_rows = []
+        for _token, rows in chunks:
+            out_rows.extend(rows)
 
         out_parts = []
         if out_rows:
@@ -609,6 +802,69 @@ class StreamStreamJoinOp(IncrementalOp):
             return self._empty()
         parts = [self._to_output_schema(p) for p in out_parts]
         return RecordBatch.concat(parts, self.output_schema)
+
+    def _probe_shard(self, new_left: RecordBatch, left_offsets,
+                     new_right: RecordBatch, right_offsets,
+                     lt_idx, rt_idx, skew) -> tuple:
+        """Pure shard task: probe one shard's delta keys against state.
+
+        Probes the state store only for the distinct keys present in the
+        deltas (per-epoch cost is O(delta + matches), not O(buffered
+        state)), reading pre-epoch entry lists and *cloning* them before
+        appending rows or flipping matched flags — every write is
+        deferred into the returned put dicts, so a speculative copy of
+        the task races safely against the same immutable state.  Returns
+        ``(left_puts, right_puts, chunks)`` where each chunk is
+        ``((side, first_row_index), out_rows)`` for deterministic
+        merging.
+        """
+        left_by_key = self._rows_by_key(new_left, left_offsets)
+        right_by_key = self._rows_by_key(new_right, right_offsets)
+        right_names = self.right.output_schema.names
+        rest_idx = [
+            i for i, n in enumerate(right_names) if n not in self._node.on
+        ]
+        left_puts, right_puts, chunks = {}, {}, []
+        probe = [(key, (0, first)) for key, (first, _rows)
+                 in left_by_key.items()]
+        probe.extend(
+            (key, (1, first)) for key, (first, _rows)
+            in right_by_key.items() if key not in left_by_key
+        )
+        for key, token in probe:
+            nl = left_by_key.get(key)
+            nr = right_by_key.get(key)
+            stored_l = self._left_state.get(key)
+            stored_r = self._right_state.get(key)
+            l_entries = [[e[0], e[1]] for e in stored_l] if stored_l else []
+            r_entries = [[e[0], e[1]] for e in stored_r] if stored_r else []
+            # Add new rows first so matched flags land on them.
+            bl = len(l_entries)
+            br = len(r_entries)
+            if nl:
+                l_entries.extend([row, False] for row in nl[1])
+            if nr:
+                r_entries.extend([row, False] for row in nr[1])
+            matched = False
+            out_rows = []
+            if l_entries and r_entries:
+                # new-left x (buffered + new right), then buffered-left x
+                # new-right: together every pair exactly once.
+                matched = self._join_pairs(
+                    l_entries[bl:], r_entries, out_rows,
+                    lt_idx, rt_idx, skew, rest_idx)
+                matched |= self._join_pairs(
+                    l_entries[:bl], r_entries[br:], out_rows,
+                    lt_idx, rt_idx, skew, rest_idx)
+            # A side is (re)written exactly when the old in-place code
+            # dirtied it: new rows arrived, or a matched flag flipped.
+            if nl or matched:
+                left_puts[key] = l_entries
+            if nr or matched:
+                right_puts[key] = r_entries
+            if out_rows:
+                chunks.append((token, out_rows))
+        return left_puts, right_puts, chunks
 
     @staticmethod
     def _join_pairs(l_entries, r_entries, out_rows,
@@ -742,11 +998,17 @@ class MapGroupsWithStateOp(IncrementalOp):
     stateful = True
 
     def __init__(self, node: L.MapGroupsWithState, child: IncrementalOp,
-                 state_handle, watermark_column: str = None):
+                 state_handle, watermark_column: str = None,
+                 num_shards: int = 1):
         self._node = node
         self.child = child
         self.state = state_handle
         self.output_schema = node.schema
+        #: State is shard-partitioned like every stateful operator (so
+        #: rescaling applies), but invocation stays single-task: the
+        #: user's Python function holds the GIL, so sharding the calls
+        #: buys no parallelism and risks interleaving side effects.
+        self.num_shards = max(1, num_shards)
         self.watermark_column = watermark_column
         if node.timeout != "none":
             # Index armed timeouts so expiry checks need no full scan.

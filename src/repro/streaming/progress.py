@@ -25,6 +25,9 @@ class EpochProgress:
     late_rows_dropped: int
     watermarks: dict = field(default_factory=dict)
     sources: dict = field(default_factory=dict)
+    #: Per-task summary of the epoch's last scheduler stage (wall times,
+    #: attempts, speculation) when a TaskScheduler drives the epoch.
+    task_metrics: dict = None
 
     @property
     def input_rows_per_second(self) -> float:
@@ -47,6 +50,7 @@ class EpochProgress:
             "inputRowsPerSecond": self.input_rows_per_second,
             "watermarks": self.watermarks,
             "sources": self.sources,
+            "taskMetrics": self.task_metrics,
         }
 
 

@@ -13,6 +13,16 @@ and replays deltas — this is what enables both crash recovery and manual
 rollback to *any* retained epoch (§7.2).  Keys are JSON-encoded tuples,
 values any JSON-serializable object, keeping the on-disk format as
 human-readable as the paper's WAL.
+
+In-memory the handle is **hash-partitioned** into ``num_shards``
+shared-nothing shards (dict + expiry heap each), routed by the stable
+key hash from :mod:`repro.sql.batch` — the same hash the partitioned
+epoch executor uses to split input deltas, so a shard task only ever
+touches one shard's structures.  The on-disk format stays *merged* and
+canonically sorted (``atomic_write_json`` sorts keys), which makes
+checkpoint bytes independent of the shard count; ``restore`` re-routes
+every key through the current shard function, so recovering an N-shard
+checkpoint into an M-shard handle is exact rescaling (§6.2).
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import heapq
 import json
 import os
 
+from repro.sql.batch import shard_of_key
 from repro.storage import atomic_write_json, list_files, read_json
 
 
@@ -47,75 +58,103 @@ def decode_key(text: str):
     return value
 
 
+class _StateShard:
+    """One hash partition of an operator's keyed state: its own data
+    dict, dirty tracking and expiry index — no locks, no sharing."""
+
+    __slots__ = ("data", "dirty", "removed", "expiry", "heap")
+
+    def __init__(self):
+        self.data = {}
+        self.dirty = set()
+        self.removed = set()
+        #: encoded key -> currently valid expiry (heap entries that
+        #: disagree with this map are stale and dropped lazily).
+        self.expiry = {}
+        self.heap = []
+
+
 class OperatorStateHandle:
     """One operator's keyed state, with dirty tracking for delta commits.
 
-    Two hot-path structures keep per-access cost independent of total
-    state size (the delta-proportionality the paper claims in §5.2/§6.1):
+    Hot-path structures keep per-access cost independent of total state
+    size (the delta-proportionality the paper claims in §5.2/§6.1):
 
-    * an **interned-key cache** so ``encode_key``'s ``json.dumps`` runs
-      once per distinct key, not once per ``get``/``put``/``contains``;
-    * an optional **expiry index** (min-heap with lazy invalidation,
+    * an **interned-key cache** so ``encode_key``'s ``json.dumps`` and
+      the shard hash run once per distinct key, not once per access;
+    * per-shard **expiry indexes** (min-heaps with lazy invalidation,
       maintained on ``put``/``remove``) so watermark-gated operators pop
       only finalized keys instead of scanning the full store.
 
-    Neither structure is persisted: the on-disk checkpoint format is
-    unchanged, and the index is rebuilt from data on ``restore``.
+    None of these structures is persisted: the on-disk checkpoint format
+    is unchanged (and shard-count independent), and the indexes are
+    rebuilt from data on ``restore``.
     """
 
-    def __init__(self, directory: str, snapshot_interval: int = 10):
+    def __init__(self, directory: str, snapshot_interval: int = 10,
+                 num_shards: int = 1):
         self._directory = directory
         self._snapshot_interval = max(1, snapshot_interval)
-        self._data = {}
-        self._dirty = set()
-        self._removed = set()
+        self.num_shards = max(1, num_shards)
+        self._shards = [_StateShard() for _ in range(self.num_shards)]
         self._key_cache = {}
         self._expiry_fn = None
-        #: encoded key -> currently valid expiry (heap entries that
-        #: disagree with this map are stale and dropped lazily).
-        self._expiry = {}
-        self._heap = []
         self.last_committed_version = None
         os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------
     # Keyed access (in-memory working state)
     # ------------------------------------------------------------------
-    def _encode(self, key) -> str:
+    def shard_index(self, key) -> int:
+        """The shard a key routes to (0 when unsharded)."""
+        if self.num_shards == 1:
+            return 0
+        return shard_of_key(
+            key if isinstance(key, tuple) else (key,), self.num_shards
+        )
+
+    def _locate(self, key):
+        """Resolve a key to its ``(shard, encoded)`` once, then cache."""
         cache_key = _cache_key(key)
-        encoded = self._key_cache.get(cache_key)
-        if encoded is None:
-            if len(self._key_cache) > max(4096, 4 * len(self._data)):
+        located = self._key_cache.get(cache_key)
+        if located is None:
+            if len(self._key_cache) > max(4096, 4 * len(self)):
                 self._key_cache.clear()
-            encoded = encode_key(key)
-            self._key_cache[cache_key] = encoded
-        return encoded
+            located = (self._shards[self.shard_index(key)], encode_key(key))
+            self._key_cache[cache_key] = located
+        return located
+
+    def encoded(self, key) -> str:
+        """The canonical encoded form of a key (cached)."""
+        return self._locate(key)[1]
 
     def get(self, key, default=None):
         """Value for a key, or default."""
-        return self._data.get(self._encode(key), default)
+        shard, encoded = self._locate(key)
+        return shard.data.get(encoded, default)
 
     def contains(self, key) -> bool:
         """True if the key has state."""
-        return self._encode(key) in self._data
+        shard, encoded = self._locate(key)
+        return encoded in shard.data
 
     def put(self, key, value) -> None:
         """Set a key's state (JSON-serializable value)."""
-        encoded = self._encode(key)
-        self._data[encoded] = value
-        self._dirty.add(encoded)
-        self._removed.discard(encoded)
+        shard, encoded = self._locate(key)
+        shard.data[encoded] = value
+        shard.dirty.add(encoded)
+        shard.removed.discard(encoded)
         if self._expiry_fn is not None:
-            self._index_put(encoded, key, value)
+            self._index_put(shard, encoded, key, value)
 
     def remove(self, key) -> None:
         """Delete a key's state."""
-        encoded = self._encode(key)
-        if encoded in self._data:
-            del self._data[encoded]
-            self._dirty.discard(encoded)
-            self._removed.add(encoded)
-            self._expiry.pop(encoded, None)
+        shard, encoded = self._locate(key)
+        if encoded in shard.data:
+            del shard.data[encoded]
+            shard.dirty.discard(encoded)
+            shard.removed.add(encoded)
+            shard.expiry.pop(encoded, None)
 
     # ------------------------------------------------------------------
     # Expiry index (watermark eviction without full scans)
@@ -129,43 +168,48 @@ class OperatorStateHandle:
         self._rebuild_expiry_index()
 
     def _rebuild_expiry_index(self) -> None:
-        self._expiry = {}
-        self._heap = []
-        if self._expiry_fn is None:
-            return
-        for encoded, value in self._data.items():
-            expiry = self._expiry_fn(decode_key(encoded), value)
-            if expiry is not None:
-                self._expiry[encoded] = expiry
-                self._heap.append((expiry, encoded))
-        heapq.heapify(self._heap)
+        for shard in self._shards:
+            shard.expiry = {}
+            shard.heap = []
+            if self._expiry_fn is None:
+                continue
+            for encoded, value in shard.data.items():
+                expiry = self._expiry_fn(decode_key(encoded), value)
+                if expiry is not None:
+                    shard.expiry[encoded] = expiry
+                    shard.heap.append((expiry, encoded))
+            heapq.heapify(shard.heap)
 
-    def _index_put(self, encoded: str, key, value) -> None:
+    def _index_put(self, shard: _StateShard, encoded: str, key, value) -> None:
         expiry = self._expiry_fn(key, value)
         if expiry is None:
-            self._expiry.pop(encoded, None)
-        elif self._expiry.get(encoded) != expiry:
-            self._expiry[encoded] = expiry
-            heapq.heappush(self._heap, (expiry, encoded))
+            shard.expiry.pop(encoded, None)
+        elif shard.expiry.get(encoded) != expiry:
+            shard.expiry[encoded] = expiry
+            heapq.heappush(shard.heap, (expiry, encoded))
 
     def reindex(self, key) -> None:
         """Re-register a key's expiry from its current value without
         marking it dirty (used to defer a popped-but-unhandled key)."""
         if self._expiry_fn is None:
             return
-        encoded = self._encode(key)
-        if encoded in self._data:
-            self._index_put(encoded, key, self._data[encoded])
+        shard, encoded = self._locate(key)
+        if encoded in shard.data:
+            self._index_put(shard, encoded, key, shard.data[encoded])
 
     def next_expiry(self):
         """The smallest live expiry, or None (O(stale) amortized)."""
-        heap = self._heap
-        while heap:
-            expiry, encoded = heap[0]
-            if self._expiry.get(encoded) == expiry:
-                return expiry
-            heapq.heappop(heap)
-        return None
+        earliest = None
+        for shard in self._shards:
+            heap = shard.heap
+            while heap:
+                expiry, encoded = heap[0]
+                if shard.expiry.get(encoded) == expiry:
+                    if earliest is None or expiry < earliest:
+                        earliest = expiry
+                    break
+                heapq.heappop(heap)
+        return earliest
 
     def pop_expired(self, bound) -> list:
         """Pop and return ``[(decoded_key, value), ...]`` for every key
@@ -173,29 +217,40 @@ class OperatorStateHandle:
 
         Popped keys leave the index but not the store: the caller decides
         to ``remove`` them, ``put`` them back (re-indexing under a new
-        expiry), or ``reindex`` to defer untouched."""
-        heap = self._heap
+        expiry), or ``reindex`` to defer untouched.  Results merge the
+        per-shard pops back into global ``(expiry, encoded)`` order — the
+        exact order a single shared heap would pop — so callers see the
+        same sequence at every shard count."""
         popped = []
-        while heap and heap[0][0] <= bound:
-            expiry, encoded = heapq.heappop(heap)
-            if self._expiry.get(encoded) != expiry:
-                continue  # stale entry: superseded or removed
-            del self._expiry[encoded]
-            popped.append((decode_key(encoded), self._data[encoded]))
-        return popped
+        for shard in self._shards:
+            heap = shard.heap
+            while heap and heap[0][0] <= bound:
+                expiry, encoded = heapq.heappop(heap)
+                if shard.expiry.get(encoded) != expiry:
+                    continue  # stale entry: superseded or removed
+                del shard.expiry[encoded]
+                popped.append((expiry, encoded, shard.data[encoded]))
+        popped.sort(key=lambda item: item[:2])
+        return [(decode_key(encoded), value) for _, encoded, value in popped]
 
     def items(self):
-        """Iterate (decoded_key, value) pairs of the working state."""
-        for encoded, value in self._data.items():
-            yield decode_key(encoded), value
+        """Iterate (decoded_key, value) pairs of the working state.
+
+        Order is per-shard insertion order; callers needing an order
+        independent of the shard count must sort (e.g. by encoded key).
+        """
+        for shard in self._shards:
+            for encoded, value in shard.data.items():
+                yield decode_key(encoded), value
 
     def keys(self):
         """Iterate decoded keys."""
-        for encoded in self._data:
-            yield decode_key(encoded)
+        for shard in self._shards:
+            for encoded in shard.data:
+                yield decode_key(encoded)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return sum(len(shard.data) for shard in self._shards)
 
     # ------------------------------------------------------------------
     # Versioned persistence
@@ -207,26 +262,39 @@ class OperatorStateHandle:
         """Checkpoint the working state as ``version``.
 
         Writes a delta of dirty/removed keys; every ``snapshot_interval``
-        versions writes a full snapshot instead.  Returns checkpoint
-        metrics (sizes) for monitoring (§7.4).
+        versions writes a full snapshot instead.  Shards are merged into
+        one canonically-sorted document, so the bytes written do not
+        depend on the shard count.  Returns checkpoint metrics (sizes)
+        for monitoring (§7.4).
         """
         snapshot_due = version % self._snapshot_interval == 0
         if snapshot_due:
-            payload = {"kind": "snapshot", "data": self._data}
+            data = {}
+            for shard in self._shards:
+                data.update(shard.data)
+            payload = {"kind": "snapshot", "data": data}
             atomic_write_json(self._path(version, "snapshot"), payload)
-            written = len(self._data)
+            written = len(data)
         else:
+            puts = {}
+            removes = set()
+            for shard in self._shards:
+                for encoded in shard.dirty:
+                    puts[encoded] = shard.data[encoded]
+                removes.update(shard.removed)
             payload = {
                 "kind": "delta",
-                "puts": {k: self._data[k] for k in self._dirty},
-                "removes": sorted(self._removed),
+                "puts": puts,
+                "removes": sorted(removes),
             }
             atomic_write_json(self._path(version, "delta"), payload)
-            written = len(self._dirty) + len(self._removed)
-        self._dirty.clear()
-        self._removed.clear()
+            written = len(puts) + len(removes)
+        for shard in self._shards:
+            shard.dirty.clear()
+            shard.removed.clear()
         self.last_committed_version = version
-        return {"version": version, "keys_written": written, "num_keys": len(self._data)}
+        return {"version": version, "keys_written": written,
+                "num_keys": len(self)}
 
     def _available_versions(self) -> dict:
         """Map version -> kind for all checkpoint files on disk."""
@@ -292,10 +360,13 @@ class OperatorStateHandle:
         actually restored (None for empty state); the engine replays
         input epochs after it from the WAL to reach the target (§6.1
         step 4).
+
+        Every restored key is re-routed through the *current* shard
+        function, so a checkpoint written at one shard count restores
+        exactly into a handle with any other (rescaling, §6.2).
         """
-        self._data = {}
-        self._dirty.clear()
-        self._removed.clear()
+        self._shards = [_StateShard() for _ in range(self.num_shards)]
+        self._key_cache.clear()
         self.last_committed_version = None
         if version is None:
             self._rebuild_expiry_index()
@@ -311,15 +382,19 @@ class OperatorStateHandle:
             if "snapshot" in versions[v]:
                 base = v
                 break
+        merged = {}
         if base is not None:
-            self._data = dict(read_json(self._path(base, "snapshot"))["data"])
+            merged = dict(read_json(self._path(base, "snapshot"))["data"])
         for v in usable:
             if base is not None and v <= base:
                 continue
             delta = read_json(self._path(v, "delta"))
-            self._data.update(delta["puts"])
+            merged.update(delta["puts"])
             for key in delta["removes"]:
-                self._data.pop(key, None)
+                merged.pop(key, None)
+        for encoded, value in merged.items():
+            shard = self._shards[self.shard_index(decode_key(encoded))]
+            shard.data[encoded] = value
         self.last_committed_version = usable[-1]
         self._rebuild_expiry_index()
         return usable[-1]
@@ -328,9 +403,11 @@ class OperatorStateHandle:
 class StateStore:
     """All operators' state for one query, under ``<checkpoint>/state``."""
 
-    def __init__(self, checkpoint_dir: str, snapshot_interval: int = 10):
+    def __init__(self, checkpoint_dir: str, snapshot_interval: int = 10,
+                 num_shards: int = 1):
         self._directory = os.path.join(checkpoint_dir, "state")
         self._snapshot_interval = snapshot_interval
+        self._num_shards = max(1, num_shards)
         self._handles = {}
         os.makedirs(self._directory, exist_ok=True)
 
@@ -340,6 +417,7 @@ class StateStore:
             self._handles[operator_id] = OperatorStateHandle(
                 os.path.join(self._directory, operator_id),
                 self._snapshot_interval,
+                self._num_shards,
             )
         return self._handles[operator_id]
 

@@ -179,6 +179,7 @@ class DataStreamWriter:
             snapshot_interval=self._options.get("snapshot_interval", 10),
             scheduler=self._options.get("scheduler"),
             retain_epochs=self._options.get("retain_epochs"),
+            num_shards=self._options.get("num_shards"),
         )
         if use_thread is None:
             # Only interval triggers need a driver thread; once /

@@ -53,6 +53,31 @@ class TestStageExecution:
         second = scheduler.run_stage([Task(0, lambda: "b")])
         assert (first[0], second[0]) == ("a", "b")
 
+    def test_results_ordered_by_submission_not_completion(self, scheduler):
+        """Tasks finish in scrambled order (early tasks sleep longest);
+        the result dict must still iterate in submission order so epoch
+        merges are deterministic."""
+        delays = {i: (8 - i) * 0.02 for i in range(8)}
+
+        def work(i):
+            time.sleep(delays[i])
+            return i
+
+        tasks = [Task(i, work, (i,)) for i in range(8)]
+        results = scheduler.run_stage(tasks, timeout=20)
+        assert list(results) == list(range(8))  # not completion order
+
+    def test_results_ordered_under_injected_delays(self):
+        """Same, with worker-scoped slowdowns scrambling completions."""
+        slow = SlowdownInjector(slow_workers={0, 1}, delay=0.05)
+        sched = TaskScheduler(4, speculation=False, injectors=[slow])
+        try:
+            tasks = [Task(i, lambda i=i: i) for i in range(12)]
+            results = sched.run_stage(tasks, timeout=20)
+            assert list(results) == list(range(12))
+        finally:
+            sched.shutdown()
+
 
 class TestFaultRecovery:
     def test_failed_task_retried_not_whole_stage(self):
@@ -124,6 +149,88 @@ class TestSpeculation:
             assert results == {i: i for i in range(6)}
             # Attempts may exceed tasks (speculation), results may not.
             assert counter["n"] >= 6
+        finally:
+            sched.shutdown()
+
+    def test_speculative_clone_wins_exactly_one_result(self):
+        """A deliberately slow first attempt loses to its backup copy:
+        the stage keeps exactly one result for the task, and the report
+        records the speculation launch and win."""
+        ran = []
+
+        def first_attempt_stalls(task_id, worker_id, attempt):
+            if task_id == "slow" and attempt == 0:
+                time.sleep(2.0)  # the original; the clone runs clean
+
+        sched = TaskScheduler(
+            4, speculation=True, speculation_multiplier=2.0,
+            speculation_min_seconds=0.02, injectors=[first_attempt_stalls],
+        )
+        try:
+            def work(i):
+                ran.append(i)
+                return i
+
+            tasks = [Task(i, work, (i,)) for i in range(5)]
+            tasks.append(Task("slow", work, ("slow-result",)))
+            started = time.monotonic()
+            results = sched.run_stage(tasks, timeout=20)
+            assert time.monotonic() - started < 1.8  # clone won the race
+            assert results["slow"] == "slow-result"
+            assert len(results) == 6  # exactly one result per task
+            report = sched.last_stage_report
+            assert report["speculative_launched"] >= 1
+            assert report["speculative_won"] >= 1
+            slow_stats = [s for s in report["tasks"] if s["task_id"] == "slow"]
+            assert slow_stats[0]["attempts"] >= 2
+            assert slow_stats[0]["speculative_won"]
+        finally:
+            sched.shutdown()
+
+
+class TestStageMetrics:
+    def test_per_task_wall_time_and_attempts_recorded(self):
+        sched = TaskScheduler(2, speculation=False)
+        try:
+            sched.run_stage([Task(i, lambda i=i: i) for i in range(4)])
+            report = sched.last_stage_report
+            assert report["num_tasks"] == 4
+            assert [s["task_id"] for s in report["tasks"]] == [
+                "0", "1", "2", "3"]
+            for stats in report["tasks"]:
+                assert stats["seconds"] >= 0.0
+                assert stats["attempts"] == 1
+                assert stats["speculative_won"] is False
+        finally:
+            sched.shutdown()
+
+    def test_stage_metrics_summarizes_history(self):
+        injector = FailureInjector({1: 1})
+        sched = TaskScheduler(2, speculation=False, injectors=[injector])
+        try:
+            for _ in range(3):
+                sched.run_stage([Task(i, lambda i=i: i) for i in range(4)])
+            metrics = sched.stage_metrics()
+            assert metrics["num_stages"] == 3
+            assert metrics["num_tasks"] == 12
+            assert metrics["retries"] == 1    # task 1 failed once, stage 1
+            assert metrics["attempts"] == 13  # 12 + the retry
+            assert metrics["task_seconds_p50"] is not None
+            assert (metrics["task_seconds_max"]
+                    >= metrics["task_seconds_p95"]
+                    >= metrics["task_seconds_p50"])
+        finally:
+            sched.shutdown()
+
+    def test_stage_report_is_json_serializable(self):
+        import json
+
+        sched = TaskScheduler(2, speculation=False)
+        try:
+            sched.run_stage([Task(("tuple", "id", i), lambda i=i: i)
+                             for i in range(3)])
+            json.dumps(sched.last_stage_report)
+            json.dumps(sched.stage_metrics())
         finally:
             sched.shutdown()
 

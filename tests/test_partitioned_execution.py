@@ -1,0 +1,356 @@
+"""Hash-partitioned parallel epoch execution (§6.1–§6.2).
+
+The partitioned execution layer must be *invisible* in every observable
+output: sink rows, checkpoint bytes, and recovery behaviour may not
+depend on the shard count, the worker count, or scheduler timing.  These
+tests pin that contract:
+
+* the vectorized hash kernel agrees with its scalar path row-for-row;
+* N-shard execution (serial or scheduler-driven) produces byte-identical
+  sink output and checkpoint files to single-shard execution;
+* a checkpoint written at N shards restores exactly at M shards
+  (state rescaling via deterministic key re-hashing);
+* hypothesis drives random batches/keys/shard counts through the same
+  invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import TaskScheduler
+from repro.sql import functions as F
+from repro.sql.batch import (
+    RecordBatch,
+    hash_partition,
+    partition_by_assignment,
+    shard_assignments,
+    shard_of_key,
+    stable_hash_key,
+    stable_hash_value,
+)
+from repro.sql.types import StructType
+from repro.streaming.state import OperatorStateHandle
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+from tests.test_checkpoint_format import read_state_files
+
+
+# ---------------------------------------------------------------------------
+# Hash kernel
+# ---------------------------------------------------------------------------
+
+hashable_values = st.one_of(
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.text(max_size=12),
+    st.none(),
+)
+
+
+class TestHashKernel:
+    @given(st.lists(hashable_values, min_size=1, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_scalar_matches_vectorized(self, key):
+        """The per-key scalar hash and the columnar batch hash agree —
+        state rescaling (scalar) and epoch partitioning (vector) must
+        route every key identically."""
+        arrays = []
+        for v in key:
+            if isinstance(v, bool):
+                arrays.append(np.array([v], dtype=bool))
+            elif isinstance(v, int):
+                arrays.append(np.array([v], dtype=np.int64))
+            elif isinstance(v, float):
+                arrays.append(np.array([v], dtype=np.float64))
+            else:
+                arrays.append(np.array([v], dtype=object))
+        assign = shard_assignments(arrays, 7)
+        assert int(assign[0]) == shard_of_key(tuple(key), 7)
+
+    def test_hash_is_stable_across_calls(self):
+        assert stable_hash_key(("a", 1.5)) == stable_hash_key(("a", 1.5))
+        assert stable_hash_value("x") != stable_hash_value("y")
+
+    def test_partition_covers_every_row_exactly_once(self):
+        batch = RecordBatch.from_rows(
+            [{"k": i % 5, "v": float(i)} for i in range(97)],
+            StructType((("k", "long"), ("v", "double"))),
+        )
+        parts, indices = hash_partition(batch, ["k"], 4)
+        assert sum(p.num_rows for p in parts) == batch.num_rows
+        together = np.sort(np.concatenate(indices))
+        assert together.tolist() == list(range(97))
+        # Same key never lands in two shards.
+        for part in parts:
+            for k in np.unique(part.columns["k"]):
+                home = shard_of_key((int(k),), 4)
+                assert parts[home].num_rows > 0
+
+    def test_single_shard_assignment_is_all_zero(self):
+        assign = shard_assignments([np.arange(10)], 1)
+        assert not assign.any()
+
+    def test_partition_by_assignment_roundtrip(self):
+        batch = RecordBatch.from_rows(
+            [{"k": i} for i in range(10)], StructType((("k", "long"),)))
+        assign = np.array([i % 3 for i in range(10)], dtype=np.int64)
+        parts, indices = partition_by_assignment(batch, assign, 3)
+        for shard, idx in enumerate(indices):
+            assert (assign[idx] == shard).all()
+
+
+# ---------------------------------------------------------------------------
+# Pipeline equivalence: sink rows + checkpoint bytes shard-invariant
+# ---------------------------------------------------------------------------
+
+AGG_EPOCHS = [
+    [{"t": float(i), "k": f"k{i % 7}"} for i in range(40)],
+    [{"t": 40.0 + i, "k": f"k{i % 5}"} for i in range(25)],
+    [{"t": 200.0, "k": "late-watermark-push"}],
+    [{"t": 205.0 + i, "k": f"k{i % 3}"} for i in range(9)],
+]
+
+
+def run_windowed_agg(session_cls, checkpoint, num_shards, scheduler=None,
+                     epochs=AGG_EPOCHS):
+    session = session_cls()
+    stream = make_stream([("t", "timestamp"), ("k", "string")])
+    df = session.read_stream.memory(stream).with_watermark("t", "50s")
+    counts = df.group_by(F.window("t", "10s"), "k").count()
+    options = {"num_shards": num_shards}
+    if scheduler is not None:
+        options["scheduler"] = scheduler
+    query = start_memory_query(counts, "update", "parteq", checkpoint,
+                               **options)
+    outputs = []
+    for rows in epochs:
+        stream.add_data(rows)
+        query.process_all_available()
+        outputs.append(list(query.engine.sink.rows()))
+    query.stop()
+    return outputs
+
+
+class TestShardCountInvariance:
+    def _reference(self, tmp_path):
+        from repro.sql.session import Session
+
+        ref_dir = str(tmp_path / "ref")
+        out = run_windowed_agg(Session, ref_dir, 1)
+        return out, read_state_files(ref_dir)
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 4, 8])
+    def test_agg_output_and_checkpoint_bytes(self, tmp_path, num_shards):
+        from repro.sql.session import Session
+
+        ref_out, ref_files = self._reference(tmp_path)
+        shard_dir = str(tmp_path / f"s{num_shards}")
+        out = run_windowed_agg(Session, shard_dir, num_shards)
+        assert out == ref_out
+        assert read_state_files(shard_dir) == ref_files
+
+    def test_agg_with_scheduler_matches_serial(self, tmp_path):
+        """Parallel task execution (4 shards × 4 workers, speculation on)
+        produces exactly the serial single-shard bytes."""
+        from repro.sql.session import Session
+
+        ref_out, ref_files = self._reference(tmp_path)
+        scheduler = TaskScheduler(4, speculation=True,
+                                  speculation_min_seconds=0.01)
+        try:
+            par_dir = str(tmp_path / "par")
+            out = run_windowed_agg(Session, par_dir, 4, scheduler=scheduler)
+            assert out == ref_out
+            assert read_state_files(par_dir) == ref_files
+        finally:
+            scheduler.shutdown()
+
+    def test_scheduler_reports_task_metrics(self, tmp_path):
+        from repro.sql.session import Session
+
+        scheduler = TaskScheduler(2, speculation=False)
+        try:
+            run_windowed_agg(Session, str(tmp_path / "m"), 4,
+                             scheduler=scheduler)
+            report = scheduler.last_stage_report
+            assert report is not None
+            assert report["num_tasks"] >= 1
+            for stats in report["tasks"]:
+                assert stats["seconds"] >= 0
+                assert stats["attempts"] >= 1
+            metrics = scheduler.stage_metrics()
+            assert metrics["num_stages"] >= 1
+            assert metrics["task_seconds_p50"] is not None
+            assert metrics["task_seconds_max"] >= metrics["task_seconds_p50"]
+        finally:
+            scheduler.shutdown()
+
+    def test_dedup_invariant(self, tmp_path):
+        from repro.sql.session import Session
+
+        def run(num_shards):
+            session = Session()
+            stream = make_stream([("k", "long"), ("t", "timestamp")])
+            df = (session.read_stream.memory(stream)
+                  .with_watermark("t", "10s").drop_duplicates(["k"]))
+            query = start_memory_query(
+                df, "append", "dedup", str(tmp_path / f"d{num_shards}"),
+                num_shards=num_shards)
+            outputs = []
+            for rows in [
+                [{"k": i % 6, "t": float(i)} for i in range(20)],
+                [{"k": i % 11, "t": 20.0 + i} for i in range(22)],
+                [{"k": 99, "t": 100.0}],
+            ]:
+                stream.add_data(rows)
+                query.process_all_available()
+                outputs.append(list(query.engine.sink.rows()))
+            query.stop()
+            return outputs, read_state_files(str(tmp_path / f"d{num_shards}"))
+
+        ref = run(1)
+        for n in (2, 5):
+            assert run(n) == ref
+
+    def test_join_invariant(self, tmp_path):
+        from repro.sql.session import Session
+
+        def run(num_shards):
+            session = Session()
+            ls = make_stream([("k", "long"), ("t", "timestamp"), ("l", "string")])
+            rs = make_stream([("k", "long"), ("t2", "timestamp"), ("r", "string")])
+            left = session.read_stream.memory(ls).with_watermark("t", "30s")
+            right = session.read_stream.memory(rs).with_watermark("t2", "30s")
+            joined = left.join(right, on="k")
+            query = start_memory_query(
+                joined, "append", "join", str(tmp_path / f"j{num_shards}"),
+                num_shards=num_shards)
+            outputs = []
+            steps = [
+                (ls, [{"k": i % 8, "t": float(i), "l": f"l{i}"} for i in range(16)]),
+                (rs, [{"k": i % 8, "t2": float(i), "r": f"r{i}"} for i in range(12)]),
+                (ls, [{"k": 3, "t": 20.0, "l": "again"}]),
+                (rs, [{"k": 99, "t2": 100.0, "r": "expire"}]),
+            ]
+            for stream, rows in steps:
+                stream.add_data(rows)
+                query.process_all_available()
+                outputs.append(list(query.engine.sink.rows()))
+            query.stop()
+            return outputs, read_state_files(str(tmp_path / f"j{num_shards}"))
+
+        ref = run(1)
+        for n in (2, 4):
+            assert run(n) == ref
+
+
+# ---------------------------------------------------------------------------
+# State rescaling: restore an N-shard checkpoint at M shards
+# ---------------------------------------------------------------------------
+
+class TestStateRescaling:
+    @pytest.mark.parametrize("n,m", [(1, 4), (4, 1), (3, 5), (8, 2)])
+    def test_handle_rescale_exact(self, tmp_path, n, m):
+        src = OperatorStateHandle(str(tmp_path / "h"), num_shards=n)
+        src.set_expiry(lambda key, value: value["v"])
+        for i in range(50):
+            src.put((f"k{i}", i % 3), {"v": float(i)})
+        src.commit(0)
+
+        dst = OperatorStateHandle(str(tmp_path / "h"), num_shards=m)
+        dst.restore(0)
+        dst.set_expiry(lambda key, value: value["v"])
+        assert sorted(dst.items()) == sorted(src.items())
+        assert dst.next_expiry() == src.next_expiry()
+        assert dst.pop_expired(25.0) == src.pop_expired(25.0)
+
+    @pytest.mark.parametrize("n,m", [(1, 4), (4, 2), (2, 8)])
+    def test_query_restart_rescaled(self, tmp_path, n, m):
+        """Stop a query running at N shards, restart the same checkpoint
+        at M shards: continued output matches an uninterrupted 1-shard
+        run over the full input."""
+        from repro.sql.session import Session
+
+        first, rest = AGG_EPOCHS[:2], AGG_EPOCHS[2:]
+        # The reference also restarts at the split (the memory sink is
+        # reborn empty on restart); only the shard count differs.
+        ref_dir = str(tmp_path / "ref")
+        run_windowed_agg(Session, ref_dir, 1, epochs=first)
+        ref_cont = run_windowed_agg(Session, ref_dir, 1, epochs=rest)
+
+        rescale_dir = str(tmp_path / "rescale")
+        run_windowed_agg(Session, rescale_dir, n, epochs=first)
+        out = run_windowed_agg(Session, rescale_dir, m, epochs=rest)
+        assert out == ref_cont
+        assert read_state_files(rescale_dir) == read_state_files(ref_dir)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random batches / keys / shard counts
+# ---------------------------------------------------------------------------
+
+keys = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+rows = st.builds(lambda k, t: {"k": k, "t": float(t)},
+                 keys, st.integers(min_value=0, max_value=120))
+epoch_lists = st.lists(st.lists(rows, min_size=0, max_size=25),
+                       min_size=1, max_size=4)
+
+
+@given(epochs=epoch_lists,
+       n=st.integers(min_value=2, max_value=8),
+       m=st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_property_shard_and_rescale_equivalence(tmp_path_factory, epochs, n, m):
+    """For random inputs and shard counts: N-shard output == 1-shard
+    output, and an N-shard checkpoint restored at M shards continues
+    identically to a 1-shard checkpoint restored at 1 shard."""
+    from repro.sql.session import Session
+
+    tmp = tmp_path_factory.mktemp("prop")
+
+    def run(directory, num_shards, eps):
+        return run_windowed_agg(Session, str(tmp / directory), num_shards,
+                                epochs=eps)
+
+    ref = run("reffull", 1, epochs)
+    assert run("shard", n, epochs) == ref
+    assert (read_state_files(str(tmp / "shard"))
+            == read_state_files(str(tmp / "reffull")))
+
+    split = max(1, len(epochs) // 2)
+    run("ref", 1, epochs[:split])
+    ref_cont = run("ref", 1, epochs[split:])
+    run("rescale", n, epochs[:split])
+    continued = run("rescale", m, epochs[split:])
+    assert continued == ref_cont
+    assert (read_state_files(str(tmp / "rescale"))
+            == read_state_files(str(tmp / "ref")))
+
+
+# ---------------------------------------------------------------------------
+# run_shard_tasks: scheduler path == inline path
+# ---------------------------------------------------------------------------
+
+def test_run_shard_tasks_orders_and_skips_none():
+    from repro.streaming.operators import EpochContext, run_shard_tasks
+    from repro.streaming.watermark import WatermarkTracker
+
+    scheduler = TaskScheduler(3, speculation=False)
+    try:
+        ctx = EpochContext(epoch_id=0, inputs={}, watermarks=WatermarkTracker({}),
+                           processing_time=0.0, output_mode="append",
+                           scheduler=scheduler)
+        fns = [lambda i=i: i * 10 for i in range(5)]
+        fns[2] = None
+        results = run_shard_tasks(ctx, ("t", 1), fns)
+        assert results == [0, 10, None, 30, 40]
+        inline = EpochContext(epoch_id=0, inputs={},
+                              watermarks=WatermarkTracker({}),
+                              processing_time=0.0, output_mode="append")
+        assert run_shard_tasks(inline, ("t", 1), fns) == results
+    finally:
+        scheduler.shutdown()
