@@ -4,8 +4,10 @@ PY ?= python3
 # Extra pytest flags for bench-smoke; CI passes --timeout=... here
 # (requires pytest-timeout, which is not a local dependency).
 BENCH_SMOKE_FLAGS ?=
+# Same pattern for the fault sweep.
+FAULT_SWEEP_FLAGS ?=
 
-.PHONY: install test bench bench-smoke examples verify clean
+.PHONY: install test bench bench-smoke fault-sweep examples verify clean
 
 install:
 	$(PY) setup.py develop
@@ -18,6 +20,9 @@ bench:
 
 bench-smoke:
 	STATE_SCALING_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py --benchmark-only -q $(BENCH_SMOKE_FLAGS)
+
+fault-sweep:
+	$(PY) -m pytest tests/test_fault_sweep.py tests/test_fault_injection.py -q $(FAULT_SWEEP_FLAGS)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done

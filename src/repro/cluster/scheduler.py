@@ -31,6 +31,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.testing.faults import fault_point
+
 
 class TaskFailure(Exception):
     """A task exhausted its retry budget."""
@@ -260,6 +262,8 @@ class TaskScheduler:
             try:
                 for injector in self.injectors:
                     injector(task.task_id, worker_id, attempt.attempt)
+                fault_point("scheduler.task", task_id=task.task_id,
+                            worker_id=worker_id, attempt=attempt.attempt)
                 result = task.run()
             except Exception as exc:
                 self._on_failure(state, task, attempt, exc)

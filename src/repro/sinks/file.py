@@ -23,7 +23,15 @@ import os
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
 from repro.sql.types import StructType
-from repro.storage import atomic_write_json, list_files, read_json, read_jsonl, write_jsonl
+from repro.storage import (
+    atomic_write_json,
+    list_files,
+    read_json,
+    read_jsonl,
+    repair_torn_tail,
+    write_jsonl,
+)
+from repro.testing.faults import fault_point
 
 
 class TransactionalFileSink(Sink):
@@ -39,6 +47,11 @@ class TransactionalFileSink(Sink):
         self.writer_id = writer_id
         os.makedirs(self._log_dir, exist_ok=True)
         self.key_names = []
+        #: A torn newest manifest (crash mid-commit) would otherwise make
+        #: every read and write die on unreadable JSON; removing it
+        #: leaves that version's data files orphaned and invisible,
+        #: which is the manifest protocol's definition of "uncommitted".
+        self.repaired = repair_torn_tail(self._log_dir)
 
     # ------------------------------------------------------------------
     # Manifest log access
@@ -70,6 +83,7 @@ class TransactionalFileSink(Sink):
     # Write path
     # ------------------------------------------------------------------
     def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        fault_point("sink.add_batch", epoch=epoch_id, sink="file")
         if self._manifest_for_epoch(epoch_id) is not None:
             return  # this writer already committed this epoch: idempotent
         latest = self._latest_version()

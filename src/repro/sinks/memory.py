@@ -11,6 +11,7 @@ import threading
 
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
+from repro.testing.faults import fault_point
 
 
 class MemorySink(Sink):
@@ -24,6 +25,7 @@ class MemorySink(Sink):
         self.key_names = []
 
     def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
+        fault_point("sink.add_batch", epoch=epoch_id, sink="memory")
         with self._lock:
             if epoch_id in self._epochs:
                 return  # idempotent re-delivery after recovery

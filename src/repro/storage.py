@@ -13,12 +13,16 @@ import json
 import os
 import tempfile
 
+from repro.testing.faults import fault_point
+
 
 def atomic_write_text(path: str, text: str) -> None:
     """Write a file so readers never observe a partial write.
 
     Writes to a temp file in the same directory, fsyncs, then renames —
-    the same recipe the real Structured Streaming HDFS log uses.
+    the same recipe the real Structured Streaming HDFS log uses.  The
+    three fault points bracket the protocol's crash windows: content
+    written but unsynced, synced but invisible, and visible.
     """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
@@ -27,8 +31,11 @@ def atomic_write_text(path: str, text: str) -> None:
         with os.fdopen(fd, "w", encoding="utf-8") as f:
             f.write(text)
             f.flush()
+            fault_point("storage.write", path=path, tmp_path=tmp_path)
             os.fsync(f.fileno())
+        fault_point("storage.fsync", path=path, tmp_path=tmp_path)
         os.replace(tmp_path, path)
+        fault_point("storage.rename", path=path)
     except BaseException:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
@@ -60,6 +67,27 @@ def read_jsonl(path: str) -> list:
             if line:
                 rows.append(json.loads(line))
     return rows
+
+
+def repair_torn_tail(directory: str, suffix: str = ".json") -> list:
+    """Remove the newest file in ``directory`` if it is unreadable JSON.
+
+    Under the atomic-write protocol only the file in flight at a crash
+    can be torn, and it is always the newest entry of its log; a torn
+    *older* entry is real corruption, so only the tail is quarantined —
+    recovery then treats the write as never having happened.  Returns
+    the paths removed (0 or 1).
+    """
+    names = list_files(directory, suffix)
+    if not names:
+        return []
+    path = os.path.join(directory, names[-1])
+    try:
+        read_json(path)
+    except (ValueError, OSError):
+        os.unlink(path)
+        return [path]
+    return []
 
 
 def list_files(directory: str, suffix: str = "") -> list:

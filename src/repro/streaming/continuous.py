@@ -31,6 +31,7 @@ from repro.streaming.progress import EpochProgress, ProgressReporter
 from repro.streaming.state import StateStore
 from repro.streaming.wal import WriteAheadLog
 from repro.streaming.watermark import WatermarkTracker
+from repro.testing.faults import fault_point
 
 
 class UnsupportedContinuousQueryError(Exception):
@@ -227,10 +228,18 @@ class ContinuousEngine:
 
         The master asks for the workers' current positions, logs them as
         the epoch's end offsets, and commits — workers never block on it.
+        A failure here (e.g. the WAL write dying) must reach the query
+        handle like a worker failure would; before this was captured, a
+        master crash killed the thread silently and the query hung with
+        epochs no longer being committed.
         """
-        while not self._stop_event.wait(self.epoch_interval):
-            self._commit_epoch()
-        self._commit_epoch()  # final epoch on shutdown
+        try:
+            while not self._stop_event.wait(self.epoch_interval):
+                self._commit_epoch()
+            self._commit_epoch()  # final epoch on shutdown
+        except Exception as exc:
+            self._worker_error = exc
+            self._stop_event.set()
 
     def _commit_epoch(self) -> None:
         positions = {w.partition: w.position for w in self._workers}
@@ -238,6 +247,7 @@ class ContinuousEngine:
             return  # nothing processed since the last epoch
         epoch = self.next_epoch
         started = time.perf_counter()
+        fault_point("continuous.commit_epoch", epoch=epoch)
         self.wal.write_offsets(epoch, {
             "sources": {
                 self.source_name: {
@@ -247,6 +257,7 @@ class ContinuousEngine:
             "watermarks": self.watermarks.to_json(),
             "trigger_time": time.time(),
         })
+        fault_point("continuous.after_offsets", epoch=epoch)
         self.wal.write_commit(epoch)
         input_rows = sum(
             positions[p] - self._start_offsets.get(p, 0) for p in positions

@@ -32,6 +32,7 @@ from repro.streaming.progress import EpochProgress, ProgressReporter
 from repro.streaming.state import StateStore
 from repro.streaming.wal import WriteAheadLog
 from repro.streaming.watermark import WatermarkTracker
+from repro.testing.faults import fault_point
 
 
 class MicrobatchEngine:
@@ -234,6 +235,7 @@ class MicrobatchEngine:
         epoch = self.next_epoch
         trigger_time = self.clock()
         started = time.perf_counter()
+        fault_point("epoch.begin", epoch=epoch)
 
         # (1) Durably log the epoch's offsets before touching any data.
         self.wal.write_offsets(epoch, {
@@ -244,6 +246,8 @@ class MicrobatchEngine:
             "watermarks": self.watermarks.to_json(),
             "trigger_time": trigger_time,
         })
+
+        fault_point("epoch.after_offsets", epoch=epoch)
 
         # (2) Read the epoch's new data and run the incremental plan.
         inputs = self._fetch_inputs(ends)
@@ -259,11 +263,14 @@ class MicrobatchEngine:
             scheduler=self.scheduler,
         )
         result = self.plan.root.process(ctx)
+        fault_point("epoch.after_process", epoch=epoch)
 
         # (3) Idempotent sink write, then (4) commit + state checkpoint.
         self.sink.add_batch(epoch, result, self.output_mode)
+        fault_point("epoch.after_sink", epoch=epoch)
         self.watermarks.advance()
         self.wal.write_commit(epoch, {"watermarks": self.watermarks.to_json()})
+        fault_point("epoch.after_commit", epoch=epoch)
         if epoch % self._state_checkpoint_interval == 0:
             self.state_store.commit_all(epoch)
         self._enforce_retention(epoch)

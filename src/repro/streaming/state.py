@@ -32,7 +32,8 @@ import json
 import os
 
 from repro.sql.batch import shard_of_key
-from repro.storage import atomic_write_json, list_files, read_json
+from repro.storage import atomic_write_json, list_files, read_json, repair_torn_tail
+from repro.testing.faults import fault_point
 
 
 def encode_key(key) -> str:
@@ -101,6 +102,12 @@ class OperatorStateHandle:
         self._expiry_fn = None
         self.last_committed_version = None
         os.makedirs(directory, exist_ok=True)
+        #: A crash mid-commit can leave the newest checkpoint file torn
+        #: (visible but truncated); quarantining it on open makes
+        #: restore fall back to the previous version, which recovery
+        #: then replays forward from the WAL — instead of the restart
+        #: dying on unreadable JSON every time.
+        self.repaired = repair_torn_tail(directory)
 
     # ------------------------------------------------------------------
     # Keyed access (in-memory working state)
@@ -267,6 +274,8 @@ class OperatorStateHandle:
         depend on the shard count.  Returns checkpoint metrics (sizes)
         for monitoring (§7.4).
         """
+        fault_point("state.commit", version=version,
+                    operator=os.path.basename(self._directory))
         snapshot_due = version % self._snapshot_interval == 0
         if snapshot_due:
             data = {}
@@ -422,8 +431,19 @@ class StateStore:
         return self._handles[operator_id]
 
     def commit_all(self, version: int) -> list:
-        """Checkpoint every operator at ``version``; returns metrics."""
-        return [h.commit(version) for h in self._handles.values()]
+        """Checkpoint every operator at ``version``; returns metrics.
+
+        The fault point between operators models a crash that leaves
+        some operators checkpointed at ``version`` and the rest behind —
+        the skew :meth:`restore_all` must reconcile.
+        """
+        metrics = []
+        for i, (operator_id, handle) in enumerate(self._handles.items()):
+            metrics.append(handle.commit(version))
+            fault_point("state.commit_all", version=version,
+                        operator=operator_id, committed=i + 1,
+                        total=len(self._handles))
+        return metrics
 
     def restore_all(self, version):
         """Restore every operator to one *consistent* version <= ``version``.

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import os
 
-from repro.storage import atomic_write_json, list_files, read_json
+from repro.storage import atomic_write_json, list_files, read_json, repair_torn_tail
+from repro.testing.faults import fault_point
 
 
 class WriteAheadLog:
@@ -32,6 +33,23 @@ class WriteAheadLog:
         self._commits_dir = os.path.join(checkpoint_dir, "commits")
         os.makedirs(self._offsets_dir, exist_ok=True)
         os.makedirs(self._commits_dir, exist_ok=True)
+        #: Torn log entries quarantined on open.  A crash can leave the
+        #: newest offsets or commit entry truncated (a torn write that
+        #: became visible); treating it as never written is exactly the
+        #: recovery the two-file protocol prescribes — without this, a
+        #: restart dies on the unreadable JSON forever (a crash loop the
+        #: fault sweep exposed).
+        self.repaired = repair_torn_tail(self._offsets_dir)
+        self.repaired += repair_torn_tail(self._commits_dir)
+        # metadata.json too: write_metadata no-ops when the file exists,
+        # so a torn one would otherwise never be rewritten.
+        meta_path = os.path.join(checkpoint_dir, "metadata.json")
+        if os.path.exists(meta_path):
+            try:
+                read_json(meta_path)
+            except (ValueError, OSError):
+                os.unlink(meta_path)
+                self.repaired.append(meta_path)
 
     # ------------------------------------------------------------------
     # Metadata
@@ -60,6 +78,7 @@ class WriteAheadLog:
         "watermarks": {...}}``; this is the paper's "master writes the
         start and end offsets of each epoch durably to the log".
         """
+        fault_point("wal.offsets", epoch=epoch)
         payload = dict(entry)
         payload["epoch"] = epoch
         atomic_write_json(self._epoch_path(self._offsets_dir, epoch), payload)
@@ -89,6 +108,7 @@ class WriteAheadLog:
         ``extra`` carries small post-epoch facts recovery needs without
         reprocessing — currently the advanced watermark state.
         """
+        fault_point("wal.commit", epoch=epoch)
         payload = {"epoch": epoch}
         if extra:
             payload.update(extra)

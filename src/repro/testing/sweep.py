@@ -1,0 +1,259 @@
+"""Fault-sweep driver: every fault point × engine mode × shard count.
+
+Each *cell* of the sweep runs one workload with a schedule that crashes
+the query at a specific named fault point (twice: an early and a later
+occurrence), restarts it from its checkpoint until it completes, and
+checks the exactly-once guarantee against a cached golden run.  Rows
+per workload are deliberately small so the full matrix stays in CI's
+budget; depth comes from *where* the crashes land, not data volume.
+
+Workloads are chosen per point so the point actually fires:
+
+* ``agg``  — windowed aggregation with a watermark into the
+  transactional file sink (microbatch; WAL + state + storage + file
+  manifests);
+* ``join`` — stream-stream join with two state operators into a memory
+  sink (microbatch; multi-operator ``commit_all`` and the memory sink's
+  idempotence);
+* ``sched`` — the aggregation driven through the cluster TaskScheduler
+  (transient task faults, retries);
+* ``map``  — stateless filter/project on the continuous engine
+  (at-least-once within the last epoch, §6.3).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sinks.file import TransactionalFileSink
+from repro.sinks.memory import MemorySink
+from repro.sql import functions as F
+from repro.sql.session import Session
+from repro.sql.types import StructType
+from repro.sources.memory import MemoryStream
+from repro.testing.faults import REGISTRY, Fault, FaultInjector, injected
+from repro.testing.harness import (
+    ExactlyOnceChecker,
+    check_checkpoint_invariants,
+    run_golden,
+    run_with_crashes,
+)
+
+#: Points that can fire on each engine (the continuous engine never
+#: checkpoints state, batches to sinks, or schedules epoch tasks).
+MICROBATCH_POINTS = tuple(sorted(set(REGISTRY) - {
+    "continuous.commit_epoch", "continuous.after_offsets",
+}))
+CONTINUOUS_POINTS = (
+    "storage.write", "storage.fsync", "storage.rename",
+    "wal.offsets", "wal.commit",
+    "continuous.commit_epoch", "continuous.after_offsets",
+)
+
+#: (action at the point's first scheduled occurrence, at the later one).
+_ACTIONS_FOR_POINT = {
+    "storage.fsync": ("torn", "torn"),
+    "storage.write": ("crash", "drop"),
+    "scheduler.task": ("fail", "fail"),
+}
+#: The later occurrence probed in each cell (the first is always 0).
+LATER_OCCURRENCE = 4
+
+
+def sweep_cells():
+    """Yield every (point, engine_mode, num_shards) cell of the matrix."""
+    for point in sorted(REGISTRY):
+        if point in MICROBATCH_POINTS:
+            yield (point, "microbatch", 1)
+            yield (point, "microbatch", 4)
+        if point in CONTINUOUS_POINTS:
+            yield (point, "continuous", 1)
+
+
+def schedule_for(point: str) -> list:
+    early, later = _ACTIONS_FOR_POINT.get(point, ("crash", "crash"))
+    return [
+        Fault(point, occurrence=0, action=early),
+        Fault(point, occurrence=LATER_OCCURRENCE, action=later),
+    ]
+
+
+class WorkloadInstance:
+    """One materialized workload: fresh streams/sinks/checkpoint dir."""
+
+    def __init__(self, build, steps, read_sink, checkpoint_dir,
+                 ordered=True, at_least_once=False, cleanup=None):
+        self.build = build
+        self.steps = steps
+        self.read_sink = read_sink
+        self.checkpoint_dir = checkpoint_dir
+        self.ordered = ordered
+        self.at_least_once = at_least_once
+        self.cleanup = cleanup or (lambda: None)
+
+
+def _agg_workload(root: str, shards: int, scheduler=None) -> WorkloadInstance:
+    session = Session()
+    stream = MemoryStream(StructType((("k", "string"), ("v", "long"),
+                                      ("t", "timestamp"))))
+    df = (session.read_stream.memory(stream)
+          .with_watermark("t", "5s")
+          .group_by(F.window("t", "10s")).count())
+    checkpoint = os.path.join(root, "checkpoint")
+    out_dir = os.path.join(root, "table")
+
+    if scheduler is None:
+        sink = None  # fresh file sink per restart (reads manifests anew)
+
+        def build():
+            return (df.write_stream.format("file").option("path", out_dir)
+                    .option("num_shards", shards)
+                    .output_mode("append").start(checkpoint))
+
+        def read_sink():
+            return TransactionalFileSink(out_dir).read_rows()
+    else:
+        sink = MemorySink()
+
+        def build():
+            return (df.write_stream.sink(sink)
+                    .option("num_shards", shards)
+                    .option("scheduler", scheduler)
+                    .output_mode("append").start(checkpoint))
+
+        read_sink = sink.rows
+
+    chunks = [
+        [{"k": "a", "v": i, "t": float(t)} for i, t in enumerate((1, 2, 3))],
+        [{"k": "b", "v": i, "t": float(t)} for i, t in enumerate((12, 14))],
+        [{"k": "c", "v": i, "t": float(t)} for i, t in enumerate((23, 24, 25, 26))],
+        [{"k": "d", "v": 0, "t": 50.0}],
+        [{"k": "e", "v": 0, "t": 90.0}],
+    ]
+    steps = [lambda rows=rows: stream.add_data(rows) for rows in chunks]
+    return WorkloadInstance(build, steps, read_sink, checkpoint)
+
+
+def _join_workload(root: str, shards: int) -> WorkloadInstance:
+    session = Session()
+    ls = MemoryStream(StructType((("k", "long"), ("t", "timestamp"),
+                                  ("l", "string"))))
+    rs = MemoryStream(StructType((("k", "long"), ("t2", "timestamp"),
+                                  ("r", "string"))))
+    left = session.read_stream.memory(ls).with_watermark("t", "100s")
+    right = session.read_stream.memory(rs).with_watermark("t2", "100s")
+    df = left.join(right, on="k", within=("t", "t2", "1000s"))
+    checkpoint = os.path.join(root, "checkpoint")
+    sink = MemorySink()  # survives restarts (models the external system)
+
+    def build():
+        return (df.write_stream.sink(sink)
+                .option("num_shards", shards)
+                .output_mode("append").start(checkpoint))
+
+    steps = []
+    for i in range(4):
+        rows_l = [{"k": k, "t": float(i), "l": f"l{i}-{k}"} for k in (i, i + 1)]
+        rows_r = [{"k": k, "t2": float(i) + 0.5, "r": f"r{i}-{k}"} for k in (i, i + 1)]
+        steps.append(lambda rows=rows_l: ls.add_data(rows))
+        steps.append(lambda rows=rows_r: rs.add_data(rows))
+    return WorkloadInstance(build, steps, read_sink=sink.rows,
+                            checkpoint_dir=checkpoint, ordered=False)
+
+
+def _map_workload(root: str) -> WorkloadInstance:
+    session = Session()
+    stream = MemoryStream(StructType((("v", "long"),)))
+    df = (session.read_stream.memory(stream)
+          .where(F.col("v") > 0)
+          .select((F.col("v") * 10).alias("x")))
+    checkpoint = os.path.join(root, "checkpoint")
+    sink = MemorySink()
+
+    def build():
+        return (df.write_stream.sink(sink)
+                .output_mode("append")
+                .trigger(continuous=0.03).start(checkpoint))
+
+    chunks = [list(range(1 + 10 * c, 11 + 10 * c)) for c in range(3)]
+    steps = [
+        lambda vs=vs: stream.add_data([{"v": v} for v in vs]) for vs in chunks
+    ]
+    return WorkloadInstance(build, steps, read_sink=sink.rows,
+                            checkpoint_dir=checkpoint, at_least_once=True)
+
+
+def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInstance:
+    os.makedirs(root, exist_ok=True)
+    if mode == "continuous":
+        return _map_workload(root)
+    if point == "scheduler.task":
+        from repro.cluster.scheduler import TaskScheduler
+
+        scheduler = TaskScheduler(num_workers=2, speculation=False)
+        instance = _agg_workload(root, shards, scheduler=scheduler)
+        instance.cleanup = scheduler.shutdown
+        return instance
+    if point.startswith(("state.", "sink.")):
+        return _join_workload(root, shards)
+    return _agg_workload(root, shards)
+
+
+def _golden_key(point: str, mode: str, shards: int):
+    if mode == "continuous":
+        return ("map", mode, 1)
+    if point == "scheduler.task":
+        return ("sched", mode, shards)
+    if point.startswith(("state.", "sink.")):
+        return ("join", mode, shards)
+    return ("agg", mode, shards)
+
+
+def run_sweep_cell(point: str, mode: str, shards: int, root: str,
+                   golden_cache: dict) -> dict:
+    """Run one sweep cell; returns coverage info for the caller.
+
+    ``golden_cache`` maps workload identity to its GoldenRun so the
+    fault-free reference is computed once per workload, not per cell.
+    """
+    key = _golden_key(point, mode, shards)
+    if key not in golden_cache:
+        golden_instance = make_workload(point, mode, shards,
+                                        os.path.join(root, "golden"))
+        try:
+            golden_cache[key] = run_golden(
+                golden_instance.build, golden_instance.steps,
+                golden_instance.read_sink)
+        finally:
+            golden_instance.cleanup()
+
+    instance = make_workload(point, mode, shards, os.path.join(root, "run"))
+    injector = FaultInjector(schedule_for(point))
+    checker = ExactlyOnceChecker(
+        golden_cache[key], ordered=instance.ordered,
+        at_least_once=instance.at_least_once)
+    try:
+        with injected(injector):
+            report = run_with_crashes(
+                instance.build, instance.steps,
+                injector=injector,
+                read_sink=instance.read_sink,
+                checker=checker,
+                checkpoint_dir=instance.checkpoint_dir,
+            )
+        checker.check_final(
+            instance.read_sink(),
+            context=f"in sweep cell ({point}, {mode}, shards={shards})")
+        check_checkpoint_invariants(
+            instance.checkpoint_dir, strict=True,
+            context=f"after completed cell ({point}, {mode}, shards={shards})")
+    finally:
+        instance.cleanup()
+    return {
+        "point": point,
+        "mode": mode,
+        "shards": shards,
+        "crashes": report.num_crashes,
+        "fired": dict(injector.counts),
+        "triggered": list(injector.fired),
+    }

@@ -11,6 +11,7 @@ import pytest
 
 from repro.sql import functions as F
 from repro.sinks.file import TransactionalFileSink
+from repro.testing.faults import CrashPoint, Fault, FaultInjector, injected
 
 from tests.conftest import make_stream, rows_set, start_memory_query
 
@@ -61,30 +62,21 @@ class TestRestartContinuesWhereLeftOff:
 
 
 class TestCrashRecovery:
-    def _crash_after_offsets(self, session, checkpoint, stream, df, sink):
-        """Simulate: offsets logged, then crash before the sink write."""
-        engine_query = (df.write_stream.sink(sink)
-                        .output_mode("append").start(checkpoint))
-        engine = engine_query.engine
-        ends = engine._available_end_offsets()
-        engine.wal.write_offsets(engine.next_epoch, {
-            "sources": {
-                name: {"start": engine._start_offsets[name], "end": ends[name]}
-                for name in engine.sources
-            },
-            "watermarks": engine.watermarks.to_json(),
-            "trigger_time": 0.0,
-        })
-        # crash: abandon the engine here
+    """Crashes land via named fault points (see repro.testing.faults),
+    not hand-edited logs: the injector kills the engine at the exact
+    protocol step, the restart is a fresh query on the same checkpoint."""
 
     def test_uncommitted_epoch_rerun_on_restart(self, session, checkpoint):
         stream = make_stream(SCHEMA)
         df = session.read_stream.memory(stream)
-        sink = None
         q0 = start_memory_query(df, "append", "out", checkpoint)
         sink = q0.engine.sink
         stream.add_data([{"k": "a", "v": 1}])
-        self._crash_after_offsets(session, checkpoint, stream, df, sink)
+        # Crash with the offsets entry durable but nothing else done
+        # (between steps 1 and 2 of Figure 4).
+        with injected(FaultInjector([Fault("epoch.after_offsets")])):
+            with pytest.raises(CrashPoint):
+                q0.process_all_available()
         assert sink.rows() == []  # nothing delivered before the crash
 
         q1 = restart(session, df, sink, "append", checkpoint)
@@ -98,17 +90,17 @@ class TestCrashRecovery:
         q0 = start_memory_query(df, "append", "out", checkpoint)
         sink = q0.engine.sink
         stream.add_data([{"k": "a", "v": 1}])
-        q0.process_all_available()
-        # Simulate: sink write + state happened, but the commit record was
-        # lost (crash between steps 3 and 4 of Figure 4).
-        q0.engine.wal.rollback_to(-1)
-        q0.engine.wal.write_offsets(0, {
-            "sources": {"source-0": {"start": {"0": 0}, "end": {"0": 1}}},
-            "watermarks": {}, "trigger_time": 0.0,
-        })
+        # Crash after the sink accepted the epoch but before the commit
+        # record landed (between steps 3 and 4 of Figure 4).
+        with injected(FaultInjector([Fault("epoch.after_sink")])):
+            with pytest.raises(CrashPoint):
+                q0.process_all_available()
+        assert sink.rows() == [{"k": "a", "v": 1}]  # delivered, uncommitted
+
         q1 = restart(session, df, sink, "append", checkpoint)
         # The idempotent sink deduplicates the re-delivered epoch.
         assert sink.rows() == [{"k": "a", "v": 1}]
+        assert q1.engine.wal.is_committed(0)
 
     def test_recovery_with_aggregate_state_replay(self, session, checkpoint):
         """State checkpoint lags the commit log: recovery must replay
@@ -149,17 +141,18 @@ class TestPartialStateCommitCrash:
         ls.add_data([{"k": 1, "t": 1.0, "l": "x"}])
         q0.process_all_available()
         rs.add_data([{"k": 1, "t2": 2.0, "r": "y"}])
-        q0.process_all_available()
-        assert len(sink.rows()) == 1
-
-        # Simulate the crash: one join-side handle committed epoch 1,
-        # the other did not (its version-1 files vanish).
-        import os
-
-        right_dir = os.path.join(checkpoint, "state", "join-right-1")
-        for name in os.listdir(right_dir):
-            if name.startswith("0000000001."):
-                os.unlink(os.path.join(right_dir, name))
+        # Crash inside commit_all after the FIRST operator committed
+        # epoch 1 and before the second did: the handles are left at
+        # different versions.
+        injector = FaultInjector([
+            Fault("state.commit_all", occurrence=None, times=1,
+                  match=lambda ctx: ctx["version"] == 1 and ctx["committed"] == 1),
+        ])
+        with injected(injector):
+            with pytest.raises(CrashPoint):
+                q0.process_all_available()
+        assert injector.fired  # the partial-commit crash really happened
+        assert len(sink.rows()) == 1  # epoch 1's join row was delivered
 
         q1 = restart(session, df, sink, "append", checkpoint)
         # Both sides were rewound to version 0 and epoch 1 replayed: the
