@@ -7,7 +7,7 @@ BENCH_SMOKE_FLAGS ?=
 # Same pattern for the fault sweep.
 FAULT_SWEEP_FLAGS ?=
 
-.PHONY: install test bench bench-smoke fault-sweep examples verify clean
+.PHONY: install test bench bench-smoke fault-sweep examples monitor-demo verify clean
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,9 @@ fault-sweep:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done
 	@echo "all examples ran"
+
+monitor-demo:
+	$(PY) examples/observability_demo.py
 
 verify: test bench examples
 

@@ -31,6 +31,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.observability import metrics
 from repro.testing.faults import fault_point
 
 
@@ -259,6 +260,7 @@ class TaskScheduler:
                     continue  # another attempt already finished it
                 attempt.started_at = time.monotonic()
                 state.running.setdefault(task.task_id, {})[attempt.attempt] = attempt
+            metrics.count("scheduler.task_attempts")
             try:
                 for injector in self.injectors:
                     injector(task.task_id, worker_id, attempt.attempt)
@@ -277,6 +279,7 @@ class TaskScheduler:
                 state.results[task.task_id] = result
                 seconds = time.monotonic() - attempt.started_at
                 state.durations.append(seconds)
+                metrics.observe("scheduler.task_seconds", seconds)
                 state.task_stats[task.task_id] = {
                     "seconds": seconds,
                     "attempts": state.attempts_launched[task.task_id],
@@ -284,6 +287,7 @@ class TaskScheduler:
                 }
                 if attempt.speculative:
                     state.speculative_wins += 1
+                    metrics.count("scheduler.speculative_won")
             state.running.get(task.task_id, {}).pop(attempt.attempt, None)
             if not state.remaining:
                 state.done.set()
@@ -302,6 +306,7 @@ class TaskScheduler:
                 state.done.set()
                 return
             state.retries += 1
+        metrics.count("scheduler.retries")
         self._enqueue(state, task)  # fine-grained recovery: rerun just this task
 
     # ------------------------------------------------------------------
@@ -330,5 +335,6 @@ class TaskScheduler:
                     candidates = []  # workers are busy; no idle capacity
                 for task in candidates:
                     state.speculative_launches += 1
+                    metrics.count("scheduler.speculative_launched")
             for task in candidates:
                 self._enqueue(state, task, speculative=True)

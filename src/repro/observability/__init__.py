@@ -1,0 +1,50 @@
+"""End-to-end observability: metrics registry, span tracing, monitoring.
+
+The operational layer the paper motivates in §2.3 (monitoring and
+management of continuous jobs) and §7.4 (the progress/metrics API):
+
+* :mod:`repro.observability.metrics` — process-wide counters, gauges
+  and fixed-bucket histograms with percentile accessors;
+* :mod:`repro.observability.tracing` — nested spans per epoch, stage,
+  and shard task, exportable to ``chrome://tracing``;
+* ``python -m repro.tools.monitor`` — a text dashboard over a query's
+  ``events.jsonl``.
+
+Both layers are disabled by default and cost one ``is None`` branch per
+call site when off (the ``fault_point`` pattern); enable them with
+``REPRO_METRICS=1`` / ``REPRO_TRACE=1`` or programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.observability import metrics, tracing
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import Tracer, trace_span
+
+
+def active() -> bool:
+    """True when either the metrics registry or the tracer is enabled.
+
+    The engines use this single check to skip *derived* bookkeeping
+    (per-operator rows, stage timings) entirely when observability is
+    off, keeping the disabled path at one branch per epoch phase.
+    """
+    return metrics._registry is not None or tracing._tracer is not None
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "active",
+    "metrics",
+    "trace_span",
+    "tracing",
+]

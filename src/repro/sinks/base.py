@@ -14,6 +14,7 @@ exactly-once output end to end (§6.1 step 4).
 
 from __future__ import annotations
 
+from repro.observability import metrics
 from repro.sql.batch import RecordBatch
 
 
@@ -22,6 +23,16 @@ class Sink:
 
     #: Output modes this sink supports; checked when the query starts.
     supported_modes = ("append", "update", "complete")
+
+    def _count_commit(self, num_rows: int) -> None:
+        """Count one *applied* (non-duplicate) epoch commit.
+
+        Sinks call this after their idempotence check, so re-delivery
+        during recovery never double-counts — the counters match what
+        actually reached the sink exactly once.
+        """
+        metrics.count("sink.batches_committed")
+        metrics.count("sink.rows_delivered", num_rows)
 
     def set_key_names(self, key_names) -> None:
         """Told by the engine which output columns identify a row (for

@@ -18,6 +18,7 @@ class ConsoleSink(Sink):
         if epoch_id in self._epochs:
             return
         self._epochs.add(epoch_id)
+        self._count_commit(batch.num_rows)
         print(f"-------- epoch {epoch_id} ({mode}, {batch.num_rows} rows) --------")
         for row in batch.to_rows()[: self._max_rows]:
             print(row)

@@ -105,6 +105,7 @@ class TransactionalFileSink(Sink):
             "files": files,
             "num_rows": len(rows),
         })
+        self._count_commit(len(rows))
 
     def last_committed_epoch(self):
         """Highest epoch this *writer* committed, or None."""

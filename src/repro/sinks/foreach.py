@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.observability import metrics
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
 
@@ -32,6 +33,7 @@ class ForeachBatchSink(Sink):
             if epoch_id in self._epochs:
                 return
             self._epochs.add(epoch_id)
+        self._count_commit(batch.num_rows)
         self._fn(self._session.from_batch(batch), epoch_id)
 
     def last_committed_epoch(self):
@@ -53,12 +55,15 @@ class ForeachSink(Sink):
             if epoch_id in self._epochs:
                 return
             self._epochs.add(epoch_id)
+        self._count_commit(batch.num_rows)
         self._fn(epoch_id, batch.to_rows(), mode)
 
     def append_rows(self, rows) -> None:
         """Continuous-mode write path: deliver rows immediately (§6.3),
         with epoch -1 marking out-of-epoch delivery."""
-        self._fn(-1, list(rows), "append")
+        rows = list(rows)
+        self._fn(-1, rows, "append")
+        metrics.count("sink.rows_appended", len(rows))
 
     def last_committed_epoch(self):
         with self._lock:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import threading
 
 from repro.bus import Broker
+from repro.observability import metrics
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
 
@@ -51,10 +52,13 @@ class KafkaSink(Sink):
                     self._topic.publish_to(index, shard)
         with _registry_lock:
             _committed_epochs[self._registry_key].add(epoch_id)
+        self._count_commit(len(rows))
 
     def append_rows(self, rows) -> None:
         """Continuous-mode write path: publish rows immediately (§6.3)."""
-        self._topic.publish_to(0, list(rows))
+        rows = list(rows)
+        self._topic.publish_to(0, rows)
+        metrics.count("sink.rows_appended", len(rows))
 
     def last_committed_epoch(self):
         with _registry_lock:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.observability import metrics
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
 from repro.testing.faults import fault_point
@@ -41,6 +42,7 @@ class MemorySink(Sink):
             else:  # append (or update without keys, which degenerates)
                 self._rows.extend(new_rows)
             self._epochs.add(epoch_id)
+            self._count_commit(len(new_rows))
 
     def append_rows(self, rows) -> None:
         """Continuous-mode write path: append rows immediately (§6.3).
@@ -48,8 +50,10 @@ class MemorySink(Sink):
         No epoch bookkeeping — continuous mode trades the per-epoch
         dedup for latency (at-least-once within the last epoch).
         """
+        rows = list(rows)
         with self._lock:
             self._rows.extend(rows)
+        metrics.count("sink.rows_appended", len(rows))
 
     def rows(self) -> list:
         """A consistent snapshot of the current result table."""

@@ -13,6 +13,7 @@ import json
 import os
 import tempfile
 
+from repro.observability import metrics
 from repro.testing.faults import fault_point
 
 
@@ -33,9 +34,11 @@ def atomic_write_text(path: str, text: str) -> None:
             f.flush()
             fault_point("storage.write", path=path, tmp_path=tmp_path)
             os.fsync(f.fileno())
+            metrics.count("storage.fsyncs")
         fault_point("storage.fsync", path=path, tmp_path=tmp_path)
         os.replace(tmp_path, path)
         fault_point("storage.rename", path=path)
+        metrics.count("storage.atomic_writes")
     except BaseException:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)

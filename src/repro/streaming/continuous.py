@@ -24,6 +24,9 @@ import time
 
 import numpy as np
 
+from repro import observability
+from repro.observability import metrics, tracing
+from repro.observability.metrics import Histogram
 from repro.streaming import operators as ops
 from repro.streaming.incrementalizer import incrementalize
 from repro.streaming.operators import EpochContext
@@ -46,6 +49,7 @@ class _PartitionWorker:
         self.partition = partition
         self.position = start_offset
         self.rows_written = 0
+        self._span_name = f"chunk:{partition}"
         self._thread = threading.Thread(
             target=self._run, name=f"continuous-{partition}", daemon=True
         )
@@ -68,11 +72,15 @@ class _PartitionWorker:
                     time.sleep(poll)
                     continue
                 hi = min(end, self.position + max_chunk)
-                batch = source.get_partition_batch(
-                    self.partition, self.position, hi)
-                out = engine.pipeline(batch)
-                if out.num_rows:
-                    engine.sink.append_rows(out.to_rows())
+                with tracing.trace_span(self._span_name):
+                    batch = source.get_partition_batch(
+                        self.partition, self.position, hi)
+                    out = engine.pipeline(batch)
+                    if out.num_rows:
+                        engine.sink.append_rows(out.to_rows())
+                        engine.record_latency(out)
+                metrics.count("continuous.chunks")
+                metrics.count("continuous.rows_out", out.num_rows)
                 self.rows_written += out.num_rows
                 self.position = hi
         except Exception as exc:
@@ -88,7 +96,8 @@ class ContinuousEngine:
 
     def __init__(self, plan, sink, output_mode: str, checkpoint_dir: str,
                  epoch_interval: float = 1.0, max_chunk: int = 1024,
-                 poll_interval: float = 0.0002):
+                 poll_interval: float = 0.0002,
+                 latency_column: str = None, latency_clock=time.monotonic):
         if output_mode != "append":
             raise UnsupportedContinuousQueryError(
                 "continuous processing supports append mode only"
@@ -130,6 +139,28 @@ class ContinuousEngine:
         self.wal.write_metadata({"output_mode": output_mode, "mode": "continuous"})
         self.watermarks = WatermarkTracker(self.plan.watermark_delays)
         self.progress = ProgressReporter()
+
+        #: Per-record event-time -> sink latency (§9.3's headline metric).
+        #: Recorded vectorized per chunk against ``latency_column`` (a
+        #: wall-clock stamp measured by ``latency_clock``): explicitly
+        #: via ``.option("latency_column", ...)``, or auto-detected from
+        #: a ``publish_time``/``send_time`` output column while the
+        #: observability layer is enabled.  p50/p95/p99 surface through
+        #: EpochProgress and the monitor CLI.
+        self.latency_histogram = Histogram("continuous.record_latency_seconds")
+        self._latency_clock = latency_clock
+        self._latency_explicit = latency_column is not None
+        names = set(self.plan.root.output_schema.names)
+        if latency_column is not None:
+            if latency_column not in names:
+                raise ValueError(
+                    f"latency_column {latency_column!r} is not an output "
+                    f"column (have {sorted(names)})"
+                )
+            self._latency_col = latency_column
+        else:
+            self._latency_col = next(
+                (c for c in ("publish_time", "send_time") if c in names), None)
 
         self._stop_event = threading.Event()
         self._workers = []
@@ -207,6 +238,26 @@ class ContinuousEngine:
         )
         return self.plan.root.process(ctx)
 
+    def record_latency(self, batch) -> None:
+        """Record per-record delivery latency for one written chunk.
+
+        Vectorized (one subtraction + bucket count per chunk); a no-op
+        unless a latency column was resolved and either it was explicit
+        or the observability layer is enabled — the continuous hot path
+        stays untouched when monitoring is off.
+        """
+        column = self._latency_col
+        if column is None or not (
+                self._latency_explicit or observability.active()):
+            return
+        now = self._latency_clock()
+        lags = now - np.asarray(batch.columns[column], dtype=np.float64)
+        self.latency_histogram.record_many(np.maximum(lags, 0.0))
+        registry = metrics.active()
+        if registry is not None and registry.metric(
+                self.latency_histogram.name) is not self.latency_histogram:
+            registry.register(self.latency_histogram)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -247,18 +298,19 @@ class ContinuousEngine:
             return  # nothing processed since the last epoch
         epoch = self.next_epoch
         started = time.perf_counter()
-        fault_point("continuous.commit_epoch", epoch=epoch)
-        self.wal.write_offsets(epoch, {
-            "sources": {
-                self.source_name: {
-                    "start": dict(self._start_offsets), "end": positions
-                }
-            },
-            "watermarks": self.watermarks.to_json(),
-            "trigger_time": time.time(),
-        })
-        fault_point("continuous.after_offsets", epoch=epoch)
-        self.wal.write_commit(epoch)
+        with tracing.trace_span("epoch-marker", epoch=epoch):
+            fault_point("continuous.commit_epoch", epoch=epoch)
+            self.wal.write_offsets(epoch, {
+                "sources": {
+                    self.source_name: {
+                        "start": dict(self._start_offsets), "end": positions
+                    }
+                },
+                "watermarks": self.watermarks.to_json(),
+                "trigger_time": time.time(),
+            })
+            fault_point("continuous.after_offsets", epoch=epoch)
+            self.wal.write_commit(epoch)
         input_rows = sum(
             positions[p] - self._start_offsets.get(p, 0) for p in positions
         )
@@ -267,6 +319,8 @@ class ContinuousEngine:
         total_written = sum(w.rows_written for w in self._workers)
         output_rows = total_written - self._rows_reported
         self._rows_reported = total_written
+        metrics.count("continuous.epoch_markers")
+        metrics.count("engine.rows_in", input_rows)
         self.progress.record(EpochProgress(
             epoch_id=epoch,
             trigger_time=time.time(),
@@ -276,6 +330,7 @@ class ContinuousEngine:
             backlog_rows=self._backlog(positions),
             state_keys=0,
             late_rows_dropped=0,
+            latency_percentiles=self.latency_histogram.percentiles_json(),
         ))
 
     def _backlog(self, positions: dict) -> int:

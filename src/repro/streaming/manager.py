@@ -5,6 +5,13 @@ dynamically and run interactive queries on consistent snapshots of
 stream output" (§1).  The manager tracks every query started through a
 session, mirroring Spark's ``spark.streams``: list active queries, look
 them up by name, await or stop them all.
+
+Manager-level listeners mirror Spark's ``StreamingQueryListener``
+lifecycle: ``on_query_started(query)`` fires when a query is registered,
+``on_query_progress(progress)`` after every epoch of every tracked
+query, and ``on_query_terminated(query, exception)`` when a query stops
+(``exception`` is None for a clean stop).  Listener exceptions are
+counted (``query.listener_errors``), never propagated.
 """
 
 from __future__ import annotations
@@ -12,18 +19,78 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.observability import metrics
+
 
 class StreamingQueryManager:
     """Registry of streaming queries started from one session."""
 
     def __init__(self):
         self._queries = []
+        self._listeners = []
         self._lock = threading.Lock()
+        #: Exceptions swallowed while notifying manager-level listeners.
+        self.listener_errors = 0
 
     def register(self, query) -> None:
-        """Track a newly started query."""
+        """Track a newly started query and fire ``on_query_started``."""
         with self._lock:
             self._queries.append(query)
+        query._manager = self
+        query.engine.progress.listeners.append(self._on_progress)
+        self._dispatch("on_query_started", query)
+
+    # ------------------------------------------------------------------
+    # Lifecycle listeners (§7.4, Spark's StreamingQueryListener)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Attach a lifecycle listener (double-registration is a no-op)."""
+        with self._lock:
+            if any(existing is listener for existing in self._listeners):
+                return
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a lifecycle listener."""
+        with self._lock:
+            self._listeners = [
+                l for l in self._listeners if l is not listener
+            ]
+
+    def _dispatch(self, event: str, *args) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            callback = getattr(listener, event, None)
+            if callback is None:
+                continue
+            try:
+                callback(*args)
+            except Exception:
+                self.listener_errors += 1
+                metrics.count("query.listener_errors")
+
+    def _on_progress(self, progress) -> None:
+        self._dispatch("on_query_progress", progress)
+
+    def _notify_terminated(self, query) -> None:
+        self._dispatch("on_query_terminated", query, query.exception)
+
+    def metrics_snapshot(self) -> dict:
+        """Process metrics snapshot plus a per-query status summary."""
+        return {
+            "queries": [
+                {
+                    "name": query.name,
+                    "active": query.is_active,
+                    "next_epoch": getattr(query.engine, "next_epoch", None),
+                    "listener_errors": (query.listener_errors
+                                        + query.engine.progress.listener_errors),
+                }
+                for query in self.all_queries
+            ],
+            "metrics": metrics.snapshot(),
+        }
 
     @property
     def active(self) -> list:

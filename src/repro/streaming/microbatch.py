@@ -25,6 +25,8 @@ from __future__ import annotations
 import os
 import time
 
+from repro import observability
+from repro.observability import metrics, tracing
 from repro.sql.batch import RecordBatch
 from repro.streaming.incrementalizer import incrementalize
 from repro.streaming.operators import EpochContext
@@ -33,6 +35,37 @@ from repro.streaming.state import StateStore
 from repro.streaming.wal import WriteAheadLog
 from repro.streaming.watermark import WatermarkTracker
 from repro.testing.faults import fault_point
+
+
+class _Phase:
+    """Span + stage-timing bracket around one epoch phase (§7.4).
+
+    Combines a ``trace_span`` (no-op when tracing is off) with an entry
+    in the epoch's ``stage_timings`` dict (skipped when ``timings`` is
+    None, i.e. observability disabled) so each phase costs one branch
+    plus a null context manager on the disabled path.
+    """
+
+    __slots__ = ("name", "timings", "span", "start")
+
+    def __init__(self, name: str, timings):
+        self.name = name
+        self.timings = timings
+        self.span = tracing.trace_span(name)
+
+    def __enter__(self) -> "_Phase":
+        self.span.__enter__()
+        if self.timings is not None:
+            self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.timings is not None:
+            self.timings[self.name] = (
+                self.timings.get(self.name, 0.0)
+                + time.perf_counter() - self.start
+            )
+        self.span.__exit__(*exc)
 
 
 class MicrobatchEngine:
@@ -70,8 +103,9 @@ class MicrobatchEngine:
 
         self.state_store = StateStore(checkpoint_dir, snapshot_interval,
                                       num_shards=self.num_shards)
-        self.plan = incrementalize(plan, output_mode, self.state_store,
-                                   num_shards=self.num_shards)
+        with tracing.trace_span("plan-compile"):
+            self.plan = incrementalize(plan, output_mode, self.state_store,
+                                       num_shards=self.num_shards)
         self.sink.set_key_names(self.plan.key_names)
         if output_mode not in sink.supported_modes:
             raise ValueError(
@@ -233,24 +267,37 @@ class MicrobatchEngine:
             return None
 
         epoch = self.next_epoch
+        with tracing.trace_span("epoch", epoch=epoch):
+            progress = self._execute_epoch(epoch, ends)
+        self.progress.record(progress)
+        return progress
+
+    def _execute_epoch(self, epoch: int, ends: dict) -> EpochProgress:
+        """One epoch's Figure-4 protocol, with per-phase instrumentation."""
         trigger_time = self.clock()
         started = time.perf_counter()
+        # Stage timings (and per-operator metrics) are only collected
+        # while observability is enabled; None keeps every _Phase to a
+        # single branch and omits the sections from events.jsonl.
+        timings = {} if observability.active() else None
         fault_point("epoch.begin", epoch=epoch)
 
         # (1) Durably log the epoch's offsets before touching any data.
-        self.wal.write_offsets(epoch, {
-            "sources": {
-                name: {"start": self._start_offsets[name], "end": ends[name]}
-                for name in self.sources
-            },
-            "watermarks": self.watermarks.to_json(),
-            "trigger_time": trigger_time,
-        })
+        with _Phase("wal-offsets", timings):
+            self.wal.write_offsets(epoch, {
+                "sources": {
+                    name: {"start": self._start_offsets[name], "end": ends[name]}
+                    for name in self.sources
+                },
+                "watermarks": self.watermarks.to_json(),
+                "trigger_time": trigger_time,
+            })
 
         fault_point("epoch.after_offsets", epoch=epoch)
 
         # (2) Read the epoch's new data and run the incremental plan.
-        inputs = self._fetch_inputs(ends)
+        with _Phase("read-inputs", timings):
+            inputs = self._fetch_inputs(ends)
         input_rows = sum(batch.num_rows for batch in inputs.values())
         ctx = EpochContext(
             epoch_id=epoch,
@@ -262,17 +309,22 @@ class MicrobatchEngine:
             is_first_epoch=epoch == 0,
             scheduler=self.scheduler,
         )
-        result = self.plan.root.process(ctx)
+        with _Phase("process", timings):
+            result = self.plan.root.process(ctx)
         fault_point("epoch.after_process", epoch=epoch)
 
         # (3) Idempotent sink write, then (4) commit + state checkpoint.
-        self.sink.add_batch(epoch, result, self.output_mode)
+        with _Phase("sink-write", timings):
+            self.sink.add_batch(epoch, result, self.output_mode)
         fault_point("epoch.after_sink", epoch=epoch)
         self.watermarks.advance()
-        self.wal.write_commit(epoch, {"watermarks": self.watermarks.to_json()})
+        with _Phase("wal-commit", timings):
+            self.wal.write_commit(
+                epoch, {"watermarks": self.watermarks.to_json()})
         fault_point("epoch.after_commit", epoch=epoch)
         if epoch % self._state_checkpoint_interval == 0:
-            self.state_store.commit_all(epoch)
+            with _Phase("state-commit", timings):
+                self.state_store.commit_all(epoch)
         self._enforce_retention(epoch)
 
         for name, source in self.sources.items():
@@ -286,14 +338,16 @@ class MicrobatchEngine:
             backlog += sum(
                 max(latest[p] - ends[name].get(p, 0), 0) for p in latest
             )
+        duration = time.perf_counter() - started
+        state_keys = self.state_store.total_keys()
         progress = EpochProgress(
             epoch_id=epoch,
             trigger_time=trigger_time,
-            duration_seconds=time.perf_counter() - started,
+            duration_seconds=duration,
             input_rows=input_rows,
             output_rows=result.num_rows,
             backlog_rows=backlog,
-            state_keys=self.state_store.total_keys(),
+            state_keys=state_keys,
             late_rows_dropped=ctx.metrics["late_rows_dropped"],
             watermarks={
                 c: self.watermarks.current(c)
@@ -304,11 +358,20 @@ class MicrobatchEngine:
                 for name in self.sources
             },
             task_metrics=(
-                self.scheduler.last_stage_report
-                if self.scheduler is not None else None
+                self.scheduler.last_stage_report or {}
+                if self.scheduler is not None else {}
             ),
+            stage_timings=timings or {},
+            operator_metrics=ctx.op_metrics,
         )
-        self.progress.record(progress)
+        metrics.count("engine.epochs")
+        metrics.count("engine.rows_in", input_rows)
+        metrics.count("engine.rows_out", result.num_rows)
+        metrics.count("engine.late_rows_dropped",
+                      ctx.metrics["late_rows_dropped"])
+        metrics.set_gauge("engine.backlog_rows", backlog)
+        metrics.set_gauge("engine.state_keys", state_keys)
+        metrics.observe("engine.epoch_seconds", duration)
         return progress
 
     def _fetch_inputs(self, ends: dict) -> dict:

@@ -14,8 +14,13 @@ the paper says users never specify by hand (§5.2).
 
 from __future__ import annotations
 
+import functools
+import time
+
 import numpy as np
 
+from repro import observability
+from repro.observability import metrics, tracing
 from repro.sql import codegen
 from repro.sql import logical as L
 from repro.sql import plancompiler
@@ -54,6 +59,22 @@ class EpochContext:
         self.scheduler = scheduler
         #: Filled by operators for progress reporting (§7.4).
         self.metrics = {"rows_processed": 0, "late_rows_dropped": 0}
+        #: Operator label -> {"rows_out", "seconds", "calls"}, filled by
+        #: the instrumented process wrappers when observability is on.
+        self.op_metrics = {}
+
+
+def _traced_shard_fn(label, epoch: int, shard: int, fn):
+    """Wrap one shard task so its execution (inline or on a scheduler
+    worker thread) records a ``task:<op>:shard<i>`` span."""
+    op = label[0] if isinstance(label, tuple) else label
+    name = f"task:{op}:shard{shard}"
+
+    def run():
+        with tracing.trace_span(name, epoch=epoch, shard=shard):
+            return fn()
+
+    return run
 
 
 def run_shard_tasks(ctx: EpochContext, label, fns) -> list:
@@ -68,6 +89,12 @@ def run_shard_tasks(ctx: EpochContext, label, fns) -> list:
     a scheduler (or with one runnable shard) the callables run inline,
     which keeps output bit-identical between the two paths.
     """
+    if tracing.active() is not None:
+        fns = [
+            _traced_shard_fn(label, ctx.epoch_id, i, fn)
+            if fn is not None else None
+            for i, fn in enumerate(fns)
+        ]
     runnable = [(i, fn) for i, fn in enumerate(fns) if fn is not None]
     if ctx.scheduler is None or len(runnable) <= 1:
         return [fn() if fn is not None else None for fn in fns]
@@ -83,6 +110,43 @@ def run_shard_tasks(ctx: EpochContext, label, fns) -> list:
     return out
 
 
+def _instrumented_process(fn, label: str):
+    """Wrap an operator's ``process`` with a ``stage:<Op>`` span and
+    per-epoch rows/seconds bookkeeping (§7.4).
+
+    Disabled observability costs one extra call frame + one branch per
+    operator per epoch (process runs once per operator per epoch, never
+    per row).  Enabled, the recorded seconds are *inclusive* of child
+    operators — matching the nested-span semantics of the trace view.
+    """
+    span_name = f"stage:{label}"
+    rows_metric = f"op.{label}.rows_out"
+
+    @functools.wraps(fn)
+    def process(self, ctx):
+        if not observability.active():
+            return fn(self, ctx)
+        started = time.perf_counter()
+        with tracing.trace_span(span_name, epoch=ctx.epoch_id):
+            out = fn(self, ctx)
+        seconds = time.perf_counter() - started
+        rows = out.num_rows if out is not None else 0
+        metrics.count(rows_metric, rows)
+        entry = ctx.op_metrics.get(label)
+        if entry is None:
+            ctx.op_metrics[label] = {
+                "rows_out": rows, "seconds": seconds, "calls": 1,
+            }
+        else:
+            entry["rows_out"] += rows
+            entry["seconds"] += seconds
+            entry["calls"] += 1
+        return out
+
+    process._instrumented = True
+    return process
+
+
 class IncrementalOp:
     """Base class for incremental operators."""
 
@@ -90,6 +154,15 @@ class IncrementalOp:
     output_schema: StructType = None
     #: True when the operator keeps cross-epoch state.
     stateful = False
+
+    def __init_subclass__(cls, **kwargs):
+        """Every subclass that defines ``process`` gets it wrapped with
+        stage-span tracing and rows-out metrics — one choke point for
+        the whole operator zoo, on or off with the observability layer."""
+        super().__init_subclass__(**kwargs)
+        fn = cls.__dict__.get("process")
+        if fn is not None and not getattr(fn, "_instrumented", False):
+            cls.process = _instrumented_process(fn, cls.__name__)
 
     def process(self, ctx: EpochContext) -> RecordBatch:
         """Consume this epoch's input deltas; return this op's delta."""

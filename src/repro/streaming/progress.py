@@ -2,13 +2,18 @@
 
 Each completed epoch produces an :class:`EpochProgress` carrying the
 metrics the paper lists operators needing: load (rows, rows/s), backlog,
-state size, watermarks and timing.  ``to_json`` keeps it loggable as a
-structured event.
+state size, watermarks and timing — plus, when the observability layer
+is enabled, per-stage timings, per-operator row counts, scheduler task
+metrics and continuous-mode latency percentiles.  ``to_json`` keeps it
+loggable as a structured event; empty sections are omitted so
+``events.jsonl`` lines stay compact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.observability import metrics
 
 
 @dataclass
@@ -27,7 +32,17 @@ class EpochProgress:
     sources: dict = field(default_factory=dict)
     #: Per-task summary of the epoch's last scheduler stage (wall times,
     #: attempts, speculation) when a TaskScheduler drives the epoch.
-    task_metrics: dict = None
+    task_metrics: dict = field(default_factory=dict)
+    #: Engine phase -> seconds for this epoch (wal-offsets, read-inputs,
+    #: process, sink-write, wal-commit, state-commit); populated when
+    #: observability is active.
+    stage_timings: dict = field(default_factory=dict)
+    #: Operator label -> {"rows_out", "seconds", "calls"} for this
+    #: epoch's plan execution; populated when observability is active.
+    operator_metrics: dict = field(default_factory=dict)
+    #: Continuous-mode record latency summary (count/mean/p50/p95/p99),
+    #: cumulative over the query's lifetime.
+    latency_percentiles: dict = field(default_factory=dict)
 
     @property
     def input_rows_per_second(self) -> float:
@@ -37,8 +52,13 @@ class EpochProgress:
         return self.input_rows / self.duration_seconds
 
     def to_json(self) -> dict:
-        """Structured-event form (for logs and dashboards)."""
-        return {
+        """Structured-event form (for logs and dashboards).
+
+        Optional sections (watermarks, sources, task/stage/operator
+        metrics, latency percentiles) are omitted when empty so the
+        per-epoch event lines stay compact.
+        """
+        payload = {
             "epoch": self.epoch_id,
             "triggerTime": self.trigger_time,
             "durationSeconds": self.duration_seconds,
@@ -48,27 +68,48 @@ class EpochProgress:
             "stateKeys": self.state_keys,
             "lateRowsDropped": self.late_rows_dropped,
             "inputRowsPerSecond": self.input_rows_per_second,
+        }
+        optional = {
             "watermarks": self.watermarks,
             "sources": self.sources,
             "taskMetrics": self.task_metrics,
+            "stageTimings": self.stage_timings,
+            "operatorMetrics": self.operator_metrics,
+            "latencyPercentiles": self.latency_percentiles,
         }
+        for key, section in optional.items():
+            if section:
+                payload[key] = section
+        return payload
 
 
 class ProgressReporter:
-    """Keeps a bounded history of epoch progress for a query."""
+    """Keeps a bounded history of epoch progress for a query.
+
+    Listener callbacks are isolated: a raising listener is counted
+    (``listener_errors`` here and the ``query.listener_errors`` metric)
+    and skipped, never allowed to kill the driver loop — the same
+    containment ``on_terminated`` failures already had in ``query.py``.
+    """
 
     def __init__(self, capacity: int = 100):
         self._capacity = capacity
         self._history = []
         self.listeners = []
+        #: Count of listener callbacks that raised (and were swallowed).
+        self.listener_errors = 0
 
     def record(self, progress: EpochProgress) -> None:
-        """Append progress; notify listeners."""
+        """Append progress; notify listeners (their failures contained)."""
         self._history.append(progress)
         if len(self._history) > self._capacity:
             del self._history[: len(self._history) - self._capacity]
-        for listener in self.listeners:
-            listener(progress)
+        for listener in list(self.listeners):
+            try:
+                listener(progress)
+            except Exception:
+                self.listener_errors += 1
+                metrics.count("query.listener_errors")
 
     @property
     def last(self):

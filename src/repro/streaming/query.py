@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.observability import metrics, tracing
 from repro.streaming.triggers import (
     AvailableNowTrigger,
     OnceTrigger,
@@ -32,6 +33,12 @@ class StreamingQuery:
         self._exception = None
         self._thread = None
         self._listeners = []
+        #: Exceptions swallowed while notifying listeners (§7.4: a bad
+        #: listener must not take the query down, but must be visible).
+        self.listener_errors = 0
+        #: Back-reference set by StreamingQueryManager.register so
+        #: lifecycle events reach manager-level listeners.
+        self._manager = None
         if use_thread:
             self._thread = threading.Thread(
                 target=self._run_loop, name=f"query-{name or id(self)}", daemon=True
@@ -139,22 +146,61 @@ class StreamingQuery:
         return True
 
     def add_listener(self, listener) -> None:
-        """Attach a listener with optional ``on_progress(progress)`` and
-        ``on_terminated(query, exception)`` callbacks (§7.4 monitoring).
+        """Attach a listener with optional ``on_progress(progress)`` /
+        ``on_query_progress(progress)`` and ``on_terminated(query,
+        exception)`` / ``on_query_terminated(query, exception)``
+        callbacks (§7.4 monitoring).  Registering the same listener
+        twice is a no-op — it will not receive duplicate events.
         """
+        if any(existing is listener for existing in self._listeners):
+            return
         self._listeners.append(listener)
-        on_progress = getattr(listener, "on_progress", None)
+        on_progress = (getattr(listener, "on_progress", None)
+                       or getattr(listener, "on_query_progress", None))
         if on_progress is not None:
             self.engine.progress.listeners.append(on_progress)
 
+    def remove_listener(self, listener) -> None:
+        """Detach a listener registered with :meth:`add_listener`."""
+        self._listeners = [l for l in self._listeners if l is not listener]
+        on_progress = (getattr(listener, "on_progress", None)
+                       or getattr(listener, "on_query_progress", None))
+        if on_progress is not None:
+            reporter = self.engine.progress
+            reporter.listeners = [
+                cb for cb in reporter.listeners if cb != on_progress
+            ]
+
     def _fire_terminated(self) -> None:
         for listener in self._listeners:
-            on_terminated = getattr(listener, "on_terminated", None)
+            on_terminated = (getattr(listener, "on_terminated", None)
+                             or getattr(listener, "on_query_terminated", None))
             if on_terminated is not None:
                 try:
                     on_terminated(self, self._exception)
                 except Exception:
-                    pass  # listener failures must not mask the query's fate
+                    # Listener failures must not mask the query's fate,
+                    # but they must not vanish either (satellite fix:
+                    # this path used to swallow silently while the
+                    # progress path crashed the epoch).
+                    self.listener_errors += 1
+                    metrics.count("query.listener_errors")
+        if self._manager is not None:
+            self._manager._notify_terminated(self)
+
+    def dump_trace(self, path: str, fmt: str = None) -> int:
+        """Export the process trace buffer (spans from this query's
+        epochs included) to ``path``; returns the span count written.
+
+        ``fmt``: ``"chrome"`` (loads in ``chrome://tracing`` / Perfetto)
+        or ``"jsonl"``; inferred from the extension when omitted.
+        Returns 0 when tracing is disabled.
+        """
+        return tracing.dump(path, fmt)
+
+    def metrics_snapshot(self) -> dict:
+        """Snapshot of the process metrics registry ({} when disabled)."""
+        return metrics.snapshot()
 
     def explain(self) -> str:
         """Print and return the incremental operator tree the planner

@@ -31,6 +31,7 @@ import heapq
 import json
 import os
 
+from repro.observability import metrics
 from repro.sql.batch import shard_of_key
 from repro.storage import atomic_write_json, list_files, read_json, repair_torn_tail
 from repro.testing.faults import fault_point
@@ -63,9 +64,10 @@ class _StateShard:
     """One hash partition of an operator's keyed state: its own data
     dict, dirty tracking and expiry index — no locks, no sharing."""
 
-    __slots__ = ("data", "dirty", "removed", "expiry", "heap")
+    __slots__ = ("data", "dirty", "removed", "expiry", "heap",
+                 "puts_metric", "gets_metric", "evictions_metric")
 
-    def __init__(self):
+    def __init__(self, index: int = 0):
         self.data = {}
         self.dirty = set()
         self.removed = set()
@@ -73,6 +75,16 @@ class _StateShard:
         #: disagree with this map are stale and dropped lazily).
         self.expiry = {}
         self.heap = []
+        #: Pre-formatted per-shard metric names (§2.3 monitoring): the
+        #: hot-path cost with metrics enabled is one dict hit per
+        #: access, with no string formatting.
+        self.puts_metric = f"state.puts.shard{index}"
+        self.gets_metric = f"state.gets.shard{index}"
+        self.evictions_metric = f"state.evictions.shard{index}"
+
+
+def _make_shards(num_shards: int) -> list:
+    return [_StateShard(i) for i in range(num_shards)]
 
 
 class OperatorStateHandle:
@@ -97,7 +109,7 @@ class OperatorStateHandle:
         self._directory = directory
         self._snapshot_interval = max(1, snapshot_interval)
         self.num_shards = max(1, num_shards)
-        self._shards = [_StateShard() for _ in range(self.num_shards)]
+        self._shards = _make_shards(self.num_shards)
         self._key_cache = {}
         self._expiry_fn = None
         self.last_committed_version = None
@@ -138,6 +150,8 @@ class OperatorStateHandle:
     def get(self, key, default=None):
         """Value for a key, or default."""
         shard, encoded = self._locate(key)
+        if metrics._registry is not None:
+            metrics._registry.counter(shard.gets_metric).inc()
         return shard.data.get(encoded, default)
 
     def contains(self, key) -> bool:
@@ -148,6 +162,8 @@ class OperatorStateHandle:
     def put(self, key, value) -> None:
         """Set a key's state (JSON-serializable value)."""
         shard, encoded = self._locate(key)
+        if metrics._registry is not None:
+            metrics._registry.counter(shard.puts_metric).inc()
         shard.data[encoded] = value
         shard.dirty.add(encoded)
         shard.removed.discard(encoded)
@@ -162,6 +178,7 @@ class OperatorStateHandle:
             shard.dirty.discard(encoded)
             shard.removed.add(encoded)
             shard.expiry.pop(encoded, None)
+            metrics.count("state.removes")
 
     # ------------------------------------------------------------------
     # Expiry index (watermark eviction without full scans)
@@ -231,12 +248,16 @@ class OperatorStateHandle:
         popped = []
         for shard in self._shards:
             heap = shard.heap
+            shard_popped = 0
             while heap and heap[0][0] <= bound:
                 expiry, encoded = heapq.heappop(heap)
                 if shard.expiry.get(encoded) != expiry:
                     continue  # stale entry: superseded or removed
                 del shard.expiry[encoded]
                 popped.append((expiry, encoded, shard.data[encoded]))
+                shard_popped += 1
+            if shard_popped:
+                metrics.count(shard.evictions_metric, shard_popped)
         popped.sort(key=lambda item: item[:2])
         return [(decode_key(encoded), value) for _, encoded, value in popped]
 
@@ -374,7 +395,7 @@ class OperatorStateHandle:
         function, so a checkpoint written at one shard count restores
         exactly into a handle with any other (rescaling, §6.2).
         """
-        self._shards = [_StateShard() for _ in range(self.num_shards)]
+        self._shards = _make_shards(self.num_shards)
         self._key_cache.clear()
         self.last_committed_version = None
         if version is None:
@@ -437,13 +458,13 @@ class StateStore:
         some operators checkpointed at ``version`` and the rest behind —
         the skew :meth:`restore_all` must reconcile.
         """
-        metrics = []
+        reports = []
         for i, (operator_id, handle) in enumerate(self._handles.items()):
-            metrics.append(handle.commit(version))
+            reports.append(handle.commit(version))
             fault_point("state.commit_all", version=version,
                         operator=operator_id, committed=i + 1,
                         total=len(self._handles))
-        return metrics
+        return reports
 
     def restore_all(self, version):
         """Restore every operator to one *consistent* version <= ``version``.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 
+from repro.observability import metrics
 from repro.storage import atomic_write_json, list_files, read_json, repair_torn_tail
 from repro.testing.faults import fault_point
 
@@ -82,6 +83,7 @@ class WriteAheadLog:
         payload = dict(entry)
         payload["epoch"] = epoch
         atomic_write_json(self._epoch_path(self._offsets_dir, epoch), payload)
+        metrics.count("wal.offsets_written")
 
     def read_offsets(self, epoch: int) -> dict:
         """Read one epoch's offsets entry."""
@@ -113,6 +115,7 @@ class WriteAheadLog:
         if extra:
             payload.update(extra)
         atomic_write_json(self._epoch_path(self._commits_dir, epoch), payload)
+        metrics.count("wal.commits_written")
 
     def read_commit(self, epoch: int) -> dict:
         """Read one epoch's commit entry."""

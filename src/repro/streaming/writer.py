@@ -163,6 +163,7 @@ class DataStreamWriter:
             engine = ContinuousEngine(
                 self._df.plan, sink, self._mode, checkpoint_dir,
                 epoch_interval=self._trigger.epoch_interval,
+                latency_column=self._options.get("latency_column"),
             )
             query = StreamingQuery(engine, self._trigger, self._name, use_thread=False)
             engine.start()
