@@ -19,7 +19,8 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:
-	STATE_SCALING_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py --benchmark-only -q $(BENCH_SMOKE_FLAGS)
+	STATE_SCALING_SMOKE=1 FIG6B_SMOKE=1 $(PY) -m pytest benchmarks/test_state_scaling.py "benchmarks/test_fig6b_scaling.py::test_worker_sweep_process_executor" --benchmark-only -q $(BENCH_SMOKE_FLAGS)
+	@echo "consolidated results: benchmarks/results/bench_latest.json"
 
 fault-sweep:
 	$(PY) -m pytest tests/test_fault_sweep.py tests/test_fault_injection.py -q $(FAULT_SWEEP_FLAGS)

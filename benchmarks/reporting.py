@@ -4,21 +4,41 @@ pytest captures stdout, so the per-figure tables (the rows/series the
 paper reports) are written both to ``benchmarks/results/<name>.txt`` and
 to the real stdout (``sys.__stdout__``), making them visible in a plain
 ``pytest benchmarks/ --benchmark-only`` run.
+
+Reports that also pass ``data=`` get merged into
+``benchmarks/results/bench_latest.json`` — one consolidated,
+machine-readable snapshot of the latest benchmark run (what
+``make bench-smoke`` publishes for CI artifacts and regression diffing).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+LATEST_JSON = os.path.join(RESULTS_DIR, "bench_latest.json")
 
 
-def emit(name: str, lines) -> None:
-    """Write a benchmark report to results/<name>.txt and the console."""
+def emit(name: str, lines, data=None) -> None:
+    """Write a benchmark report to results/<name>.txt and the console;
+    with ``data``, also merge ``{name: data}`` into bench_latest.json."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     text = "\n".join(lines) + "\n"
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text)
+    if data is not None:
+        merged = {}
+        try:
+            with open(LATEST_JSON) as f:
+                merged = json.load(f)
+        except (OSError, ValueError):
+            pass
+        merged[name] = data
+        tmp = LATEST_JSON + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=True)
+        os.replace(tmp, LATEST_JSON)
     sys.__stdout__.write(f"\n===== {name} =====\n{text}")
     sys.__stdout__.flush()

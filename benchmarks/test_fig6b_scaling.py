@@ -67,7 +67,13 @@ def test_scaling_series(benchmark, columnar_events, workload):
     efficiency = model.speedup(20) / 20
     lines.append(f"parallel efficiency at 20 nodes: {efficiency:.1%} "
                  "(paper: ~98%)")
-    emit("fig6b_scaling", lines)
+    emit("fig6b_scaling", lines, data={
+        "per_core_records_per_second": per_core,
+        "modeled_records_per_second": {str(n): r for n, r in series},
+        "paper_records_per_second": {str(n): r
+                                     for n, r in PAPER_SERIES.items()},
+        "efficiency_at_20_nodes": efficiency,
+    })
 
     # Shape assertions: monotone, near-linear.
     rates = [rate for _n, rate in series]
@@ -78,7 +84,7 @@ def test_scaling_series(benchmark, columnar_events, workload):
 
 
 # ---------------------------------------------------------------------------
-# Worker sweep over the hash-partitioned epoch (§6.1-§6.2)
+# Measured process-worker sweep over the hash-partitioned epoch (§6.1-§6.2)
 # ---------------------------------------------------------------------------
 
 def _drain_partitioned(broker, workload, scheduler) -> float:
@@ -96,48 +102,32 @@ def _drain_partitioned(broker, workload, scheduler) -> float:
     return time.perf_counter() - started
 
 
-def _makespan(durations, workers: int) -> float:
-    """LPT list-scheduling makespan of the measured tasks on k workers."""
-    loads = [0.0] * workers
-    for seconds in sorted(durations, reverse=True):
-        loads[loads.index(min(loads))] += seconds
-    return max(loads)
-
-
-def _projected_epoch_seconds(wall, stage_reports, workers: int) -> float:
-    """Epoch time at k workers from measured per-shard task durations:
-    the serial residual (everything outside scheduler tasks) plus each
-    stage's k-worker makespan.  Stages run sequentially in an epoch, so
-    makespans add."""
-    task_time = sum(s["seconds"] for r in stage_reports for s in r["tasks"])
-    residual = max(wall - task_time, 0.0)
-    return residual + sum(
-        _makespan([s["seconds"] for s in report["tasks"]], workers)
-        for report in stage_reports
-    )
-
-
 @pytest.mark.benchmark(group="fig6b")
-def test_worker_sweep_partitioned_epoch(benchmark, columnar_events, workload):
-    """Epoch throughput vs worker count for the hash-partitioned engine.
+def test_worker_sweep_process_executor(benchmark, columnar_events, workload):
+    """Measured epoch throughput vs *process*-worker count.
 
-    Per-shard task wall times are measured from real runs (the
-    scheduler's stage reports); the k-worker series is their LPT
-    makespan on k workers plus the measured serial residual — the same
-    measure-then-model substitution DESIGN.md documents for the node
-    sweep above, since this container exposes a single core
-    (os.cpu_count() == 1) and cannot exhibit thread speedup directly.
-    Measured single-core wall times are reported alongside.
+    Unlike the node series above (which must model cluster sizes this
+    machine cannot host), the worker sweep is now a real measurement:
+    each worker count runs the full Yahoo pipeline on the process
+    executor — forked workers, shared-memory input batches, state-delta
+    shipping — and reports wall time plus the pool's IPC accounting.
+    The ≥1.6x speedup floor at 4 workers only applies on a host that
+    actually has ≥4 cores; a 1-core container still runs the sweep and
+    records the (flat) measured series.
     """
+    smoke = os.environ.get("FIG6B_SMOKE") == "1"
+    worker_counts = (1, 2) if smoke else WORKER_COUNTS
+    rounds = 1 if smoke else 3
     measured = {}
     reports = {}
 
     def sweep():
-        for workers in WORKER_COUNTS:
-            scheduler = TaskScheduler(workers, speculation=False)
+        for workers in worker_counts:
+            scheduler = TaskScheduler(workers, executor="process",
+                                      speculation=False)
             try:
                 best_wall, best_reports = None, None
-                for _ in range(3):
+                for _ in range(rounds):
                     before = len(scheduler.stage_reports)
                     wall = _drain_partitioned(
                         columnar_events, workload, scheduler)
@@ -152,42 +142,67 @@ def test_worker_sweep_partitioned_epoch(benchmark, columnar_events, workload):
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    # Project every worker count from the 1-worker run's task timings
-    # (uncontended: tasks never interleave, so per-task walls are clean).
-    base_wall, base_reports = measured[1], reports[1]
-    projected = {
-        workers: _projected_epoch_seconds(base_wall, base_reports, workers)
-        for workers in WORKER_COUNTS
-    }
+    def _pool_stats(stage_reports):
+        ipc = sum(r.get("executor", {}).get("ipc_bytes", 0)
+                  for r in stage_reports)
+        ship = sum(r.get("executor", {}).get("ship_seconds", 0.0)
+                   for r in stage_reports)
+        merge = sum(r.get("executor", {}).get("merge_seconds", 0.0)
+                    for r in stage_reports)
+        return ipc, ship, merge
 
+    cores = os.cpu_count() or 1
     lines = [
-        "Figure 6b (extension) — epoch throughput vs workers, "
-        f"hash-partitioned Yahoo! pipeline ({SWEEP_SHARDS} shards, "
-        f"{N:,} events/epoch)",
-        f"host cores: {os.cpu_count()} (k-worker series projected from "
-        "measured per-shard task times; see DESIGN.md)",
-        f"{'workers':>8}{'measured ms':>13}{'projected ms':>14}"
-        f"{'proj rec/s':>14}{'speedup':>9}",
+        "Figure 6b (extension) — measured epoch throughput vs process "
+        f"workers, hash-partitioned Yahoo! pipeline ({SWEEP_SHARDS} "
+        f"shards, {N:,} events/epoch)",
+        f"host cores: {cores}"
+        + (" (speedup floor applies at >=4 cores only)" if cores < 4 else ""),
+        f"{'workers':>8}{'measured ms':>13}{'rec/s':>14}{'speedup':>9}"
+        f"{'ipc MB':>9}{'ship ms':>9}",
     ]
-    for workers in WORKER_COUNTS:
-        speedup = projected[1] / projected[workers]
+    series = {}
+    for workers in worker_counts:
+        ipc, ship, _merge = _pool_stats(reports[workers])
+        speedup = measured[1] / measured[workers]
+        series[workers] = {
+            "wall_ms": measured[workers] * 1000,
+            "records_per_second": N / measured[workers],
+            "speedup_vs_1": speedup,
+            "ipc_bytes": ipc,
+            "ship_seconds": ship,
+        }
         lines.append(
             f"{workers:>8}{measured[workers] * 1000:>11.1f}ms"
-            f"{projected[workers] * 1000:>12.1f}ms"
-            f"{N / projected[workers]:>14,.0f}{speedup:>8.2f}x"
+            f"{N / measured[workers]:>14,.0f}{speedup:>8.2f}x"
+            f"{ipc / 1e6:>9.1f}{ship * 1000:>9.1f}"
         )
-    lines.append(
-        f"4-worker epoch speedup: {projected[1] / projected[4]:.2f}x "
-        "(acceptance floor: 1.5x)")
-    emit("fig6b_worker_sweep", lines)
+    at4 = measured[1] / measured[4] if 4 in measured else None
+    if at4 is not None:
+        lines.append(
+            f"4-worker epoch speedup: {at4:.2f}x "
+            f"(floor 1.6x, enforced on >=4-core hosts; this host: {cores})")
+    emit("fig6b_worker_sweep", lines, data={
+        "host_cores": cores,
+        "executor": "process",
+        "events_per_epoch": N,
+        "num_shards": SWEEP_SHARDS,
+        "series": series,
+    })
 
-    benchmark.extra_info["projected_speedup_at_4"] = projected[1] / projected[4]
     benchmark.extra_info["measured_wall_ms"] = {
-        w: measured[w] * 1000 for w in WORKER_COUNTS}
+        w: measured[w] * 1000 for w in worker_counts}
+    if at4 is not None:
+        benchmark.extra_info["measured_speedup_at_4"] = at4
 
-    # The partitioned decomposition must actually expose parallelism:
-    # >1.5x epoch throughput at 4 workers vs 1 on the windowed
-    # aggregation pipeline, and monotone through 8.
-    assert projected[1] / projected[4] > 1.5
-    assert projected[2] <= projected[1]
-    assert projected[8] <= projected[4]
+    # Every run must have actually gone through the pool.
+    for workers in worker_counts:
+        assert any(
+            r.get("executor", {}).get("type") == "process"
+            for r in reports[workers]
+        ), f"no process stage reports at {workers} workers"
+    # The speedup floor is a genuine multicore claim: only a host with
+    # >=4 cores can exhibit it (GIL-free processes, but 1 CPU is 1 CPU).
+    if cores >= 4 and not smoke:
+        assert at4 >= 1.6
+        assert measured[2] <= measured[1] * 1.05

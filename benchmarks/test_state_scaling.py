@@ -168,8 +168,14 @@ def test_epoch_latency_flat_as_state_grows(benchmark, tmp_path):
     lines.append(
         "  (aggregate 5k->50k keys: 2.8x; join 4k->52k rows: 15.1x)")
 
+    emit("state_scaling", lines, data={
+        "smoke": SMOKE,
+        "aggregate": {"early_ms": agg_early, "late_ms": agg_late,
+                      "growth": agg_growth},
+        "join": {"early_ms": join_early, "late_ms": join_late,
+                 "growth": join_growth},
+    })
     if not SMOKE:
-        emit("state_scaling", lines)
         # The acceptance bar: 10x more buffered state, <=1.5x epoch time.
         assert agg_growth <= 1.5, f"aggregate epoch latency grew {agg_growth:.2f}x"
         assert join_growth <= 1.5, f"join epoch latency grew {join_growth:.2f}x"

@@ -86,7 +86,8 @@ class TaskScheduler:
     def __init__(self, num_workers: int, max_retries: int = 3,
                  speculation: bool = True, speculation_multiplier: float = 2.0,
                  speculation_min_seconds: float = 0.05,
-                 injectors=(), stage_history: int = 256):
+                 injectors=(), stage_history: int = 256,
+                 executor: str = "thread", task_timeout: float = 60.0):
         self._max_retries = max_retries
         self._speculation = speculation
         self._speculation_multiplier = speculation_multiplier
@@ -104,6 +105,21 @@ class TaskScheduler:
         #: Report of the most recent completed stage (see _stage_report).
         self.last_stage_report = None
         self._stage_records = deque(maxlen=stage_history)
+        #: Execution backend for *operator shard stages*: "thread" runs
+        #: them on this pool's threads; "process" routes them to a
+        #: persistent forked worker pool (true multicore, §6.2).  The
+        #: thread pool stays alive either way — closure-based stages
+        #: (source reads) are not picklable and keep using it.
+        self.executor = executor
+        self.process_pool = None
+        if executor == "process":
+            from repro.cluster.process_pool import ProcessPool
+
+            self.process_pool = ProcessPool(
+                num_workers, max_retries=max_retries,
+                task_timeout=task_timeout, scheduler=self)
+        elif executor != "thread":
+            raise ValueError(f"unknown executor {executor!r}")
         for _ in range(num_workers):
             self._add_worker()
 
@@ -139,10 +155,18 @@ class TaskScheduler:
             self._workers[wid]["alive"] = False
 
     def shutdown(self) -> None:
-        """Stop all workers."""
+        """Stop all workers (thread and process)."""
         self._shutdown.set()
         for rec in self._workers.values():
             rec["alive"] = False
+        if self.process_pool is not None:
+            self.process_pool.shutdown()
+
+    def bind_engine(self, engine) -> None:
+        """Attach a (re)built engine: the process pool re-forks against
+        its compiled plan and state.  No-op for the thread executor."""
+        if self.process_pool is not None:
+            self.process_pool.bind(engine)
 
     # ------------------------------------------------------------------
     # Stage execution
@@ -193,6 +217,12 @@ class TaskScheduler:
             "speculative_launched": state.speculative_launches,
             "speculative_won": state.speculative_wins,
         }
+        self.last_stage_report = report
+        self._stage_records.append(report)
+
+    def record_stage_report(self, report: dict) -> None:
+        """Record a stage report produced by an external executor (the
+        process pool), in the same schema as :meth:`_record_stage`."""
         self.last_stage_report = report
         self._stage_records.append(report)
 

@@ -133,7 +133,16 @@ class MicrobatchEngine:
             name: source.initial_offsets() for name, source in self.sources.items()
         }
         self.next_epoch = 0
+        #: True when the writer built the scheduler for this engine (via
+        #: the ``executor`` option); stop() then owns its shutdown.
+        self._owns_scheduler = False
         self._recover()
+        # A process-backed scheduler forks its workers from this fully
+        # recovered engine: compiled plans and restored state are
+        # inherited, not rebuilt per worker.
+        bind = getattr(self.scheduler, "bind_engine", None)
+        if bind is not None:
+            bind(self)
 
     def _attach_event_log(self, checkpoint_dir: str) -> None:
         """Append each epoch's progress as a JSON line to the structured
@@ -161,6 +170,8 @@ class MicrobatchEngine:
         event_log = getattr(self, "_event_log", None)
         if event_log is not None and not event_log.closed:
             event_log.close()
+        if getattr(self, "_owns_scheduler", False) and self.scheduler is not None:
+            self.scheduler.shutdown()
 
     # ------------------------------------------------------------------
     # Recovery (§6.1 step 4)

@@ -110,6 +110,34 @@ def run_shard_tasks(ctx: EpochContext, label, fns) -> list:
     return out
 
 
+def run_op_shard_tasks(ctx: EpochContext, label, op, method: str,
+                       payloads) -> list:
+    """Run ``op.<method>(*payloads[i])`` per shard; results in shard order.
+
+    The picklable twin of :func:`run_shard_tasks`: shard work is named by
+    ``(operator, method, args)`` instead of a closure, so a
+    process-backed scheduler can ship it to a worker that already holds
+    the operator (forked plan) and the shard's state replica.  With a
+    process pool on the scheduler, tasks route stickily to each shard's
+    owning worker; otherwise (thread executor, or a single runnable
+    shard) the calls run through ``run_shard_tasks`` unchanged — output
+    is bit-identical either way.  ``payloads[i] is None`` marks an empty
+    shard.
+    """
+    scheduler = ctx.scheduler
+    pool = getattr(scheduler, "process_pool", None) if scheduler else None
+    if pool is not None and pool.knows(op):
+        runnable = sum(1 for p in payloads if p is not None)
+        if runnable > 1:
+            return pool.run_op_stage(ctx, label, op, method, payloads)
+    bound = getattr(op, method)
+    fns = [
+        (lambda args=args: bound(*args)) if args is not None else None
+        for args in payloads
+    ]
+    return run_shard_tasks(ctx, label, fns)
+
+
 def _instrumented_process(fn, label: str):
     """Wrap an operator's ``process`` with a ``stage:<Op>`` span and
     per-epoch rows/seconds bookkeeping (§7.4).
@@ -180,6 +208,15 @@ class IncrementalOp:
             if isinstance(op, IncrementalOp):
                 found.append(op)
         return found
+
+    def state_handles(self) -> list:
+        """State handles whose shards this operator's *shard tasks* read.
+
+        The process executor replicates exactly these to its workers
+        (state-sync journaling); operators whose stateful work never
+        leaves the driver (``MapGroupsWithStateOp``) return none.
+        """
+        return []
 
     def describe(self) -> str:
         """One-line description for ``explain``."""
@@ -303,9 +340,9 @@ class StatelessOp(IncrementalOp):
                 )
                 for lo, hi in zip(bounds[:-1], bounds[1:])
             ]
-            outs = run_shard_tasks(ctx, ("stateless", id(self)), [
-                (lambda s=s: self.apply(s)) if s.num_rows else None
-                for s in slices
+            outs = run_op_shard_tasks(ctx, ("stateless", id(self)),
+                                      self, "apply", [
+                (s,) if s.num_rows else None for s in slices
             ])
             return RecordBatch.concat(
                 [o for o in outs if o is not None], self.output_schema
@@ -406,9 +443,9 @@ class StreamStaticJoinOp(IncrementalOp):
                 )
                 for lo, hi in zip(bounds[:-1], bounds[1:])
             ]
-            outs = run_shard_tasks(ctx, ("static-join", id(self)), [
-                (lambda s=s: self.join_delta(s)) if s.num_rows else None
-                for s in slices
+            outs = run_op_shard_tasks(ctx, ("static-join", id(self)),
+                                      self, "join_delta", [
+                (s,) if s.num_rows else None for s in slices
             ])
             return RecordBatch.concat(
                 [o for o in outs if o is not None], self.output_schema
@@ -470,6 +507,9 @@ class StatefulAggregateOp(IncrementalOp):
             # Expiry-indexed state: advancing the watermark pops only
             # finalized keys instead of scanning the whole store.
             self.state.set_expiry(lambda key, _value: self._key_expiry(key))
+
+    def state_handles(self) -> list:
+        return [self.state]
 
     # -- event-time bound of a key ------------------------------------
     def _key_expiry(self, key_tuple):
@@ -546,10 +586,9 @@ class StatefulAggregateOp(IncrementalOp):
         if parts is None:
             results = [self._merge_shard(batch, watermark)]
         else:
-            results = run_shard_tasks(ctx, ("agg", id(self)), [
-                (lambda p=p: self._merge_shard(p, watermark))
-                if p.num_rows else None
-                for p in parts
+            results = run_op_shard_tasks(ctx, ("agg", id(self)),
+                                         self, "_merge_shard", [
+                (p, watermark) if p.num_rows else None for p in parts
             ])
         changed = set()
         for result in results:
@@ -660,6 +699,9 @@ class StreamingDedupOp(IncrementalOp):
             # State values are the key's event time: expiry == value.
             self.state.set_expiry(lambda _key, value: value)
 
+    def state_handles(self) -> list:
+        return [self.state]
+
     def process(self, ctx: EpochContext) -> RecordBatch:
         batch = self.child.process(ctx)
         if batch.num_rows == 0:
@@ -674,10 +716,9 @@ class StreamingDedupOp(IncrementalOp):
             # are globally correct.
             parts, indices = hash_partition(
                 batch, self._node.subset, self.num_shards)
-            results = run_shard_tasks(ctx, ("dedup", id(self)), [
-                (lambda p=p: self._dedup_shard(p, watermark))
-                if p.num_rows else None
-                for p in parts
+            results = run_op_shard_tasks(ctx, ("dedup", id(self)),
+                                         self, "_dedup_shard", [
+                (p, watermark) if p.num_rows else None for p in parts
             ])
             keep_rows = []
             for shard, result in enumerate(results):
@@ -783,6 +824,9 @@ class StreamStreamJoinOp(IncrementalOp):
                 lambda _key, entries, i=rt, s=skew:
                 min(e[0][i] for e in entries) + s if entries else None)
 
+    def state_handles(self) -> list:
+        return [self._left_state, self._right_state]
+
     # State entry per side: key -> list of [row_values, matched_flag].
     def _rows_by_key(self, batch: RecordBatch, row_offsets=None) -> dict:
         """Group the delta's rows (as value lists) by join key, in row
@@ -840,9 +884,9 @@ class StreamStreamJoinOp(IncrementalOp):
                 new_left, self._node.on, self.num_shards)
             r_parts, r_idx = hash_partition(
                 new_right, self._node.on, self.num_shards)
-            results = run_shard_tasks(ctx, ("join", id(self)), [
-                (lambda lp=lp, li=li, rp=rp, ri=ri:
-                 self._probe_shard(lp, li, rp, ri, lt_idx, rt_idx, skew))
+            results = run_op_shard_tasks(ctx, ("join", id(self)),
+                                         self, "_probe_shard", [
+                (lp, li, rp, ri, lt_idx, rt_idx, skew)
                 if lp.num_rows or rp.num_rows else None
                 for lp, li, rp, ri in zip(l_parts, l_idx, r_parts, r_idx)
             ])

@@ -15,6 +15,7 @@ view under ``query_name``), ``file`` (transactional file table),
 
 from __future__ import annotations
 
+import os
 import tempfile
 
 from repro.sql.expressions import AnalysisError
@@ -173,15 +174,38 @@ class DataStreamWriter:
 
         from repro.streaming.microbatch import MicrobatchEngine
 
+        scheduler = self._options.get("scheduler")
+        num_shards = self._options.get("num_shards")
+        # ``.option("executor", "process")`` / REPRO_EXECUTOR=process:
+        # build a process-backed scheduler owned by the engine (stop()
+        # shuts it down).  Continuous mode (above) never takes this
+        # path — it stays pinned to the single-partition fast path.
+        executor = self._options.get("executor") or os.environ.get("REPRO_EXECUTOR")
+        owns_scheduler = False
+        if scheduler is None and executor == "process":
+            from repro.cluster.scheduler import TaskScheduler
+
+            workers = int(
+                self._options.get("num_workers")
+                or os.environ.get("REPRO_NUM_WORKERS")
+                or min(4, os.cpu_count() or 1)
+            )
+            scheduler = TaskScheduler(
+                workers, executor="process", speculation=False)
+            owns_scheduler = True
+            if num_shards is None and "REPRO_NUM_SHARDS" not in os.environ:
+                # Default one shard per worker so the pool has work.
+                num_shards = workers
         engine = MicrobatchEngine(
             self._df.plan, sink, self._mode, checkpoint_dir,
             max_records_per_epoch=self._options.get("max_records_per_epoch"),
             state_checkpoint_interval=self._options.get("state_checkpoint_interval", 1),
             snapshot_interval=self._options.get("snapshot_interval", 10),
-            scheduler=self._options.get("scheduler"),
+            scheduler=scheduler,
             retain_epochs=self._options.get("retain_epochs"),
-            num_shards=self._options.get("num_shards"),
+            num_shards=num_shards,
         )
+        engine._owns_scheduler = owns_scheduler
         if use_thread is None:
             # Only interval triggers need a driver thread; once /
             # available-now / manual triggers run synchronously.

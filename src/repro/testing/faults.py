@@ -68,12 +68,20 @@ REGISTRY = {
     "continuous.after_offsets": "offsets logged, before the commit entry",
     # cluster/scheduler.py -- per-attempt task execution
     "scheduler.task": "a task attempt is about to run on a worker",
+    # cluster/process_pool.py -- inside a forked worker, per shard task.
+    # These fire in the *worker process*: "crash" kills the worker (not
+    # the driver), "hang" stalls it past the driver's task timeout.
+    "worker.crash_mid_task": "process worker dies before running a shard task",
+    "worker.hang": "process worker stalls before running a shard task",
 }
 
-#: Points where a crash models process death (everything but the
-#: per-attempt scheduler point, where a raise is a *task* failure that
-#: the scheduler retries rather than a process crash).
-CRASHABLE_POINTS = tuple(sorted(set(REGISTRY) - {"scheduler.task"}))
+#: Points where a crash models *driver* process death.  Excluded: the
+#: per-attempt scheduler point (a raise there is a retryable task
+#: failure) and the worker-process points (they kill a pool worker,
+#: which the driver detects and respawns — the query keeps running).
+CRASHABLE_POINTS = tuple(sorted(
+    set(REGISTRY) - {"scheduler.task", "worker.crash_mid_task", "worker.hang"}
+))
 
 _ACTIONS = ("crash", "torn", "drop", "fail", "hang")
 

@@ -17,6 +17,9 @@ Workloads are chosen per point so the point actually fires:
   idempotence);
 * ``sched`` — the aggregation driven through the cluster TaskScheduler
   (transient task faults, retries);
+* ``process`` cells — the aggregation (spread over several windows so
+  multiple shards fill per epoch) on the process executor: worker-death
+  and worker-hang points plus driver crashes with a live worker pool;
 * ``map``  — stateless filter/project on the continuous engine
   (at-least-once within the last epoch, §6.3).
 """
@@ -40,14 +43,23 @@ from repro.testing.harness import (
 )
 
 #: Points that can fire on each engine (the continuous engine never
-#: checkpoints state, batches to sinks, or schedules epoch tasks).
+#: checkpoints state, batches to sinks, or schedules epoch tasks; the
+#: worker points only exist inside process-pool workers).
 MICROBATCH_POINTS = tuple(sorted(set(REGISTRY) - {
     "continuous.commit_epoch", "continuous.after_offsets",
+    "worker.crash_mid_task", "worker.hang",
 }))
 CONTINUOUS_POINTS = (
     "storage.write", "storage.fsync", "storage.rename",
     "wal.offsets", "wal.commit",
     "continuous.commit_epoch", "continuous.after_offsets",
+)
+#: Cells run under the process executor: the worker-process points plus
+#: a few driver points, so driver crashes are also probed while a pool
+#: holds live state replicas.
+PROCESS_POINTS = (
+    "worker.crash_mid_task", "worker.hang",
+    "epoch.after_process", "wal.commit", "state.commit",
 )
 
 #: (action at the point's first scheduled occurrence, at the later one).
@@ -55,9 +67,16 @@ _ACTIONS_FOR_POINT = {
     "storage.fsync": ("torn", "torn"),
     "storage.write": ("crash", "drop"),
     "scheduler.task": ("fail", "fail"),
+    # In a worker, "crash" kills the worker process and "hang" stalls it
+    # past the driver's task timeout; both exercise respawn + re-restore.
+    "worker.hang": ("hang", "hang"),
 }
 #: The later occurrence probed in each cell (the first is always 0).
 LATER_OCCURRENCE = 4
+#: How long a hung worker sleeps — beyond the process cells' task
+#: timeout, so the driver's deadline path (not the happy path) fires.
+HANG_SECONDS = 3.0
+PROCESS_TASK_TIMEOUT = 1.0
 
 
 def sweep_cells():
@@ -68,14 +87,20 @@ def sweep_cells():
             yield (point, "microbatch", 4)
         if point in CONTINUOUS_POINTS:
             yield (point, "continuous", 1)
+        if point in PROCESS_POINTS:
+            yield (point, "process", 4)
 
 
 def schedule_for(point: str) -> list:
     early, later = _ACTIONS_FOR_POINT.get(point, ("crash", "crash"))
-    return [
+    faults = [
         Fault(point, occurrence=0, action=early),
         Fault(point, occurrence=LATER_OCCURRENCE, action=later),
     ]
+    for fault in faults:
+        if fault.action == "hang":
+            fault.seconds = HANG_SECONDS
+    return faults
 
 
 class WorkloadInstance:
@@ -92,7 +117,12 @@ class WorkloadInstance:
         self.cleanup = cleanup or (lambda: None)
 
 
-def _agg_workload(root: str, shards: int, scheduler=None) -> WorkloadInstance:
+def _agg_workload(root: str, shards: int, scheduler=None,
+                  wide: bool = False) -> WorkloadInstance:
+    """``wide=True`` spreads each chunk across several 10s windows so
+    multiple shards are non-empty per epoch — required for process-pool
+    cells, where single-shard epochs take the driver-inline fast path
+    and worker fault points would never fire."""
     session = Session()
     stream = MemoryStream(StructType((("k", "string"), ("v", "long"),
                                       ("t", "timestamp"))))
@@ -123,13 +153,26 @@ def _agg_workload(root: str, shards: int, scheduler=None) -> WorkloadInstance:
 
         read_sink = sink.rows
 
-    chunks = [
-        [{"k": "a", "v": i, "t": float(t)} for i, t in enumerate((1, 2, 3))],
-        [{"k": "b", "v": i, "t": float(t)} for i, t in enumerate((12, 14))],
-        [{"k": "c", "v": i, "t": float(t)} for i, t in enumerate((23, 24, 25, 26))],
-        [{"k": "d", "v": 0, "t": 50.0}],
-        [{"k": "e", "v": 0, "t": 90.0}],
-    ]
+    if wide:
+        chunks = [
+            [{"k": "a", "v": i, "t": float(t)}
+             for i, t in enumerate((1, 11, 21, 31))],
+            [{"k": "b", "v": i, "t": float(t)}
+             for i, t in enumerate((12, 22, 32, 42))],
+            [{"k": "c", "v": i, "t": float(t)}
+             for i, t in enumerate((23, 33, 43, 53))],
+            [{"k": "d", "v": i, "t": float(t)}
+             for i, t in enumerate((54, 64, 74))],
+            [{"k": "e", "v": 0, "t": 90.0}, {"k": "e", "v": 1, "t": 95.0}],
+        ]
+    else:
+        chunks = [
+            [{"k": "a", "v": i, "t": float(t)} for i, t in enumerate((1, 2, 3))],
+            [{"k": "b", "v": i, "t": float(t)} for i, t in enumerate((12, 14))],
+            [{"k": "c", "v": i, "t": float(t)} for i, t in enumerate((23, 24, 25, 26))],
+            [{"k": "d", "v": 0, "t": 50.0}],
+            [{"k": "e", "v": 0, "t": 90.0}],
+        ]
     steps = [lambda rows=rows: stream.add_data(rows) for rows in chunks]
     return WorkloadInstance(build, steps, read_sink, checkpoint)
 
@@ -187,6 +230,15 @@ def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInst
     os.makedirs(root, exist_ok=True)
     if mode == "continuous":
         return _map_workload(root)
+    if mode == "process":
+        from repro.cluster.scheduler import TaskScheduler
+
+        scheduler = TaskScheduler(
+            num_workers=2, speculation=False, executor="process",
+            task_timeout=PROCESS_TASK_TIMEOUT)
+        instance = _agg_workload(root, shards, scheduler=scheduler, wide=True)
+        instance.cleanup = scheduler.shutdown
+        return instance
     if point == "scheduler.task":
         from repro.cluster.scheduler import TaskScheduler
 
@@ -202,6 +254,8 @@ def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInst
 def _golden_key(point: str, mode: str, shards: int):
     if mode == "continuous":
         return ("map", mode, 1)
+    if mode == "process":
+        return ("agg-wide", mode, shards)
     if point == "scheduler.task":
         return ("sched", mode, shards)
     if point.startswith(("state.", "sink.")):

@@ -2,11 +2,38 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sql.session import Session
 from repro.sql.types import StructType
 from repro.sources.memory import MemoryStream
+
+
+def _shm_files() -> set:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith("repro-")}
+
+
+@pytest.fixture
+def shm_guard():
+    """Assert a test leaks no shared-memory segments.
+
+    Checks both this process's live-segment registry and /dev/shm
+    itself, so leaks from worker processes (which create nothing, but
+    could in a regression) and unreleased SharedBatch encodes all fail
+    the owning test rather than poisoning the host until reboot.
+    """
+    from repro.sql.batch import live_shm_segments
+
+    before = _shm_files()
+    yield
+    assert live_shm_segments() == [], (
+        f"leaked SharedBatch segments: {live_shm_segments()}")
+    leaked = _shm_files() - before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
 
 
 @pytest.fixture

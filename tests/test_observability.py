@@ -487,6 +487,70 @@ class TestMonitorCLI:
         text = monitor.render(monitor.load_events(str(events_path)))
         assert "epoch 0" in text
 
+    def test_render_shows_executor_columns(self):
+        events = [{
+            "epoch": 2, "numInputRows": 10, "numOutputRows": 4,
+            "durationSeconds": 0.4, "backlogRows": 0, "stateKeys": 4,
+            "lateRowsDropped": 0, "triggerTime": 1.0,
+            "taskMetrics": {
+                "num_tasks": 3, "retries": 0,
+                "tasks": [{"seconds": 0.01, "attempts": 1,
+                           "speculative_won": False, "task_id": "t"}],
+                "speculative_launched": 0, "speculative_won": 0,
+                "executor": {
+                    "type": "process", "num_workers": 2,
+                    "ipc_bytes": 123456, "ship_seconds": 0.004,
+                    "merge_seconds": 0.002, "worker_deaths": 1,
+                    "workers": [
+                        {"worker": 0, "generation": 1, "tasks": 5,
+                         "busy_seconds": 0.05, "utilization": 0.8},
+                        {"worker": 1, "generation": 2, "tasks": 3,
+                         "busy_seconds": 0.02, "utilization": 0.25},
+                    ],
+                },
+            },
+        }]
+        text = monitor.render(events)
+        assert "executor      process x 2 workers" in text
+        assert "ipc 123.5kB" in text
+        assert "deaths 1" in text
+        assert "ipc overhead" in text
+        assert "worker 0" in text and "worker 1" in text
+        assert "80.0%" in text and "25.0%" in text
+
+    def test_executor_columns_from_recorded_process_run(self, session, tmp_path):
+        """End to end: a real process-executor query's events.jsonl
+        renders per-worker utilization and IPC columns."""
+        from repro.cluster.scheduler import TaskScheduler
+
+        checkpoint = str(tmp_path / "cp")
+        scheduler = TaskScheduler(2, executor="process", speculation=False)
+        with metrics.enabled():
+            stream = make_stream((("k", "string"), ("v", "long")))
+            df = (session.read_stream.memory(stream)
+                  .group_by("k").agg(F.sum("v").alias("total")))
+            query = start_memory_query(df, "update", "pmon", checkpoint,
+                                       num_shards=4, scheduler=scheduler)
+            try:
+                for i in range(3):
+                    stream.add_data(
+                        [{"k": f"k{j}", "v": i} for j in range(8)])
+                    query.process_all_available()
+            finally:
+                query.stop()
+                scheduler.shutdown()
+
+        events = monitor.load_events(checkpoint)
+        assert any(
+            (e.get("taskMetrics") or {}).get("executor", {}).get("type")
+            == "process"
+            for e in events
+        )
+        text = monitor.render(events)
+        assert "executor      process x 2 workers" in text
+        assert "ipc " in text
+        assert "worker 0" in text
+
     def test_render_shows_latency_percentiles(self):
         events = [{
             "epoch": 3, "numInputRows": 10, "numOutputRows": 10,

@@ -37,6 +37,8 @@ from repro.streaming.state import OperatorStateHandle
 from tests.conftest import make_stream, rows_set, start_memory_query
 from tests.test_checkpoint_format import read_state_files
 
+pytestmark = pytest.mark.usefixtures("shm_guard")
+
 
 # ---------------------------------------------------------------------------
 # Hash kernel
