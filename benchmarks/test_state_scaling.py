@@ -38,6 +38,17 @@ SMOKE = os.environ.get("STATE_SCALING_SMOKE") == "1"
 #: (epochs, per-epoch delta) — full mode reaches >50k buffered keys.
 AGG_EPOCHS, AGG_KEYS_PER_EPOCH = (8, 250) if SMOKE else (22, 2500)
 JOIN_EPOCHS, JOIN_ROWS_PER_EPOCH = (8, 100) if SMOKE else (26, 1000)
+#: Tiered-backend run: epochs × new keys/epoch reaches 10M keys in full
+#: mode — far beyond what the dict backend's RSS could hold here.
+TIERED_EPOCHS, TIERED_KEYS_PER_EPOCH = (6, 5000) if SMOKE else (50, 200_000)
+TIERED_OVERWRITES_PER_EPOCH = 200 if SMOKE else 2000
+TIERED_MEMTABLE_BYTES = 64 * 1024 * 1024
+#: RSS ceiling for the full 10M-key run: the 64MB memtable budget
+#: (logical bytes; Python object overhead is ~3x that), per-run bloom
+#: filters + sparse indexes (~30MB at 10M keys), and interpreter slack.
+#: The dict backend measures ~330 bytes/key (see the emitted report), so
+#: 10M keys would need ~3.3GB — this bound is an order of magnitude under.
+TIERED_RSS_BOUND = 512 * 1024 * 1024
 
 #: Pre-optimization epoch latencies measured on this container with the
 #: full-scan eviction and batch-rebuilding join, same workload shapes:
@@ -183,3 +194,141 @@ def test_epoch_latency_flat_as_state_grows(benchmark, tmp_path):
     # Sanity in both modes: state actually accumulated as designed.
     assert agg[-1][0] == AGG_EPOCHS * AGG_KEYS_PER_EPOCH
     assert join[-1][0] == 2 * JOIN_EPOCHS * JOIN_ROWS_PER_EPOCH
+
+
+# ----------------------------------------------------------------------
+# Tiered backend: 10M keys under a bounded memtable (ISSUE 7 acceptance)
+# ----------------------------------------------------------------------
+def _rss_bytes() -> int:
+    with open("/proc/self/status", encoding="utf-8") as f:
+        for line in f:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("VmRSS not found")
+
+
+def _dict_bytes_per_key(n: int = 200_000) -> float:
+    """Measured dict-backend memory per key, for the comparison line."""
+    from repro.streaming.state import OperatorStateHandle
+    import tempfile
+
+    gc.collect()
+    before = _rss_bytes()
+    handle = OperatorStateHandle(tempfile.mkdtemp(), num_shards=1)
+    for i in range(n):
+        handle.put(i, [i % 7])
+    gc.collect()
+    per_key = (_rss_bytes() - before) / n
+    del handle
+    gc.collect()
+    return per_key
+
+
+@pytest.mark.benchmark(group="state-scaling")
+def test_tiered_backend_bounded_rss_and_flat_epochs(benchmark, tmp_path):
+    """10M+ keys through the tiered handle: RSS stays bounded by the
+    memtable budget + fixed probe-structure overhead, per-epoch latency
+    stays flat, and each commit writes bytes proportional to the
+    epoch's delta — never to total state."""
+    from repro.storage import list_files
+    from repro.streaming.state_lsm import TieredOperatorStateHandle
+
+    dict_per_key = _dict_bytes_per_key(20_000 if SMOKE else 200_000)
+    gc.collect()
+    rss_start = _rss_bytes()
+    handle = TieredOperatorStateHandle(
+        str(tmp_path / "op"), num_shards=1,
+        memtable_bytes=TIERED_MEMTABLE_BYTES)
+    runs_dir = str(tmp_path / "op" / "runs")
+    epochs = []  # (total_keys, seconds, rss, flush_bytes, compact_bytes)
+
+    def run_epochs():
+        for epoch in range(TIERED_EPOCHS):
+            base = epoch * TIERED_KEYS_PER_EPOCH
+            first_seq = handle._next_seq
+            started = time.perf_counter()
+            for i in range(base, base + TIERED_KEYS_PER_EPOCH):
+                handle.put(i, [i % 7])
+            for i in range(0, base, max(1, base // TIERED_OVERWRITES_PER_EPOCH or 1)):
+                handle.put(i, [-1])
+            handle.commit(epoch + 1)
+            elapsed = time.perf_counter() - started
+            sizes = {
+                int(name.split(".")[0]): os.path.getsize(
+                    os.path.join(runs_dir, name))
+                for name in list_files(runs_dir, ".run")
+            }
+            flush_bytes = sizes.get(first_seq, 0)
+            compact_bytes = sum(b for s, b in sizes.items() if s > first_seq)
+            if epoch % 5 == 4:
+                handle.prune(epoch + 1)
+            gc.collect()
+            epochs.append((len(handle), elapsed, _rss_bytes(),
+                           flush_bytes, compact_bytes))
+        return len(epochs)
+
+    benchmark.pedantic(run_epochs, rounds=1, iterations=1)
+
+    total_keys = TIERED_EPOCHS * TIERED_KEYS_PER_EPOCH
+    assert len(handle) == total_keys
+    # spot-probe correctness at full size, and time the point lookups
+    probe_started = time.perf_counter()
+    probes = 2000
+    for i in range(0, total_keys, max(1, total_keys // probes)):
+        assert handle.get(i) is not None
+    probe_us = (time.perf_counter() - probe_started) / probes * 1e6
+
+    rss_delta = max(r for _, _, r, _, _ in epochs) - rss_start
+    early = [s for _, s, _, _, _ in epochs[4:9]]
+    late = [s for _, s, _, _, _ in epochs[-5:]]
+    growth = statistics.median(late) / statistics.median(early)
+    flush_early = statistics.median([f for *_, f, _ in epochs[4:9]])
+    flush_late = statistics.median([f for *_, f, _ in epochs[-5:]])
+    compact_total = sum(c for *_, c in epochs)
+    flush_total = sum(f for *_, f, _ in epochs)
+
+    lines = [
+        "Tiered state backend: 10M-key run under a 64MB memtable budget",
+        f"keys: {total_keys} ({TIERED_KEYS_PER_EPOCH}/epoch x "
+        f"{TIERED_EPOCHS} epochs, +{TIERED_OVERWRITES_PER_EPOCH} "
+        "overwrites/epoch), values [int]",
+        f"peak RSS delta: {rss_delta / 2**20:.0f}MB "
+        f"(bound {TIERED_RSS_BOUND / 2**20:.0f}MB; dict backend measured "
+        f"{dict_per_key:.0f}B/key -> ~{dict_per_key * total_keys / 2**30:.1f}"
+        "GB at this size)",
+        f"epoch latency: {statistics.median(early) * 1000:.0f}ms at "
+        f"{epochs[4][0] / 1e6:.1f}M keys -> {statistics.median(late) * 1000:.0f}"
+        f"ms at {epochs[-1][0] / 1e6:.1f}M keys ({growth:.2f}x)",
+        f"commit delta bytes: {flush_early / 2**20:.1f}MB early -> "
+        f"{flush_late / 2**20:.1f}MB late (state grew "
+        f"{epochs[-1][0] / epochs[4][0]:.0f}x)",
+        f"compaction I/O: {compact_total / 2**20:.0f}MB total vs "
+        f"{flush_total / 2**20:.0f}MB flushed "
+        f"(write amplification {1 + compact_total / max(1, flush_total):.1f}x)",
+        f"point probe at full size: {probe_us:.0f}us/get, "
+        f"{len(handle._runs)} live runs",
+    ]
+    emit("state_scaling_tiered", lines, data={
+        "smoke": SMOKE,
+        "total_keys": total_keys,
+        "rss_delta_bytes": rss_delta,
+        "dict_bytes_per_key": dict_per_key,
+        "epoch_growth": growth,
+        "flush_bytes_early": flush_early,
+        "flush_bytes_late": flush_late,
+        "compaction_bytes": compact_total,
+        "probe_us": probe_us,
+        "live_runs": len(handle._runs),
+    })
+    if not SMOKE:
+        assert rss_delta < TIERED_RSS_BOUND, (
+            f"RSS grew {rss_delta / 2**20:.0f}MB — state is not tiered out"
+        )
+        # 10x more total state between the early and late windows must
+        # not show up in epoch time (no O(total-state) term)...
+        assert growth <= 1.8, f"epoch latency grew {growth:.2f}x"
+        # ...nor in the bytes a delta commit writes.
+        assert flush_late <= 2.0 * flush_early, (
+            f"commit bytes grew {flush_late / max(1, flush_early):.1f}x; "
+            "snapshots are no longer delta-proportional"
+        )

@@ -410,18 +410,27 @@ class ProcessPool:
         workers = self.num_workers
 
         # Ship phase: drain this op's state journals and encode batch
-        # arguments as shared memory.  Deltas are broadcast to every
-        # worker: operators may partition *tasks* by a coarser key than
-        # the state store shards by (e.g. tumbling-window aggregation
-        # partitions on window start alone, while state hashes the full
-        # group key), so each worker keeps a full synchronized replica
-        # and task routing alone is sticky.
+        # arguments as shared memory.  When the op's task partitioning
+        # is the state key partitioning (``op.state_aligned``), a shard's
+        # delta goes only to the worker that owns the shard — its tasks
+        # are the only readers of those keys.  Otherwise deltas are
+        # broadcast: operators may partition *tasks* by a coarser key
+        # than the state store shards by (e.g. tumbling-window
+        # aggregation partitions on window start alone, while state
+        # hashes the full group key), so each worker keeps a full
+        # synchronized replica and task routing alone is sticky.
         ship_started = time.monotonic()
-        stage_deltas = []
+        aligned = getattr(op, "state_aligned", False)
+        deltas_by_worker = [[] for _ in range(workers)]
         for handle in op.state_handles():
             handle_idx = self._handle_tokens[id(handle)]
             for shard_i, (puts, removes) in handle.collect_sync_delta().items():
-                stage_deltas.append((handle_idx, shard_i, puts, removes))
+                entry = (handle_idx, shard_i, puts, removes)
+                if aligned:
+                    deltas_by_worker[shard_i % workers].append(entry)
+                else:
+                    for deltas in deltas_by_worker:
+                        deltas.append(entry)
         shared = []
         tasks_by_worker = [[] for _ in range(workers)]
         for shard_i, args in enumerate(payloads):
@@ -439,10 +448,10 @@ class ProcessPool:
 
         messages = {}
         for w in range(workers):
-            if stage_deltas or tasks_by_worker[w]:
+            if deltas_by_worker[w] or tasks_by_worker[w]:
                 messages[w] = pickle.dumps(
                     ("stage", seq, token, method,
-                     stage_deltas, tasks_by_worker[w]),
+                     deltas_by_worker[w], tasks_by_worker[w]),
                     protocol=_PROTO)
         ipc_bytes = sum(len(m) for m in messages.values())
         ipc_bytes += sum(b.ipc_bytes for b in shared)

@@ -25,12 +25,24 @@ def atomic_write_text(path: str, text: str) -> None:
     three fault points bracket the protocol's crash windows: content
     written but unsynced, synced but invisible, and visible.
     """
+    atomic_write_stream(path, (text,))
+
+
+def atomic_write_stream(path: str, chunks) -> None:
+    """Atomic write from an iterable of text chunks.
+
+    Same protocol and fault points as :func:`atomic_write_text`, but the
+    content streams through a bounded buffer — the tiered state store's
+    sorted runs can be far larger than its memtable budget, so they must
+    never exist as one in-memory string.
+    """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as f:
-            f.write(text)
+            for chunk in chunks:
+                f.write(chunk)
             f.flush()
             fault_point("storage.write", path=path, tmp_path=tmp_path)
             os.fsync(f.fileno())

@@ -78,6 +78,8 @@ class MicrobatchEngine:
                  scheduler=None,
                  retain_epochs: int = None,
                  num_shards: int = None,
+                 state_backend: str = None,
+                 state_memtable_bytes: int = None,
                  clock=time.time):
         self.sink = sink
         self.output_mode = output_mode
@@ -102,7 +104,9 @@ class MicrobatchEngine:
         self.num_shards = max(1, num_shards)
 
         self.state_store = StateStore(checkpoint_dir, snapshot_interval,
-                                      num_shards=self.num_shards)
+                                      num_shards=self.num_shards,
+                                      backend=state_backend,
+                                      memtable_bytes=state_memtable_bytes)
         with tracing.trace_span("plan-compile"):
             self.plan = incrementalize(plan, output_mode, self.state_store,
                                        num_shards=self.num_shards)

@@ -182,6 +182,13 @@ class IncrementalOp:
     output_schema: StructType = None
     #: True when the operator keeps cross-epoch state.
     stateful = False
+    #: True when this operator's shard tasks only ever read state keys
+    #: of their own task partition — i.e. its task partitioning uses
+    #: exactly the state key, under the same stable hash the state
+    #: handle routes shards with.  The process executor then ships each
+    #: worker only the sync deltas of shards it owns instead of
+    #: broadcasting full replicas.
+    state_aligned = False
 
     def __init_subclass__(cls, **kwargs):
         """Every subclass that defines ``process`` gets it wrapped with
@@ -494,6 +501,12 @@ class StatefulAggregateOp(IncrementalOp):
                 codegen.compile_expression(g, node.child.schema)
                 for g in node.plain_grouping
             ]
+        #: Tasks partition by the plain grouping values; without a
+        #: window those ARE the state key, so task ownership matches
+        #: state sharding.  A windowed aggregate's state key extends the
+        #: plain values with the window, hashing differently — stay on
+        #: the broadcast path there.
+        self.state_aligned = bool(node.plain_grouping) and self._window is None
         #: Group-key pipeline compiled once; per epoch only kernels run.
         self._grouping = plancompiler.compile_grouping(node)
         #: Index of the watermarked plain grouping key (non-window case).
@@ -680,6 +693,8 @@ class StreamingDedupOp(IncrementalOp):
     """
 
     stateful = True
+    #: Tasks partition by ``node.subset`` — exactly the state key.
+    state_aligned = True
 
     def __init__(self, node: L.Deduplicate, child: IncrementalOp, state_handle,
                  watermark_column: str = None, num_shards: int = 1):
@@ -799,6 +814,8 @@ class StreamStreamJoinOp(IncrementalOp):
     """
 
     stateful = True
+    #: Both sides' tasks and both state handles key by ``node.on``.
+    state_aligned = True
 
     def __init__(self, node: L.Join, left: IncrementalOp, right: IncrementalOp,
                  left_state, right_state, num_shards: int = 1):

@@ -108,6 +108,12 @@ class OperatorStateHandle:
     rebuilt from data on ``restore``.
     """
 
+    #: Checkpoint kinds this backend can restore from.  The tiered
+    #: backend overrides this to add ``manifest``; keeping the base
+    #: restore blind to unknown kinds is what makes a checkpoint
+    #: directory written by one backend readable by the other.
+    _RESTORE_KINDS = frozenset({"snapshot", "delta"})
+
     def __init__(self, directory: str, snapshot_interval: int = 10,
                  num_shards: int = 1):
         self._directory = directory
@@ -419,6 +425,14 @@ class OperatorStateHandle:
             versions.setdefault(int(version_text), set()).add(kind)
         return versions
 
+    def _usable_versions(self, limit) -> list:
+        """Sorted versions <= ``limit`` this backend can restore from."""
+        versions = self._available_versions()
+        return sorted(
+            v for v, kinds in versions.items()
+            if v <= limit and kinds & self._RESTORE_KINDS
+        )
+
     def latest_version(self):
         """Newest checkpointed version on disk, or None."""
         versions = self._available_versions()
@@ -486,7 +500,7 @@ class OperatorStateHandle:
             self._rebuild_expiry_index()
             return None
         versions = self._available_versions()
-        usable = sorted(v for v in versions if v <= version)
+        usable = self._usable_versions(version)
         if not usable:
             self._rebuild_expiry_index()
             return None
@@ -515,24 +529,48 @@ class OperatorStateHandle:
 
 
 class StateStore:
-    """All operators' state for one query, under ``<checkpoint>/state``."""
+    """All operators' state for one query, under ``<checkpoint>/state``.
+
+    ``backend`` selects the storage engine per handle: ``"dict"`` (the
+    in-memory default) or ``"tiered"`` (LSM memtable + sorted runs, see
+    :mod:`repro.streaming.state_lsm`), defaulting from the
+    ``REPRO_STATE_BACKEND`` environment variable.  Both backends read
+    each other's checkpoints, so the choice can change across restarts.
+    """
 
     def __init__(self, checkpoint_dir: str, snapshot_interval: int = 10,
-                 num_shards: int = 1):
+                 num_shards: int = 1, backend: str = None,
+                 memtable_bytes: int = None):
         self._directory = os.path.join(checkpoint_dir, "state")
         self._snapshot_interval = snapshot_interval
         self._num_shards = max(1, num_shards)
+        if backend is None:
+            backend = os.environ.get("REPRO_STATE_BACKEND") or "dict"
+        if backend not in ("dict", "tiered"):
+            raise ValueError(
+                f"unknown state backend {backend!r}; expected 'dict' or 'tiered'"
+            )
+        self.backend = backend
+        self._memtable_bytes = memtable_bytes
         self._handles = {}
         os.makedirs(self._directory, exist_ok=True)
 
     def handle(self, operator_id: str) -> OperatorStateHandle:
         """Get (or create) the state handle for an operator."""
         if operator_id not in self._handles:
-            self._handles[operator_id] = OperatorStateHandle(
-                os.path.join(self._directory, operator_id),
-                self._snapshot_interval,
-                self._num_shards,
-            )
+            directory = os.path.join(self._directory, operator_id)
+            if self.backend == "tiered":
+                # Imported lazily: state_lsm depends on this module.
+                from repro.streaming.state_lsm import TieredOperatorStateHandle
+
+                self._handles[operator_id] = TieredOperatorStateHandle(
+                    directory, self._snapshot_interval, self._num_shards,
+                    memtable_bytes=self._memtable_bytes,
+                )
+            else:
+                self._handles[operator_id] = OperatorStateHandle(
+                    directory, self._snapshot_interval, self._num_shards,
+                )
         return self._handles[operator_id]
 
     def commit_all(self, version: int) -> list:
@@ -567,7 +605,7 @@ class StateStore:
             return version
         newest = []
         for handle in handles:
-            versions = [v for v in handle._available_versions() if v <= version]
+            versions = handle._usable_versions(version)
             newest.append(max(versions) if versions else None)
         if any(v is None for v in newest):
             for handle in handles:

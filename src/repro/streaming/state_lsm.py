@@ -1,0 +1,889 @@
+"""Tiered (larger-than-memory) state backend: LSM runs under the shard API.
+
+``TieredOperatorStateHandle`` keeps the shard dicts of
+:class:`~repro.streaming.state.OperatorStateHandle` as a **memtable**
+capped by a byte budget; when the budget is exceeded the memtable is
+sealed into an immutable **sorted run** on disk
+(``<operator>/runs/<seq>.run``, JSON-lines sorted by encoded key, one
+sidecar ``.meta`` file).  Point lookups probe the memtable, then each
+run newest-first — a per-run **bloom filter**, **key-range fences** and
+a **sparse block index** mean a probe touches at most one ~:data:`INDEX_EVERY`-line
+block per run, so join/dedup lookups stay O(delta), never O(state).
+
+Checkpoints become delta-based: ``commit(version)`` seals the memtable
+as one more run and writes a **manifest** (``<version>.manifest.json``)
+listing the live run files with their SHA-256 content hashes.  The
+manifest reuses the atomic-write/torn-tail machinery of
+:mod:`repro.storage`, parses under the same ``<version>.<kind>.json``
+naming as dict-backend checkpoints, and — because it embeds every run's
+hash — keeps ``checkpoint_fingerprint`` honest even though run files
+live outside the fingerprinted ``*.json`` set.  Snapshot cost is
+O(epoch delta): unchanged runs are listed, not rewritten.
+
+**Compaction** is size-tiered and runs *inline at commit time* (never a
+background thread: crash-replay must reproduce byte-identical run files,
+and thread timing would make flush/merge boundaries nondeterministic).
+Adjacent runs in the same size tier merge newest-wins once
+:data:`COMPACT_FANIN` of them accumulate; tombstones are dropped only
+when a merge includes the oldest run (nothing older can resurrect the
+key — removals themselves are already watermark-gated by the operators'
+eviction logic, so tombstone GC is bounded by the watermark horizon).
+
+Crash-consistency invariants:
+
+* run files are written atomically and *referenced counted by
+  manifests*: a run is deleted only when no manifest on disk lists it
+  (plus never while this handle holds it open), so rollback to any
+  retained manifest always finds its runs;
+* run sequence numbers restart from the restored manifest's
+  ``next_seq``, and flush boundaries are a pure function of the put
+  sequence — replay after a crash regenerates byte-identical runs and
+  manifests (the exactly-once sweep checks this at the fingerprint
+  level);
+* orphaned runs (flushed after the last durable manifest, or torn by a
+  crash) are garbage-collected when the handle is next *constructed* —
+  never during ``restore``, which also runs inside forked process-pool
+  workers that must not delete the driver's files.
+
+Process-executor replicas work unchanged: workers fork with the driver's
+open run file descriptors (reads use ``os.pread``, so a file stays
+readable after the driver unlinks it), and the sync-delta journal ships
+current values — probed from runs when a journaled key was flushed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import os
+from array import array
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.observability import metrics
+from repro.storage import (
+    atomic_write_json,
+    atomic_write_stream,
+    list_files,
+    read_json,
+)
+from repro.streaming.state import (
+    OperatorStateHandle,
+    _cache_key,
+    _make_shards,
+    decode_key,
+    encode_key,
+)
+from repro.testing.faults import fault_point
+
+#: Default memtable budget (bytes) when neither the option nor
+#: REPRO_STATE_MEMTABLE_BYTES is set.
+DEFAULT_MEMTABLE_BYTES = 64 * 1024 * 1024
+#: Sparse-index granularity: one (key, offset) entry per this many run
+#: lines; a probe reads at most one such block per run.
+INDEX_EVERY = 64
+#: Bloom filter sizing/shape (~0.15% false-positive rate at 14 bits).
+BLOOM_BITS_PER_KEY = 14
+BLOOM_K = 7
+#: Size-tiered compaction: merge once this many adjacent same-tier runs
+#: accumulate.
+COMPACT_FANIN = 4
+#: Hard cap on live runs: above this, the smallest adjacent pair merges
+#: even across tiers.  Every point probe pays one bloom check per run,
+#: so an unbounded run set would put an O(log total-state) term back
+#: into the per-put cost the memtable/bloom design exists to avoid.
+MAX_RUNS = 10
+#: Streaming-scan read size (bounds merge/iteration memory).
+SCAN_CHUNK = 1 << 20
+#: Bound on the interned-key cache: the dict backend scales its cache
+#: with ``len(self)``, which would itself be O(total keys) here.
+KEY_CACHE_MAX = 65536
+
+_MASK64 = (1 << 64) - 1
+
+
+class _Tombstone:
+    """Sentinel marking a removed key in the memtable and in runs."""
+
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+_MISS = object()
+
+
+def _bloom_hash(encoded: str) -> tuple:
+    """Two independent 64-bit hashes for double hashing.
+
+    blake2b (not ``hash()``) because bloom bits are persisted: Python's
+    string hash is salted per process and would desync across restarts.
+    """
+    digest = hashlib.blake2b(encoded.encode("utf-8"), digest_size=16).digest()
+    return (int.from_bytes(digest[:8], "little"),
+            int.from_bytes(digest[8:], "little") | 1)
+
+
+def _bloom_bits(count: int) -> int:
+    """Filter size in bits: a deterministic function of the run size."""
+    bits = max(64, count * BLOOM_BITS_PER_KEY)
+    return ((bits + 7) // 8) * 8
+
+
+def _approx_value_bytes(value) -> int:
+    """Rough in-memory size of a JSON value, for the memtable budget.
+
+    Deterministic (flush boundaries must replay identically), cheap, and
+    intentionally on the high side — the budget is a cap, not a meter.
+    """
+    if isinstance(value, str):
+        return 56 + len(value)
+    if value is None or isinstance(value, (bool, int, float)):
+        return 32
+    if isinstance(value, (list, tuple)):
+        return 64 + sum(_approx_value_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            _approx_value_bytes(k) + _approx_value_bytes(v)
+            for k, v in value.items()
+        )
+    return 64
+
+
+def _entry_bytes(encoded: str, value) -> int:
+    return 88 + len(encoded) + _approx_value_bytes(value)
+
+
+def _tier(count: int) -> int:
+    """Size tier of a run: log2 of its entry count, with every run
+    below :data:`COMPACT_FANIN` entries in tier 0 — tiny runs (trickle
+    epochs) must still bucket together or they would never compact."""
+    return max(0, max(0, count).bit_length() - 2)
+
+
+class SortedRun:
+    """One immutable sorted run on disk, with its probe structures.
+
+    File format: one JSON array per line, sorted by encoded key —
+    ``[encoded_key, value]`` for a live entry, ``[encoded_key]`` for a
+    tombstone.  The sidecar ``.meta`` JSON carries the bloom filter,
+    fences, sparse index and the run's SHA-256 (the hash manifests pin).
+
+    Reads go through ``os.pread`` on a descriptor held open for the
+    run's lifetime: thread-safe without seek state, and — because forked
+    workers inherit the descriptor — still readable after the driver
+    compacts and unlinks the file (POSIX deleted-but-open semantics).
+    """
+
+    __slots__ = ("seq", "path", "count", "bytes", "sha256", "min_key",
+                 "max_key", "_fd", "_bloom", "_bloom_m", "_index_keys",
+                 "_index_offsets")
+
+    def __init__(self, seq, path, meta):
+        self.seq = seq
+        self.path = path
+        self.count = meta["count"]
+        self.bytes = meta["bytes"]
+        self.sha256 = meta["sha256"]
+        self.min_key = meta["min_key"]
+        self.max_key = meta["max_key"]
+        self._bloom = bytes.fromhex(meta["bloom"])
+        self._bloom_m = meta["bloom_m"]
+        self._index_keys = meta["index_keys"]
+        self._index_offsets = meta["index_offsets"]
+        self._fd = os.open(path, os.O_RDONLY)
+
+    @staticmethod
+    def run_path(directory: str, seq: int) -> str:
+        return os.path.join(directory, f"{seq:08d}.run")
+
+    @staticmethod
+    def meta_path(directory: str, seq: int) -> str:
+        return os.path.join(directory, f"{seq:08d}.meta")
+
+    @classmethod
+    def create(cls, directory: str, seq: int, items,
+               count_hint: int = None) -> "SortedRun":
+        """Write a run from ``(encoded_key, value)`` pairs in key order.
+
+        ``items`` may be a one-shot iterator (compaction merges stream);
+        content streams to disk and bloom bits are applied in bounded
+        chunks, so memory stays O(chunk), never O(run).  ``count_hint``
+        sizes the bloom filter when the final count is unknown upfront
+        (a compaction merge dedupes as it streams); it must be an upper
+        bound and deterministic, since the filter bytes are persisted.
+        """
+        path = cls.run_path(directory, seq)
+        bloom_m = _bloom_bits(count_hint) if count_hint is not None else None
+        state = {"count": 0, "offset": 0, "min": None, "max": None,
+                 "bits": (np.zeros(bloom_m // 8, dtype=np.uint8)
+                          if bloom_m is not None else None)}
+        index_keys, index_offsets = [], []
+        hashes_lo, hashes_hi = array("Q"), array("Q")
+        sha = hashlib.sha256()
+
+        def apply_hashes(m):
+            if not hashes_lo:
+                return
+            # np.array copies; frombuffer would pin the arrays' buffers
+            # and break the clear below.
+            h_lo = np.array(hashes_lo, dtype=np.uint64)
+            h_hi = np.array(hashes_hi, dtype=np.uint64)
+            for i in range(BLOOM_K):
+                idx = (h_lo + np.uint64(i) * h_hi) % np.uint64(m)
+                np.bitwise_or.at(
+                    state["bits"], (idx >> np.uint64(3)).astype(np.int64),
+                    np.left_shift(
+                        np.uint8(1), (idx & np.uint64(7)).astype(np.uint8)),
+                )
+            del hashes_lo[:], hashes_hi[:]
+
+        def chunks():
+            for encoded, value in items:
+                if state["count"] % INDEX_EVERY == 0:
+                    index_keys.append(encoded)
+                    index_offsets.append(state["offset"])
+                lo, hi = _bloom_hash(encoded)
+                hashes_lo.append(lo)
+                hashes_hi.append(hi)
+                if bloom_m is not None and len(hashes_lo) >= 65536:
+                    apply_hashes(bloom_m)
+                if value is TOMBSTONE:
+                    line = json.dumps([encoded]) + "\n"
+                else:
+                    line = json.dumps([encoded, value], sort_keys=True) + "\n"
+                data = line.encode("utf-8")
+                sha.update(data)
+                state["offset"] += len(data)
+                state["count"] += 1
+                if state["min"] is None:
+                    state["min"] = encoded
+                state["max"] = encoded
+                yield line
+
+        atomic_write_stream(path, chunks())
+        count = state["count"]
+        final_m = bloom_m if bloom_m is not None else _bloom_bits(count)
+        if state["bits"] is None:
+            state["bits"] = np.zeros(final_m // 8, dtype=np.uint8)
+        apply_hashes(final_m)
+        bits = state["bits"]
+        meta = {
+            "count": count,
+            "bytes": state["offset"],
+            "sha256": sha.hexdigest(),
+            "min_key": state["min"],
+            "max_key": state["max"],
+            "bloom": bytes(bits).hex(),
+            "bloom_m": final_m,
+            "index_every": INDEX_EVERY,
+            "index_keys": index_keys,
+            "index_offsets": index_offsets,
+        }
+        atomic_write_json(cls.meta_path(directory, seq), meta)
+        return cls(seq, path, meta)
+
+    @classmethod
+    def open(cls, directory: str, seq: int) -> "SortedRun":
+        meta = read_json(cls.meta_path(directory, seq))
+        return cls(seq, cls.run_path(directory, seq), meta)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def _bloom_contains(self, h_lo: int, h_hi: int) -> bool:
+        bits = self._bloom
+        m = self._bloom_m
+        for i in range(BLOOM_K):
+            idx = ((h_lo + i * h_hi) & _MASK64) % m
+            if not (bits[idx >> 3] >> (idx & 7)) & 1:
+                return False
+        return True
+
+    def get(self, encoded: str, h_lo: int, h_hi: int):
+        """Probe one key: ``_MISS``, ``TOMBSTONE``, or the value.
+
+        Fences, then bloom, then a single sparse-index block read —
+        never a scan of the run.
+        """
+        if self.count == 0 or not self.min_key <= encoded <= self.max_key:
+            return _MISS
+        if not self._bloom_contains(h_lo, h_hi):
+            return _MISS
+        pos = bisect_right(self._index_keys, encoded) - 1
+        if pos < 0:
+            return _MISS
+        start = self._index_offsets[pos]
+        end = (self._index_offsets[pos + 1]
+               if pos + 1 < len(self._index_offsets) else self.bytes)
+        block = os.pread(self._fd, end - start, start)
+        # ``json.dumps([key])[:-1]`` ends at the key's closing quote, so
+        # a prefix match is an exact key match (longer keys diverge at
+        # that quote); the byte after decides entry vs tombstone.
+        prefix = json.dumps([encoded])[:-1].encode("utf-8")
+        plen = len(prefix)
+        for line in block.split(b"\n"):
+            if not line.startswith(prefix):
+                continue
+            tail = line[plen:plen + 1]
+            if tail == b"]":
+                return TOMBSTONE
+            if tail == b",":
+                return json.loads(line)[1]
+        return _MISS
+
+    def scan(self):
+        """Stream ``(encoded_key, value_or_TOMBSTONE)`` in key order."""
+        offset = 0
+        leftover = b""
+        while True:
+            chunk = os.pread(self._fd, SCAN_CHUNK, offset)
+            if not chunk:
+                break
+            offset += len(chunk)
+            lines = (leftover + chunk).split(b"\n")
+            leftover = lines.pop()
+            for line in lines:
+                if not line:
+                    continue
+                doc = json.loads(line)
+                yield doc[0], (doc[1] if len(doc) > 1 else TOMBSTONE)
+
+
+class TieredOperatorStateHandle(OperatorStateHandle):
+    """Drop-in :class:`OperatorStateHandle` with LSM-tiered storage.
+
+    The shard dicts become a bounded memtable (values or ``TOMBSTONE``);
+    reads fall through to the sorted runs newest-first.  All public
+    semantics — ``get``/``put``/``remove``/``pop_expired``/``items``,
+    delta commits, restore to any retained version, N→M shard rescaling,
+    the process executor's sync-delta journal — match the dict backend
+    (the property suite in ``tests/test_state_tiered.py`` pins this).
+    """
+
+    backend = "tiered"
+    _RESTORE_KINDS = frozenset({"snapshot", "delta", "manifest"})
+
+    def __init__(self, directory: str, snapshot_interval: int = 10,
+                 num_shards: int = 1, memtable_bytes: int = None):
+        super().__init__(directory, snapshot_interval, num_shards)
+        if memtable_bytes is None:
+            memtable_bytes = int(
+                os.environ.get("REPRO_STATE_MEMTABLE_BYTES")
+                or DEFAULT_MEMTABLE_BYTES)
+        self.memtable_bytes = max(1, int(memtable_bytes))
+        self._runs_dir = os.path.join(directory, "runs")
+        os.makedirs(self._runs_dir, exist_ok=True)
+        self._runs = []          # newest first
+        self._next_seq = 0
+        self._mem_bytes = 0
+        self._live_count = 0
+        # Construction happens on a fresh engine (never inside a forked
+        # worker), so this is the safe moment to drop runs no durable
+        # manifest references: wild runs flushed after the last commit,
+        # or torn by a crash mid-flush.  ``repair_torn_tail`` (in the
+        # base constructor) has already quarantined a torn manifest.
+        self._gc_runs()
+
+    # ------------------------------------------------------------------
+    # Keyed access
+    # ------------------------------------------------------------------
+    def _locate(self, key):
+        # Same interning cache as the base class, but with a fixed bound:
+        # the dict backend's ``4 * len(self)`` bound is itself O(total
+        # keys), which is exactly what this backend must not hold in RAM.
+        cache_key = _cache_key(key)
+        located = self._key_cache.get(cache_key)
+        if located is None:
+            if len(self._key_cache) >= KEY_CACHE_MAX:
+                self._key_cache.clear()
+            located = (self._shards[self.shard_index(key)], encode_key(key))
+            self._key_cache[cache_key] = located
+        return located
+
+    def _probe_runs(self, encoded: str):
+        """Look a key up in the runs, newest first."""
+        if not self._runs:
+            return _MISS
+        h_lo, h_hi = _bloom_hash(encoded)
+        for run in self._runs:
+            value = run.get(encoded, h_lo, h_hi)
+            if value is not _MISS:
+                return value
+        return _MISS
+
+    def _lookup(self, shard, encoded):
+        """Current value through both tiers (``_MISS``/``TOMBSTONE`` raw)."""
+        value = shard.data.get(encoded, _MISS)
+        if value is _MISS:
+            value = self._probe_runs(encoded)
+        return value
+
+    def get(self, key, default=None):
+        shard, encoded = self._locate(key)
+        if metrics._registry is not None:
+            metrics._registry.counter(shard.gets_metric).inc()
+        value = self._lookup(shard, encoded)
+        if value is _MISS or value is TOMBSTONE:
+            return default
+        return value
+
+    def contains(self, key) -> bool:
+        shard, encoded = self._locate(key)
+        value = self._lookup(shard, encoded)
+        return value is not _MISS and value is not TOMBSTONE
+
+    def put(self, key, value) -> None:
+        shard, encoded = self._locate(key)
+        if metrics._registry is not None:
+            metrics._registry.counter(shard.puts_metric).inc()
+        old = shard.data.get(encoded, _MISS)
+        if old is _MISS:
+            prior = self._probe_runs(encoded)
+            was_live = prior is not _MISS and prior is not TOMBSTONE
+            self._mem_bytes += _entry_bytes(encoded, value)
+        else:
+            was_live = old is not TOMBSTONE
+            self._mem_bytes += (
+                _approx_value_bytes(value) - _approx_value_bytes(old))
+        shard.data[encoded] = value
+        if not was_live:
+            self._live_count += 1
+        shard.dirty.add(encoded)
+        shard.removed.discard(encoded)
+        if shard.pending is not None:
+            shard.pending.add(encoded)
+        if self._expiry_fn is not None:
+            self._index_put(shard, encoded, key, value)
+        if self._mem_bytes >= self.memtable_bytes:
+            self._flush()
+
+    def remove(self, key) -> None:
+        shard, encoded = self._locate(key)
+        old = shard.data.get(encoded, _MISS)
+        if old is _MISS:
+            prior = self._probe_runs(encoded)
+            if prior is _MISS or prior is TOMBSTONE:
+                return
+            self._mem_bytes += _entry_bytes(encoded, TOMBSTONE)
+        else:
+            if old is TOMBSTONE:
+                return
+            self._mem_bytes += (
+                _approx_value_bytes(TOMBSTONE) - _approx_value_bytes(old))
+        # A tombstone (not a dict pop): it must mask any older value
+        # still sitting in a run, and flush with the next seal.
+        shard.data[encoded] = TOMBSTONE
+        self._live_count -= 1
+        shard.dirty.discard(encoded)
+        shard.removed.add(encoded)
+        if shard.pending is not None:
+            shard.pending.add(encoded)
+        shard.expiry.pop(encoded, None)
+        metrics.count("state.removes")
+        if self._mem_bytes >= self.memtable_bytes:
+            self._flush()
+
+    def pop_expired(self, bound) -> list:
+        popped = []
+        for shard in self._shards:
+            heap = shard.heap
+            shard_popped = 0
+            while heap and heap[0][0] <= bound:
+                expiry, encoded = heapq.heappop(heap)
+                if shard.expiry.get(encoded) != expiry:
+                    continue
+                del shard.expiry[encoded]
+                value = self._lookup(shard, encoded)
+                if value is _MISS or value is TOMBSTONE:
+                    continue  # indexed entry superseded by a removal
+                popped.append((expiry, encoded, value))
+                shard_popped += 1
+            if shard_popped:
+                metrics.count(shard.evictions_metric, shard_popped)
+        popped.sort(key=lambda item: item[:2])
+        return [(decode_key(encoded), value) for _, encoded, value in popped]
+
+    def _iter_merged(self):
+        """Stream live ``(encoded, value)`` pairs, key-sorted, newest-wins."""
+        mem = {}
+        for shard in self._shards:
+            mem.update(shard.data)
+        streams = [iter(sorted(mem.items()))]
+        streams.extend(run.scan() for run in self._runs)
+
+        def tag(stream, priority):
+            for encoded, value in stream:
+                yield encoded, priority, value
+
+        last = None
+        for encoded, _priority, value in heapq.merge(
+                *(tag(s, i) for i, s in enumerate(streams))):
+            if encoded == last:
+                continue  # an older tier's value, superseded
+            last = encoded
+            if value is TOMBSTONE:
+                continue
+            yield encoded, value
+
+    def items(self):
+        """Iterate (decoded_key, value); key-sorted (unlike the dict
+        backend's insertion order — callers already must not rely on raw
+        order, see the base class docstring)."""
+        for encoded, value in self._iter_merged():
+            yield decode_key(encoded), value
+
+    def keys(self):
+        for encoded, _value in self._iter_merged():
+            yield decode_key(encoded)
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def _rebuild_expiry_index(self) -> None:
+        for shard in self._shards:
+            shard.expiry = {}
+            shard.heap = []
+        if self._expiry_fn is None:
+            return
+        for encoded, value in self._iter_merged():
+            key = decode_key(encoded)
+            expiry = self._expiry_fn(key, value)
+            if expiry is not None:
+                shard = self._shards[self.shard_index(key)]
+                shard.expiry[encoded] = expiry
+                shard.heap.append((expiry, encoded))
+        for shard in self._shards:
+            heapq.heapify(shard.heap)
+
+    # ------------------------------------------------------------------
+    # State-sync journal (process executor)
+    # ------------------------------------------------------------------
+    def collect_sync_delta(self) -> dict:
+        deltas = {}
+        for index, shard in enumerate(self._shards):
+            if not shard.pending:
+                continue
+            puts = {}
+            removes = []
+            for encoded in shard.pending:
+                # A journaled key may have been flushed out of the
+                # memtable since it was written: ship its run value.
+                value = self._lookup(shard, encoded)
+                if value is _MISS or value is TOMBSTONE:
+                    removes.append(encoded)
+                else:
+                    puts[encoded] = value
+            deltas[index] = (puts, sorted(removes))
+            shard.pending = set()
+        return deltas
+
+    def sync_residual(self) -> dict:
+        deltas = {}
+        for index, shard in enumerate(self._shards):
+            if not shard.dirty and not shard.removed:
+                continue
+            puts = {}
+            for encoded in shard.dirty:
+                value = self._lookup(shard, encoded)
+                if value is not _MISS and value is not TOMBSTONE:
+                    puts[encoded] = value
+            deltas[index] = (puts, sorted(shard.removed))
+        return deltas
+
+    def apply_sync_delta(self, shard_index: int, puts: dict, removes) -> None:
+        # Worker replicas only: removes become tombstones (a plain pop
+        # would unmask a stale value in a fork-inherited run), and the
+        # budget is not enforced — replicas never flush or commit.
+        shard = self._shards[shard_index]
+        for encoded, value in puts.items():
+            shard.data[encoded] = value
+        for encoded in removes:
+            shard.data[encoded] = TOMBSTONE
+
+    # ------------------------------------------------------------------
+    # Flush + compaction
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Seal the memtable (all shards, merged + sorted) as one run.
+
+        Dirty/removed/pending journals are untouched: they track the
+        *commit* and *worker-sync* deltas, which are independent of
+        where a value physically lives.
+        """
+        items = []
+        for shard in self._shards:
+            items.extend(shard.data.items())
+        if not items:
+            return
+        items.sort()
+        fault_point("state.flush_crash",
+                    operator=os.path.basename(self._directory),
+                    seq=self._next_seq, entries=len(items))
+        run = SortedRun.create(self._runs_dir, self._next_seq, items)
+        self._next_seq += 1
+        self._runs.insert(0, run)
+        for shard in self._shards:
+            shard.data.clear()
+        self._mem_bytes = 0
+        metrics.count("state.flushes")
+        self._maybe_compact()
+
+    def _compaction_pick(self):
+        """Oldest adjacent group of >= COMPACT_FANIN same-tier runs, as
+        ``(start, length)`` into ``self._runs`` — or None.
+
+        Only *adjacent* runs may merge (recency order is what resolves
+        key conflicts), and the choice is a pure function of the run
+        list, so crash-replay repeats the same merges.  When the run set
+        exceeds :data:`MAX_RUNS` despite no tier being full, the
+        cheapest adjacent pair merges across tiers — probes pay one
+        bloom check per run, so the run count must stay O(1).
+        """
+        runs = self._runs
+        i = len(runs) - 1
+        while i >= 0:
+            tier = _tier(runs[i].count)
+            j = i
+            while j - 1 >= 0 and _tier(runs[j - 1].count) == tier:
+                j -= 1
+            if i - j + 1 >= COMPACT_FANIN:
+                return j, i - j + 1
+            i = j - 1
+        if len(runs) > MAX_RUNS:
+            best = min(range(len(runs) - 1),
+                       key=lambda k: (runs[k].count + runs[k + 1].count, k))
+            return best, 2
+        return None
+
+    def _maybe_compact(self) -> None:
+        while True:
+            pick = self._compaction_pick()
+            if pick is None:
+                return
+            start, length = pick
+            group = self._runs[start:start + length]
+            # Tombstones can only be dropped when nothing older could
+            # still hold the key, i.e. the merge reaches the oldest run.
+            drop_tombstones = start + length == len(self._runs)
+            fault_point("state.compaction_crash",
+                        operator=os.path.basename(self._directory),
+                        seqs=[r.seq for r in group],
+                        drop_tombstones=drop_tombstones)
+
+            def merged():
+                def tag(run, priority):
+                    for encoded, value in run.scan():
+                        yield encoded, priority, value
+
+                last = None
+                for encoded, _p, value in heapq.merge(
+                        *(tag(r, p) for p, r in enumerate(group))):
+                    if encoded == last:
+                        continue
+                    last = encoded
+                    if drop_tombstones and value is TOMBSTONE:
+                        continue
+                    yield encoded, value
+
+            stream = merged()
+            first = next(stream, None)
+            if first is None:
+                replacement = []
+            else:
+                def chain():
+                    yield first
+                    yield from stream
+
+                run = SortedRun.create(
+                    self._runs_dir, self._next_seq, chain(),
+                    count_hint=sum(r.count for r in group))
+                self._next_seq += 1
+                replacement = [run]
+            self._runs[start:start + length] = replacement
+            for old in group:
+                old.close()
+                # The files stay on disk until no manifest references
+                # them (_gc_runs); a rollback to an older manifest must
+                # still find them.
+            metrics.count("state.compactions")
+
+    # ------------------------------------------------------------------
+    # Versioned persistence
+    # ------------------------------------------------------------------
+    def commit(self, version: int) -> dict:
+        """Delta checkpoint: seal the memtable, then write a manifest.
+
+        The manifest lists every live run (sequence, entry count,
+        SHA-256) oldest-first plus ``next_seq`` and the live-key count;
+        it is self-contained, so restore never replays a delta chain.
+        Cost is O(keys written since the last commit), not O(total
+        state) — unchanged runs are referenced, not rewritten.
+        """
+        fault_point("state.commit", version=version,
+                    operator=os.path.basename(self._directory))
+        written = sum(
+            len(shard.dirty) + len(shard.removed) for shard in self._shards)
+        self._flush()
+        manifest = {
+            "kind": "manifest",
+            "live_keys": self._live_count,
+            "next_seq": self._next_seq,
+            "runs": [
+                {"seq": run.seq, "count": run.count, "sha256": run.sha256}
+                for run in reversed(self._runs)
+            ],
+        }
+        atomic_write_json(self._path(version, "manifest"), manifest)
+        for shard in self._shards:
+            shard.dirty.clear()
+            shard.removed.clear()
+        self.last_committed_version = version
+        return {"version": version, "keys_written": written,
+                "num_keys": self._live_count, "backend": "tiered",
+                "runs": len(self._runs)}
+
+    def _manifest_versions(self, versions: dict) -> list:
+        return sorted(v for v, kinds in versions.items() if "manifest" in kinds)
+
+    def restore(self, version):
+        """Reset to the newest manifest <= ``version``.
+
+        Also accepts dict-backend checkpoints (``snapshot``/``delta``
+        chains) for the version range before a backend switch: the
+        merged legacy state loads into the memtable and spills on the
+        next over-budget write.  Shards are rebuilt empty and the runs
+        are shard-agnostic, so restoring at any shard count is exact
+        rescaling, same as the dict backend.
+        """
+        for run in self._runs:
+            run.close()
+        self._runs = []
+        self._shards = _make_shards(self.num_shards)
+        self._key_cache.clear()
+        self._mem_bytes = 0
+        self._live_count = 0
+        self.last_committed_version = None
+        if version is None:
+            self._rebuild_expiry_index()
+            return None
+        versions = self._available_versions()
+        manifests = [v for v in self._manifest_versions(versions)
+                     if v <= version]
+        legacy = [v for v in sorted(versions)
+                  if v <= version and versions[v] & {"snapshot", "delta"}]
+        if manifests and (not legacy or manifests[-1] >= legacy[-1]):
+            target = manifests[-1]
+            manifest = read_json(self._path(target, "manifest"))
+            self._next_seq = manifest["next_seq"]
+            self._runs = [
+                SortedRun.open(self._runs_dir, entry["seq"])
+                for entry in reversed(manifest["runs"])
+            ]
+            self._live_count = manifest["live_keys"]
+            self.last_committed_version = target
+            self._rebuild_expiry_index()
+            return target
+        if legacy:
+            return self._restore_legacy(versions, legacy)
+        self._rebuild_expiry_index()
+        return None
+
+    def _restore_legacy(self, versions: dict, usable: list):
+        """Load a dict-backend snapshot+delta chain into the memtable."""
+        base = None
+        for v in reversed(usable):
+            if "snapshot" in versions[v]:
+                base = v
+                break
+        merged = {}
+        if base is not None:
+            merged = dict(read_json(self._path(base, "snapshot"))["data"])
+        for v in usable:
+            if base is not None and v <= base:
+                continue
+            delta = read_json(self._path(v, "delta"))
+            merged.update(delta["puts"])
+            for key in delta["removes"]:
+                merged.pop(key, None)
+        for encoded, value in merged.items():
+            shard = self._shards[self.shard_index(decode_key(encoded))]
+            shard.data[encoded] = value
+            self._mem_bytes += _entry_bytes(encoded, value)
+        self._live_count = len(merged)
+        # Never reuse a sequence a later (tiered) manifest references.
+        self._next_seq = 1 + max(
+            (int(name.split(".")[0])
+             for name in list_files(self._runs_dir, ".run")),
+            default=-1,
+        )
+        self.last_committed_version = usable[-1]
+        self._rebuild_expiry_index()
+        return usable[-1]
+
+    def oldest_restorable_version(self):
+        versions = self._available_versions()
+        if not versions:
+            return None
+        legacy = {v: kinds for v, kinds in versions.items()
+                  if kinds & {"snapshot", "delta"}}
+        if legacy:
+            snapshots = [v for v, kinds in legacy.items()
+                         if "snapshot" in kinds]
+            if min(legacy) < min(snapshots, default=float("inf")):
+                return min(legacy)
+            if snapshots:
+                return min(snapshots)
+        manifests = self._manifest_versions(versions)
+        return manifests[0] if manifests else None
+
+    def prune(self, keep_from_version: int) -> int:
+        """Drop checkpoints below the newest restore anchor <= horizon,
+        then delete run files no remaining manifest references."""
+        versions = self._available_versions()
+        anchors = sorted(
+            v for v, kinds in versions.items()
+            if v <= keep_from_version and kinds & {"snapshot", "manifest"}
+        )
+        if not anchors:
+            return 0
+        base = anchors[-1]
+        removed = 0
+        for v, kinds in versions.items():
+            for kind in kinds:
+                if v < base or (v == base and kind == "delta"):
+                    path = self._path(v, kind)
+                    if os.path.exists(path):
+                        os.unlink(path)
+                        removed += 1
+        return removed + self._gc_runs()
+
+    def _gc_runs(self) -> int:
+        """Delete run (+meta) files not referenced by any manifest on
+        disk nor held open by this handle.  Driver-only by construction:
+        called from ``__init__`` and ``prune``, never ``restore``."""
+        referenced = {run.seq for run in self._runs}
+        for name in list_files(self._directory, ".json"):
+            if ".manifest." not in name:
+                continue
+            try:
+                doc = read_json(os.path.join(self._directory, name))
+            except (ValueError, OSError):
+                continue
+            referenced.update(entry["seq"] for entry in doc.get("runs", ()))
+        removed = 0
+        for name in list_files(self._runs_dir):
+            stem = name.split(".")[0]
+            if not stem.isdigit() or int(stem) in referenced:
+                continue
+            os.unlink(os.path.join(self._runs_dir, name))
+            if name.endswith(".run"):
+                removed += 1
+        return removed

@@ -204,6 +204,11 @@ class DataStreamWriter:
             scheduler=scheduler,
             retain_epochs=self._options.get("retain_epochs"),
             num_shards=num_shards,
+            state_backend=self._options.get("state_backend"),
+            state_memtable_bytes=(
+                None if self._options.get("state_memtable_bytes") is None
+                else int(self._options["state_memtable_bytes"])
+            ),
         )
         engine._owns_scheduler = owns_scheduler
         if use_thread is None:

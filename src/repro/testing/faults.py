@@ -55,6 +55,9 @@ REGISTRY = {
     # streaming/state.py -- versioned state checkpoints
     "state.commit": "about to write one operator's delta/snapshot",
     "state.commit_all": "between two operators' commits in commit_all",
+    # streaming/state_lsm.py -- tiered backend flush/compaction windows
+    "state.flush_crash": "tiered: memtable sealed, before the run file write",
+    "state.compaction_crash": "tiered: about to merge a tier's sorted runs",
     # sinks -- idempotent output delivery
     "sink.add_batch": "sink asked to deliver an epoch's output",
     # streaming/microbatch.py -- epoch boundaries (Figure 4 steps)

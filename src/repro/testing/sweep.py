@@ -60,7 +60,15 @@ CONTINUOUS_POINTS = (
 PROCESS_POINTS = (
     "worker.crash_mid_task", "worker.hang",
     "epoch.after_process", "wal.commit", "state.commit",
+    # One tiered-backend cell: a driver crash mid-flush while a live
+    # worker pool holds fork-inherited run file descriptors.
+    "state.flush_crash",
 )
+#: Points that only fire on the tiered state backend; their cells run
+#: the workload with ``state_backend=tiered`` and a memtable budget so
+#: small that every epoch spills runs and compacts.
+TIERED_POINTS = ("state.flush_crash", "state.compaction_crash")
+TIERED_MEMTABLE_BYTES = 256
 
 #: (action at the point's first scheduled occurrence, at the later one).
 _ACTIONS_FOR_POINT = {
@@ -118,11 +126,13 @@ class WorkloadInstance:
 
 
 def _agg_workload(root: str, shards: int, scheduler=None,
-                  wide: bool = False) -> WorkloadInstance:
+                  wide: bool = False, tiered: bool = False) -> WorkloadInstance:
     """``wide=True`` spreads each chunk across several 10s windows so
     multiple shards are non-empty per epoch — required for process-pool
     cells, where single-shard epochs take the driver-inline fast path
-    and worker fault points would never fire."""
+    and worker fault points would never fire.  ``tiered=True`` runs the
+    LSM state backend with a tiny memtable budget, so flush and
+    compaction windows open on every epoch."""
     session = Session()
     stream = MemoryStream(StructType((("k", "string"), ("v", "long"),
                                       ("t", "timestamp"))))
@@ -132,13 +142,19 @@ def _agg_workload(root: str, shards: int, scheduler=None,
     checkpoint = os.path.join(root, "checkpoint")
     out_dir = os.path.join(root, "table")
 
+    def _backend_options(writer):
+        if tiered:
+            writer = (writer.option("state_backend", "tiered")
+                      .option("state_memtable_bytes", TIERED_MEMTABLE_BYTES))
+        return writer
+
     if scheduler is None:
         sink = None  # fresh file sink per restart (reads manifests anew)
 
         def build():
-            return (df.write_stream.format("file").option("path", out_dir)
-                    .option("num_shards", shards)
-                    .output_mode("append").start(checkpoint))
+            writer = (df.write_stream.format("file").option("path", out_dir)
+                      .option("num_shards", shards))
+            return _backend_options(writer).output_mode("append").start(checkpoint)
 
         def read_sink():
             return TransactionalFileSink(out_dir).read_rows()
@@ -146,10 +162,10 @@ def _agg_workload(root: str, shards: int, scheduler=None,
         sink = MemorySink()
 
         def build():
-            return (df.write_stream.sink(sink)
-                    .option("num_shards", shards)
-                    .option("scheduler", scheduler)
-                    .output_mode("append").start(checkpoint))
+            writer = (df.write_stream.sink(sink)
+                      .option("num_shards", shards)
+                      .option("scheduler", scheduler))
+            return _backend_options(writer).output_mode("append").start(checkpoint)
 
         read_sink = sink.rows
 
@@ -236,9 +252,12 @@ def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInst
         scheduler = TaskScheduler(
             num_workers=2, speculation=False, executor="process",
             task_timeout=PROCESS_TASK_TIMEOUT)
-        instance = _agg_workload(root, shards, scheduler=scheduler, wide=True)
+        instance = _agg_workload(root, shards, scheduler=scheduler, wide=True,
+                                 tiered=point in TIERED_POINTS)
         instance.cleanup = scheduler.shutdown
         return instance
+    if point in TIERED_POINTS:
+        return _agg_workload(root, shards, tiered=True)
     if point == "scheduler.task":
         from repro.cluster.scheduler import TaskScheduler
 
@@ -255,7 +274,11 @@ def _golden_key(point: str, mode: str, shards: int):
     if mode == "continuous":
         return ("map", mode, 1)
     if mode == "process":
+        if point in TIERED_POINTS:
+            return ("agg-wide-tiered", mode, shards)
         return ("agg-wide", mode, shards)
+    if point in TIERED_POINTS:
+        return ("agg-tiered", mode, shards)
     if point == "scheduler.task":
         return ("sched", mode, shards)
     if point.startswith(("state.", "sink.")):

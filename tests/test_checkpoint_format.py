@@ -75,9 +75,18 @@ def read_state_files(checkpoint: str) -> dict:
     for op in sorted(os.listdir(state_dir)):
         op_dir = os.path.join(state_dir, op)
         for name in sorted(os.listdir(op_dir)):
-            with open(os.path.join(op_dir, name), encoding="utf-8") as f:
+            path = os.path.join(op_dir, name)
+            if os.path.isdir(path):
+                continue  # the tiered backend's runs/ directory
+            with open(path, encoding="utf-8") as f:
                 found[f"{op}/{name}"] = f.read()
     return found
+
+
+# Both golden queries pin ``state_backend`` to the dict engine: these
+# bytes ARE the dict format, and must not drift even when the suite
+# runs under REPRO_STATE_BACKEND=tiered.  The tiered manifest/run
+# format has its own golden in tests/test_state_tiered.py.
 
 
 def test_windowed_agg_checkpoint_bytes(session, checkpoint):
@@ -85,7 +94,8 @@ def test_windowed_agg_checkpoint_bytes(session, checkpoint):
     df = session.read_stream.memory(stream).with_watermark("t", "100s")
     counts = df.group_by(F.window("t", "10s"), "k").count()
     query = start_memory_query(counts, "update", "golden-agg", checkpoint,
-                               state_checkpoint_interval=2)
+                               state_checkpoint_interval=2,
+                               state_backend="dict")
     epochs = [
         [{"t": 1.0, "k": "a"}, {"t": 2.0, "k": "b"}],
         [{"t": 5.0, "k": "a"}],
@@ -106,7 +116,8 @@ def test_stream_stream_join_checkpoint_bytes(session, checkpoint):
     left = session.read_stream.memory(ls).with_watermark("t", "10s")
     right = session.read_stream.memory(rs).with_watermark("t2", "10s")
     joined = left.join(right, on="k")
-    query = start_memory_query(joined, "append", "golden-join", checkpoint)
+    query = start_memory_query(joined, "append", "golden-join", checkpoint,
+                               state_backend="dict")
 
     ls.add_data([{"k": 1, "t": 1.0, "l": "x"}])
     query.process_all_available()

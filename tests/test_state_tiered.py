@@ -1,0 +1,451 @@
+"""Tiered (LSM) state backend: equivalence with the dict backend,
+on-disk format goldens, and crash-window determinism.
+
+The equivalence property is the backend's contract: any sequence of
+``put``/``remove``/``pop_expired`` (with commits, restores and N→M
+shard rescaling interleaved) observes identical state through either
+backend.  One asymmetry is inherent and canonicalized away here: a
+spilled value round-trips through JSON (tuples become lists) *earlier*
+than the dict backend's (which round-trips at its first restore), so
+comparisons go through a JSON canonicalization — the same equivalence
+class every caller already must respect to survive a restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import read_json
+from repro.streaming.state import OperatorStateHandle, StateStore
+from repro.streaming.state_lsm import (
+    COMPACT_FANIN,
+    TOMBSTONE,
+    SortedRun,
+    TieredOperatorStateHandle,
+    _bloom_hash,
+    _MISS,
+)
+from repro.testing.faults import CrashPoint, Fault, FaultInjector, injected
+
+from tests.conftest import make_stream, rows_set, start_memory_query
+
+
+def canon(value):
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def tiered(directory, shards=1, budget=256, interval=10):
+    return TieredOperatorStateHandle(
+        str(directory), snapshot_interval=interval, num_shards=shards,
+        memtable_bytes=budget)
+
+
+# ----------------------------------------------------------------------
+# Point lookups, spill, and the probe structures
+# ----------------------------------------------------------------------
+def test_spill_and_probe_through_runs(tmp_path):
+    h = tiered(tmp_path / "op", shards=3, budget=300)
+    for i in range(120):
+        h.put(("k", i), {"n": i})
+    assert len(h._runs) > 1, "budget never forced a spill"
+    for i in range(120):
+        assert h.get(("k", i)) == {"n": i}
+    assert h.get(("k", 999)) is None
+    assert len(h) == 120
+    assert sorted(h.keys()) == sorted(("k", i) for i in range(120))
+
+
+def test_remove_masks_spilled_value(tmp_path):
+    h = tiered(tmp_path / "op", budget=200)
+    for i in range(40):
+        h.put(i, [i])
+    h.remove(3)
+    assert h.get(3) is None and not h.contains(3)
+    assert len(h) == 39
+    assert 3 not in dict(h.items())
+    h.remove(3)  # idempotent: no double-decrement
+    assert len(h) == 39
+    h.put(3, [99])  # re-put over a tombstone
+    assert h.get(3) == [99] and len(h) == 40
+
+
+def test_overwrite_newest_run_wins(tmp_path):
+    h = tiered(tmp_path / "op", budget=200)
+    for round_ in range(3):
+        for i in range(25):
+            h.put(i, {"round": round_, "i": i})
+    assert len(h) == 25
+    assert all(h.get(i)["round"] == 2 for i in range(25))
+
+
+def test_sorted_run_probe_structures(tmp_path):
+    items = [(json.dumps(f"key{i:04d}"), {"v": i}) for i in range(500)]
+    run = SortedRun.create(str(tmp_path), 0, items)
+    assert run.count == 500
+    assert len(run._index_keys) == 500 // 64 + 1  # sparse, not per-key
+    for encoded, value in items:
+        assert run.get(encoded, *_bloom_hash(encoded)) == value
+    missing = json.dumps("nope")
+    assert run.get(missing, *_bloom_hash(missing)) is _MISS
+    # fences reject without touching the bloom or the file
+    below = json.dumps("aaa")
+    assert run.get(below, *_bloom_hash(below)) is _MISS
+    assert [k for k, _ in run.scan()] == [k for k, _ in items]
+    run.close()
+
+
+def test_bloom_filter_has_no_false_negatives(tmp_path):
+    items = [(json.dumps([i, "x" * (i % 7)]), i) for i in range(1000)]
+    run = SortedRun.create(str(tmp_path), 0, sorted(items))
+    hits = sum(run._bloom_contains(*_bloom_hash(e)) for e, _ in items)
+    assert hits == len(items)
+    absent = [json.dumps([i, "absent"]) for i in range(2000, 4000)]
+    false_pos = sum(run._bloom_contains(*_bloom_hash(e)) for e in absent)
+    assert false_pos < len(absent) * 0.05  # ~0.15% expected at 14 bits/key
+    run.close()
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compaction_bounds_run_count_and_preserves_state(tmp_path):
+    h = tiered(tmp_path / "op", budget=180)
+    for i in range(300):
+        h.put(i % 60, {"v": i})
+    assert len(h._runs) < COMPACT_FANIN * 4, (
+        f"{len(h._runs)} runs survived; compaction never bounded the set"
+    )
+    assert len(h) == 60
+    assert all(h.get(k) == {"v": max(i for i in range(300) if i % 60 == k)}
+               for k in range(60))
+
+
+def test_compaction_drops_tombstones_only_at_oldest_run(tmp_path):
+    h = tiered(tmp_path / "op", budget=150)
+    for i in range(40):
+        h.put(i, [i])
+    for i in range(40):
+        h.remove(i)
+    for i in range(100, 160):
+        h.put(i, [i])  # churn to force full-depth compactions
+    assert len(h) == 60
+    assert all(h.get(i) is None for i in range(40))
+    # once every merge reached the oldest run, no tombstone survives
+    if len(h._runs) == 1:
+        assert all(v is not TOMBSTONE for _, v in h._runs[0].scan())
+
+
+# ----------------------------------------------------------------------
+# Commit / restore / prune
+# ----------------------------------------------------------------------
+def test_commit_cost_tracks_delta_not_total_state(tmp_path):
+    h = tiered(tmp_path / "op", budget=10_000)
+    for i in range(500):
+        h.put(i, [i])
+    first = h.commit(1)
+    h.put(0, [-1])
+    second = h.commit(2)
+    assert first["keys_written"] == 500
+    assert second["keys_written"] == 1
+    # the delta commit reuses every earlier run file untouched
+    m1 = read_json(str(tmp_path / "op" / "0000000001.manifest.json"))
+    m2 = read_json(str(tmp_path / "op" / "0000000002.manifest.json"))
+    reused = {(r["seq"], r["sha256"]) for r in m1["runs"]}
+    assert reused <= {(r["seq"], r["sha256"]) for r in m2["runs"]}
+    new_runs = [r for r in m2["runs"]
+                if (r["seq"], r["sha256"]) not in reused]
+    assert sum(r["count"] for r in new_runs) == 1
+
+
+def test_restore_rescales_and_prune_keeps_referenced_runs(tmp_path):
+    h = tiered(tmp_path / "op", shards=2, budget=250)
+    for i in range(80):
+        h.put(("u", i), {"n": i})
+    h.commit(1)
+    for i in range(40):
+        h.remove(("u", i))
+    h.commit(2)
+
+    h5 = tiered(tmp_path / "op", shards=5, budget=250)
+    assert h5.restore(2) == 2
+    assert len(h5) == 40
+    assert h5.get(("u", 70)) == {"n": 70} and h5.get(("u", 10)) is None
+    # rollback to version 1 still possible before pruning
+    h1 = tiered(tmp_path / "op", shards=1, budget=10_000)
+    assert h1.restore(1) == 1 and len(h1) == 80
+
+    h5.prune(2)
+    manifest = read_json(str(tmp_path / "op" / "0000000002.manifest.json"))
+    on_disk = {int(n.split(".")[0])
+               for n in os.listdir(tmp_path / "op" / "runs")
+               if n.endswith(".run")}
+    assert on_disk == {r["seq"] for r in manifest["runs"]}
+    assert not os.path.exists(tmp_path / "op" / "0000000001.manifest.json")
+    h6 = tiered(tmp_path / "op", shards=3, budget=250)
+    assert h6.restore(2) == 2 and len(h6) == 40
+
+
+def test_manifest_sha_matches_run_file_contents(tmp_path):
+    h = tiered(tmp_path / "op", budget=200)
+    for i in range(50):
+        h.put(i, {"v": i})
+    h.commit(7)
+    manifest = read_json(str(tmp_path / "op" / "0000000007.manifest.json"))
+    assert manifest["runs"], "commit produced no runs"
+    for entry in manifest["runs"]:
+        path = tmp_path / "op" / "runs" / f"{entry['seq']:08d}.run"
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert digest == entry["sha256"]
+
+
+def test_tiered_reads_dict_checkpoints_and_vice_versa(tmp_path):
+    hd = OperatorStateHandle(str(tmp_path / "op"), snapshot_interval=2,
+                             num_shards=2)
+    for i in range(30):
+        hd.put(i, i * 2)
+    hd.commit(2)            # snapshot
+    hd.put(1, -1)
+    hd.remove(2)
+    hd.commit(3)            # delta
+    ht = tiered(tmp_path / "op", shards=3, budget=150)
+    assert ht.restore(3) == 3
+    assert ht.get(1) == -1 and ht.get(2) is None and len(ht) == 29
+    ht.put(99, [1])         # spills the inherited legacy state
+    ht.commit(4)
+    # ...and the dict backend still restores its own older versions
+    hd2 = OperatorStateHandle(str(tmp_path / "op"), num_shards=1)
+    assert hd2.restore(3) == 3 and hd2.get(1) == -1 and len(hd2) == 29
+
+
+def test_store_backend_selection(tmp_path, monkeypatch):
+    store = StateStore(str(tmp_path / "a"), backend="tiered",
+                       memtable_bytes=123)
+    handle = store.handle("op")
+    assert isinstance(handle, TieredOperatorStateHandle)
+    assert handle.memtable_bytes == 123
+    monkeypatch.setenv("REPRO_STATE_BACKEND", "tiered")
+    assert isinstance(StateStore(str(tmp_path / "b")).handle("op"),
+                      TieredOperatorStateHandle)
+    monkeypatch.delenv("REPRO_STATE_BACKEND")
+    assert not isinstance(StateStore(str(tmp_path / "c")).handle("op"),
+                          TieredOperatorStateHandle)
+    with pytest.raises(ValueError):
+        StateStore(str(tmp_path / "d"), backend="rocksdb")
+
+
+# ----------------------------------------------------------------------
+# Crash windows
+# ----------------------------------------------------------------------
+def _fill(handle, n=60):
+    for i in range(n):
+        handle.put(i, {"v": i})
+
+
+def _checkpoint_bytes(directory):
+    out = {}
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            path = os.path.join(root, name)
+            out[os.path.relpath(path, directory)] = open(path, "rb").read()
+    return out
+
+
+def test_flush_crash_recovers_byte_identical(tmp_path):
+    golden_dir, crash_dir = tmp_path / "golden", tmp_path / "crash"
+    golden = tiered(golden_dir, budget=200)
+    _fill(golden)
+    golden.commit(1)
+
+    crashed = tiered(crash_dir, budget=200)
+    with injected(FaultInjector([Fault("state.flush_crash", occurrence=2)])):
+        with pytest.raises(CrashPoint):
+            _fill(crashed)
+    # restart: orphaned runs are GC'd at construction, replay reproduces
+    # the same flush boundaries, and the commit lands byte-identical
+    restarted = tiered(crash_dir, budget=200)
+    restarted.restore(restarted.latest_version())
+    _fill(restarted)
+    restarted.commit(1)
+    assert _checkpoint_bytes(crash_dir) == _checkpoint_bytes(golden_dir)
+
+
+def test_compaction_crash_recovers_byte_identical(tmp_path):
+    golden_dir, crash_dir = tmp_path / "golden", tmp_path / "crash"
+    golden = tiered(golden_dir, budget=150)
+    _fill(golden, 80)
+    golden.commit(1)
+
+    crashed = tiered(crash_dir, budget=150)
+    with injected(FaultInjector([Fault("state.compaction_crash",
+                                       occurrence=1)])):
+        with pytest.raises(CrashPoint):
+            _fill(crashed, 80)
+    restarted = tiered(crash_dir, budget=150)
+    restarted.restore(restarted.latest_version())
+    _fill(restarted, 80)
+    restarted.commit(1)
+    assert _checkpoint_bytes(crash_dir) == _checkpoint_bytes(golden_dir)
+
+
+# ----------------------------------------------------------------------
+# On-disk format golden (any drift here is a recovery break)
+# ----------------------------------------------------------------------
+TIERED_GOLDEN = {
+    "0000000001.manifest.json": (
+        '{\n  "kind": "manifest",\n  "live_keys": 3,\n  "next_seq": 2,\n'
+        '  "runs": [\n    {\n      "count": 2,\n      "seq": 0,\n'
+        '      "sha256": "a8c0bbb12f36e9ce56be51fe41bb978d03699fcd388'
+        '9dddee7ab52b7307b3f89"\n    },\n    {\n      "count": 1,\n'
+        '      "seq": 1,\n      "sha256": "f4a03fbe41a150905a5a8765d62'
+        'ec9d6bdb277ddcf9a87a635f549c252234d01"\n    }\n  ]\n}'
+    ),
+    "0000000002.manifest.json": (
+        '{\n  "kind": "manifest",\n  "live_keys": 2,\n  "next_seq": 3,\n'
+        '  "runs": [\n    {\n      "count": 2,\n      "seq": 0,\n'
+        '      "sha256": "a8c0bbb12f36e9ce56be51fe41bb978d03699fcd388'
+        '9dddee7ab52b7307b3f89"\n    },\n    {\n      "count": 1,\n'
+        '      "seq": 1,\n      "sha256": "f4a03fbe41a150905a5a8765d62'
+        'ec9d6bdb277ddcf9a87a635f549c252234d01"\n    },\n    {\n'
+        '      "count": 2,\n      "seq": 2,\n      "sha256": "9ca87cc0'
+        '7591525919a429157a95c3b8b57d41718fde1b1a14a86aee7b7d7407"\n'
+        '    }\n  ]\n}'
+    ),
+    "runs/00000000.run": '["\\"a\\"", [1]]\n["\\"b\\"", [2]]\n',
+    "runs/00000001.run": '["\\"c\\"", [3]]\n',
+    # commit 2's run: one overwrite plus one tombstone line for "b"
+    "runs/00000002.run": '["\\"a\\"", [9]]\n["\\"b\\""]\n',
+}
+
+
+def test_tiered_checkpoint_format_golden(tmp_path):
+    h = tiered(tmp_path / "op", shards=1, budget=220)
+    h.put("a", [1])
+    h.put("b", [2])
+    h.put("c", [3])
+    h.commit(1)
+    h.put("a", [9])
+    h.remove("b")
+    h.commit(2)
+    found = {}
+    for root, _dirs, files in os.walk(tmp_path / "op"):
+        for name in files:
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, tmp_path / "op")
+            if rel.endswith(".meta"):
+                continue  # derived from the .run bytes (sha is pinned)
+            found[rel] = open(path, encoding="utf-8").read()
+    assert found == TIERED_GOLDEN
+    meta = read_json(str(tmp_path / "op" / "runs" / "00000000.meta"))
+    assert meta["count"] == 2 and meta["index_keys"] == ['"a"']
+    assert meta["min_key"] == '"a"' and meta["max_key"] == '"b"'
+    assert meta["sha256"] == hashlib.sha256(
+        (tmp_path / "op" / "runs" / "00000000.run").read_bytes()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Property: dict and tiered backends are observationally identical
+# ----------------------------------------------------------------------
+KEYS = st.one_of(
+    st.integers(0, 15),
+    st.tuples(st.sampled_from(["u", "v"]), st.integers(0, 6)),
+)
+VALUES = st.fixed_dictionaries({
+    "t": st.integers(0, 50),
+    "payload": st.lists(st.integers(-5, 5), max_size=3),
+})
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("remove"), KEYS),
+        st.tuples(st.just("pop"), st.integers(0, 50)),
+        st.tuples(st.just("cycle"), st.integers(1, 4), st.integers(1, 4)),
+    ),
+    min_size=5, max_size=60,
+)
+
+
+def _expiry(_key, value):
+    return value["t"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=OPS, budget=st.integers(64, 600), shards=st.integers(1, 4))
+def test_dict_and_tiered_observationally_identical(ops, budget, shards,
+                                                   tmp_path_factory):
+    root = tmp_path_factory.mktemp("equiv")
+    dict_h = OperatorStateHandle(str(root / "dict"), snapshot_interval=3,
+                                 num_shards=shards)
+    tier_h = tiered(root / "tier", shards=shards, budget=budget, interval=3)
+    dict_h.set_expiry(_expiry)
+    tier_h.set_expiry(_expiry)
+    version = 0
+    for op in ops:
+        if op[0] == "put":
+            dict_h.put(op[1], op[2])
+            tier_h.put(op[1], op[2])
+        elif op[0] == "remove":
+            dict_h.remove(op[1])
+            tier_h.remove(op[1])
+        elif op[0] == "pop":
+            assert canon(dict_h.pop_expired(op[1])) == \
+                canon(tier_h.pop_expired(op[1]))
+        else:  # commit + reopen at new shard counts (N→M rescale)
+            version += 1
+            dict_h.commit(version)
+            tier_h.commit(version)
+            dict_h = OperatorStateHandle(str(root / "dict"),
+                                         snapshot_interval=3,
+                                         num_shards=op[1])
+            tier_h = tiered(root / "tier", shards=op[2], budget=budget,
+                            interval=3)
+            dict_h.set_expiry(_expiry)
+            tier_h.set_expiry(_expiry)
+            assert dict_h.restore(version) == tier_h.restore(version)
+        assert len(dict_h) == len(tier_h)
+    assert canon(sorted(dict_h.items(), key=lambda kv: str(kv[0]))) == \
+        canon(sorted(tier_h.items(), key=lambda kv: str(kv[0])))
+    assert canon(dict_h.next_expiry()) == canon(tier_h.next_expiry())
+
+
+# ----------------------------------------------------------------------
+# Engine-level: identical sink output across backends
+# ----------------------------------------------------------------------
+def _drive_agg(backend, checkpoint, budget=None):
+    stream = make_stream([("t", "timestamp"), ("k", "string")])
+    from repro.sql.session import Session
+    from repro.sql import functions as F
+
+    session = Session()
+    df = (session.read_stream.memory(stream).with_watermark("t", "20s")
+          .group_by(F.window("t", "10s"), "k").count())
+    options = {"state_backend": backend, "num_shards": 3}
+    if budget is not None:
+        options["state_memtable_bytes"] = budget
+    query = start_memory_query(df, "append", f"bk-{backend}", checkpoint,
+                               **options)
+    for chunk in range(6):
+        stream.add_data([
+            {"t": float(chunk * 10 + j), "k": f"k{j % 4}"}
+            for j in range(8)
+        ])
+        query.process_all_available()
+    return query
+
+
+def test_engine_sink_output_identical_across_backends(tmp_path):
+    queries = {
+        backend: _drive_agg(backend, str(tmp_path / backend), budget)
+        for backend, budget in (("dict", None), ("tiered", 256))
+    }
+    sinks = {}
+    for backend, query in queries.items():
+        sinks[backend] = rows_set(query.engine.sink.rows())
+        query.stop()
+    assert sinks["dict"] == sinks["tiered"]
+    assert sinks["dict"], "workload emitted nothing; test is vacuous"
