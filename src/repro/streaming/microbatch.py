@@ -23,11 +23,15 @@ backlogged query automatically runs larger epochs until it catches up.
 from __future__ import annotations
 
 import os
+import threading
 import time
+import weakref
+from collections import deque
 
 from repro import observability
 from repro.observability import metrics, tracing
 from repro.sql.batch import RecordBatch
+from repro.storage import SyncGroup, deferred_fsync
 from repro.streaming.incrementalizer import incrementalize
 from repro.streaming.operators import EpochContext
 from repro.streaming.progress import EpochProgress, ProgressReporter
@@ -35,6 +39,267 @@ from repro.streaming.state import StateStore
 from repro.streaming.wal import WriteAheadLog
 from repro.streaming.watermark import WatermarkTracker
 from repro.testing.faults import fault_point
+
+# ----------------------------------------------------------------------
+# Fork gate: the process executor forks workers (initially and on
+# respawn) from the engine thread.  A background flusher or prefetcher
+# caught mid-write at fork time could leave a metrics/storage lock
+# permanently held in the child, so every fork first parks the pipeline
+# threads between work items via their gate locks.
+# ----------------------------------------------------------------------
+_PIPELINE_WORKERS = weakref.WeakSet()
+_fork_hook_installed = False
+_paused_gates = []
+
+
+def _register_pipeline_worker(worker) -> None:
+    global _fork_hook_installed
+    _PIPELINE_WORKERS.add(worker)
+    if not _fork_hook_installed and hasattr(os, "register_at_fork"):
+        _fork_hook_installed = True
+        os.register_at_fork(before=_pause_pipeline_workers,
+                            after_in_parent=_resume_pipeline_workers,
+                            after_in_child=_resume_pipeline_workers)
+
+
+def _pause_pipeline_workers() -> None:
+    for worker in list(_PIPELINE_WORKERS):
+        worker._fork_gate.acquire()
+        _paused_gates.append(worker._fork_gate)
+
+
+def _resume_pipeline_workers() -> None:
+    while _paused_gates:
+        gate = _paused_gates.pop()
+        try:
+            gate.release()
+        except RuntimeError:
+            pass
+
+
+class _AsyncStateFlusher:
+    """Background writer for pipelined state checkpoints (§6.1).
+
+    The engine thread captures each epoch's checkpoint synchronously
+    (:meth:`StateStore.prepare_commit_all`) and submits the write jobs
+    here; this thread performs the file writes under a shared
+    :class:`SyncGroup`, fsyncing the state directories only every
+    ``STATE_SYNC_EVERY`` versions (or at drain/stop) — a lagging state
+    *file* is always recoverable by WAL replay, so its durability window
+    may span a few epochs while the WAL's may not.
+
+    Error contract: the first failure (including an injected
+    ``CrashPoint``) permanently halts the flusher, modeling the writer
+    dying mid-checkpoint; the engine re-raises it at the next epoch
+    boundary, from where it reaches ``StreamingQuery.exception``.
+    """
+
+    #: State-directory fsync cadence, in commit batches.  Bounds the
+    #: renamed-but-unsynced window to a few versions of replayable
+    #: state while cutting steady-state fsyncs per epoch below one.
+    STATE_SYNC_EVERY = 8
+
+    def __init__(self, owner):
+        self._owner_ref = weakref.ref(owner)
+        self.group = SyncGroup()
+        self._cv = threading.Condition()
+        self._queue = deque()
+        self._busy = False
+        self._stopping = False
+        self._thread = None
+        self._error = None
+        self._unsynced = 0
+        self._fork_gate = threading.Lock()
+
+    @property
+    def error(self):
+        return self._error
+
+    def submit(self, version: int, jobs: list) -> None:
+        """Queue one version's write jobs (engine thread)."""
+        with self._cv:
+            if self._error is not None or self._stopping:
+                return  # surfaced at the next epoch boundary
+            if self._thread is None:
+                _register_pipeline_worker(self)
+                self._thread = threading.Thread(
+                    target=self._loop, name="state-flusher", daemon=True)
+                self._thread.start()
+            self._queue.append((version, jobs))
+            metrics.set_gauge("pipeline.flusher_queue", len(self._queue))
+            self._cv.notify_all()
+
+    def drain(self) -> None:
+        """Block until every queued job is written (or the flusher
+        halted on an error — the caller checks ``error`` after)."""
+        with self._cv:
+            while (self._queue or self._busy) and self._error is None:
+                self._cv.wait(timeout=1.0)
+
+    def stop(self) -> None:
+        """Drain, final-sync, and join (idempotent; engine thread)."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        if self._error is None:
+            self.group.sync()
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait(timeout=5.0)
+                    if self._owner_ref() is None and not self._queue:
+                        return
+                if not self._queue:
+                    return  # stopping and drained
+                version, jobs = self._queue.popleft()
+                self._busy = True
+            try:
+                with self._fork_gate:
+                    with tracing.trace_span("flusher:state-commit",
+                                            version=version):
+                        for i, job in enumerate(jobs):
+                            fault_point("state.async_flush_crash",
+                                        version=version, operator=job.operator)
+                            job.execute(self.group)
+                            fault_point("state.commit_all", version=version,
+                                        operator=job.operator, committed=i + 1,
+                                        total=len(jobs))
+                    self._unsynced += 1
+                    if self._unsynced >= self.STATE_SYNC_EVERY:
+                        self.group.sync()
+                        self._unsynced = 0
+                with self._cv:
+                    self._busy = False
+                    metrics.set_gauge("pipeline.flusher_queue",
+                                      len(self._queue))
+                    metrics.set_gauge("pipeline.flushed_version", version)
+                    self._cv.notify_all()
+            except BaseException as exc:
+                with self._cv:
+                    self._error = exc
+                    self._busy = False
+                    self._queue.clear()
+                    self._cv.notify_all()
+                return
+
+
+class _SourcePrefetcher:
+    """Reads epoch N+1's source ranges while epoch N computes (§7.3).
+
+    The engine requests a prefetch as soon as it holds epoch N's inputs;
+    this thread snapshots the next available end offsets, reads the
+    ranges directly from the (replayable, thread-safe) sources, and —
+    under the process executor — pre-encodes the batches as shared-memory
+    descriptors so the ship phase finds them ready.  ``claim`` hands the
+    data to the next epoch when its start offsets match; any mismatch
+    (recovery rewound, nothing was available yet) is a miss and the
+    engine falls back to the inline read.  Reads never go through the
+    scheduler: ``run_stage`` is busy executing epoch N's compute tasks.
+    """
+
+    def __init__(self, engine):
+        self._engine_ref = weakref.ref(engine)
+        self._cv = threading.Condition()
+        self._request = None
+        self._ready = None
+        self._stopping = False
+        self._thread = None
+        self._error = None
+        self._fork_gate = threading.Lock()
+
+    @property
+    def error(self):
+        return self._error
+
+    def request(self, ends: dict) -> None:
+        """Ask for the ranges following ``ends`` (engine thread)."""
+        starts = {name: dict(offsets) for name, offsets in ends.items()}
+        with self._cv:
+            if self._error is not None or self._stopping:
+                return
+            if self._thread is None:
+                _register_pipeline_worker(self)
+                self._thread = threading.Thread(
+                    target=self._loop, name="source-prefetcher", daemon=True)
+                self._thread.start()
+            self._request = starts
+            self._ready = None
+            self._cv.notify_all()
+
+    def claim(self, starts: dict):
+        """Return ``(ends, inputs)`` for a completed prefetch matching
+        ``starts``, or None (miss / empty prefetch / error)."""
+        with self._cv:
+            while self._request is not None and self._error is None:
+                self._cv.wait(timeout=1.0)
+            ready, self._ready = self._ready, None
+        if ready is None:
+            return None
+        got_starts, ends, inputs = ready
+        if ends is None or got_starts != starts:
+            return None
+        return ends, inputs
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while self._request is None and not self._stopping:
+                    self._cv.wait(timeout=5.0)
+                    if self._engine_ref() is None:
+                        return
+                if self._stopping:
+                    return
+                starts = self._request
+            try:
+                with self._fork_gate:
+                    result = self._read(starts)
+                with self._cv:
+                    if self._request is starts:
+                        self._request = None
+                        self._ready = result
+                        self._cv.notify_all()
+            except BaseException as exc:
+                with self._cv:
+                    self._error = exc
+                    self._request = None
+                    self._cv.notify_all()
+                return
+
+    def _read(self, starts: dict):
+        # Fires on every attempt — including empty ones — so the fault
+        # point is reachable even in drain-style workloads where the
+        # prefetcher rarely finds a backlog.
+        fault_point("prefetch.crash")
+        engine = self._engine_ref()
+        if engine is None:
+            return (starts, None, None)
+        ends = engine._available_end_offsets(starts=starts)
+        if not engine._has_new_data(ends, starts=starts):
+            return (starts, None, None)
+        with tracing.trace_span("prefetch:read"):
+            inputs = {
+                name: source.get_batch(starts[name], ends[name])
+                for name, source in engine.sources.items()
+            }
+            scheduler = engine.scheduler
+            pool = getattr(scheduler, "process_pool", None) \
+                if scheduler is not None else None
+            if pool is not None:
+                pool.preship(inputs.values())
+        return (starts, ends, inputs)
 
 
 class _Phase:
@@ -71,6 +336,16 @@ class _Phase:
 class MicrobatchEngine:
     """Drives one streaming query in microbatch mode."""
 
+    #: Pipelined mode: WAL group-sync cadence in epochs.  Adjacent
+    #: epochs' offsets/commit (and file-sink) fsyncs batch through one
+    #: directory-fsync round every this many epochs; idle drains and
+    #: stop() always sync, so a query that catches up with its input is
+    #: fully durable.  The unsynced window is a renamed-but-unfsynced
+    #: WAL suffix — on a real power loss recovery replays from the last
+    #: durable prefix and the idempotent sink absorbs re-delivery, the
+    #: same contract async state checkpointing already relies on.
+    WAL_SYNC_EVERY = 4
+
     def __init__(self, plan, sink, output_mode: str, checkpoint_dir: str,
                  max_records_per_epoch: int = None,
                  state_checkpoint_interval: int = 1,
@@ -80,10 +355,21 @@ class MicrobatchEngine:
                  num_shards: int = None,
                  state_backend: str = None,
                  state_memtable_bytes: int = None,
+                 pipeline=None,
                  clock=time.time):
         self.sink = sink
         self.output_mode = output_mode
         self.clock = clock
+        #: Pipelined epoch execution (async state flusher, group-commit
+        #: WAL, source prefetch).  ``None`` defers to REPRO_PIPELINE=1;
+        #: writer option strings ("on"/"off") are accepted as-is.  The
+        #: sequential path is the golden reference: both modes produce
+        #: byte-identical checkpoints and sink output.
+        if pipeline is None:
+            pipeline = os.environ.get("REPRO_PIPELINE", "") == "1"
+        elif isinstance(pipeline, str):
+            pipeline = pipeline.strip().lower() in ("on", "1", "true", "yes")
+        self.pipelined = bool(pipeline)
         self._max_records = max_records_per_epoch
         self._state_checkpoint_interval = max(1, state_checkpoint_interval)
         #: Optional cluster TaskScheduler: per-partition reads and the
@@ -140,6 +426,14 @@ class MicrobatchEngine:
         #: True when the writer built the scheduler for this engine (via
         #: the ``executor`` option); stop() then owns its shutdown.
         self._owns_scheduler = False
+        self._wal_group = SyncGroup() if self.pipelined else None
+        self._wal_unsynced = 0
+        self._flusher = _AsyncStateFlusher(self) if self.pipelined else None
+        self._prefetcher = _SourcePrefetcher(self) if self.pipelined else None
+        self._async_error_raised = False
+        # Recovery stays fully synchronous even in pipelined mode: it
+        # runs once, off the hot path, and the engine must not observe a
+        # half-flushed checkpoint of its own making.
         self._recover()
         # A process-backed scheduler forks its workers from this fully
         # recovered engine: compiled plans and restored state are
@@ -170,12 +464,31 @@ class MicrobatchEngine:
         self.progress.listeners.append(log_event)
 
     def stop(self) -> None:
-        """Release engine resources (idempotent); called by query.stop."""
+        """Release engine resources (idempotent); called by query.stop.
+
+        In pipelined mode this is the restart barrier: the prefetcher is
+        parked, the flusher drains every queued state write, and the WAL
+        sync group gets its final directory fsync — after which the
+        checkpoint on disk is indistinguishable from a sequential run's.
+        A failure captured by a background thread that was never seen at
+        an epoch boundary is re-raised here (once), so it still reaches
+        ``StreamingQuery.exception``.
+        """
         event_log = getattr(self, "_event_log", None)
         if event_log is not None and not event_log.closed:
             event_log.close()
+        async_error = None
+        if self.pipelined:
+            self._prefetcher.stop()
+            self._flusher.stop()
+            async_error = self._flusher.error or self._prefetcher.error
+            if async_error is None:
+                self._wal_group.sync()
         if getattr(self, "_owns_scheduler", False) and self.scheduler is not None:
             self.scheduler.shutdown()
+        if async_error is not None and not self._async_error_raised:
+            self._async_error_raised = True
+            raise async_error
 
     # ------------------------------------------------------------------
     # Recovery (§6.1 step 4)
@@ -241,11 +554,15 @@ class MicrobatchEngine:
     # ------------------------------------------------------------------
     # Normal epoch execution
     # ------------------------------------------------------------------
-    def _available_end_offsets(self) -> dict:
+    def _available_end_offsets(self, starts: dict = None) -> dict:
+        """End offsets for the next epoch; ``starts`` overrides the
+        engine's own start offsets (used by the prefetcher, which plans
+        epoch N+1 while the engine is still mutating epoch N's)."""
+        base = self._start_offsets if starts is None else starts
         ends = {}
         for name, source in self.sources.items():
             latest = source.latest_offsets()
-            start = self._start_offsets[name]
+            start = base[name]
             if self._max_records is not None:
                 capped = {}
                 budget = self._max_records
@@ -260,9 +577,10 @@ class MicrobatchEngine:
                 ends[name] = latest
         return ends
 
-    def _has_new_data(self, ends: dict) -> bool:
+    def _has_new_data(self, ends: dict, starts: dict = None) -> bool:
+        base = self._start_offsets if starts is None else starts
         for name, end in ends.items():
-            start = self._start_offsets[name]
+            start = base[name]
             if any(end[p] > start.get(p, 0) for p in end):
                 return True
         return False
@@ -271,23 +589,62 @@ class MicrobatchEngine:
         now = self.clock()
         return any(op.has_pending_timeout(now) for op in self.plan.stateful_ops)
 
+    def _raise_async_error(self) -> None:
+        """Re-raise the first background-thread failure on the engine
+        thread, from where it reaches ``StreamingQuery.exception``."""
+        for worker in (self._flusher, self._prefetcher):
+            if worker is not None and worker.error is not None:
+                self._async_error_raised = True
+                raise worker.error
+
     def run_epoch(self):
         """Run one epoch if there is work; returns EpochProgress or None.
 
         "Work" is new input data or an expired processing-time timeout in
         a stateful operator.
         """
-        ends = self._available_end_offsets()
+        if not self.pipelined:
+            ends = self._available_end_offsets()
+            if not self._has_new_data(ends) and not self._has_pending_timeouts():
+                return None
+
+            epoch = self.next_epoch
+            with tracing.trace_span("epoch", epoch=epoch):
+                progress = self._execute_epoch(epoch, ends)
+            self.progress.record(progress)
+            return progress
+
+        # Pipelined path: background failures surface here, at the epoch
+        # boundary — the harness treats that like a crash at this point.
+        self._raise_async_error()
+        waited = time.perf_counter()
+        claimed = self._prefetcher.claim(self._start_offsets)
+        prefetch_wait = time.perf_counter() - waited
+        self._raise_async_error()
+        if claimed is not None:
+            ends, prefetched = claimed
+        else:
+            ends, prefetched = self._available_end_offsets(), None
         if not self._has_new_data(ends) and not self._has_pending_timeouts():
+            # Idle drain: queued state writes complete and the WAL tail
+            # (the previous epoch's commit entry) becomes durable now
+            # instead of riding the next epoch's group sync, so
+            # process_all_available() leaves a fully materialized
+            # checkpoint — identical to the sequential engine's.
+            self._flusher.drain()
+            self._raise_async_error()
+            self._wal_group.sync()
             return None
 
         epoch = self.next_epoch
         with tracing.trace_span("epoch", epoch=epoch):
-            progress = self._execute_epoch(epoch, ends)
+            progress = self._execute_epoch(epoch, ends, prefetched=prefetched,
+                                           prefetch_wait=prefetch_wait)
         self.progress.record(progress)
         return progress
 
-    def _execute_epoch(self, epoch: int, ends: dict) -> EpochProgress:
+    def _execute_epoch(self, epoch: int, ends: dict, prefetched: dict = None,
+                       prefetch_wait: float = 0.0) -> EpochProgress:
         """One epoch's Figure-4 protocol, with per-phase instrumentation."""
         trigger_time = self.clock()
         started = time.perf_counter()
@@ -298,6 +655,9 @@ class MicrobatchEngine:
         fault_point("epoch.begin", epoch=epoch)
 
         # (1) Durably log the epoch's offsets before touching any data.
+        # Pipelined, the entry is *visible* immediately but its fsync is
+        # deferred to the pre-sink group sync below — rename order (and
+        # with it every Figure-4 invariant) is unchanged.
         with _Phase("wal-offsets", timings):
             self.wal.write_offsets(epoch, {
                 "sources": {
@@ -306,13 +666,22 @@ class MicrobatchEngine:
                 },
                 "watermarks": self.watermarks.to_json(),
                 "trigger_time": trigger_time,
-            })
+            }, group=self._wal_group)
 
         fault_point("epoch.after_offsets", epoch=epoch)
 
         # (2) Read the epoch's new data and run the incremental plan.
         with _Phase("read-inputs", timings):
-            inputs = self._fetch_inputs(ends)
+            if prefetched is not None:
+                inputs = prefetched
+                metrics.count("pipeline.prefetch_hits")
+            else:
+                inputs = self._fetch_inputs(ends)
+                if self.pipelined:
+                    metrics.count("pipeline.prefetch_misses")
+        if self.pipelined:
+            # Kick off epoch N+1's read while this epoch computes.
+            self._prefetcher.request(ends)
         input_rows = sum(batch.num_rows for batch in inputs.values())
         ctx = EpochContext(
             epoch_id=epoch,
@@ -328,18 +697,46 @@ class MicrobatchEngine:
             result = self.plan.root.process(ctx)
         fault_point("epoch.after_process", epoch=epoch)
 
+        # Group-commit barrier: every WAL_SYNC_EVERY epochs, everything
+        # renamed since the last sync — offsets and commit entries of
+        # the adjacent epochs, lagging sink files — becomes durable
+        # through one fsync per touched directory.
+        if self.pipelined:
+            self._wal_unsynced += 1
+            if self._wal_unsynced >= self.WAL_SYNC_EVERY:
+                with _Phase("group-sync", timings):
+                    self._wal_group.sync()
+                self._wal_unsynced = 0
+
         # (3) Idempotent sink write, then (4) commit + state checkpoint.
         with _Phase("sink-write", timings):
-            self.sink.add_batch(epoch, result, self.output_mode)
+            if self.pipelined:
+                with deferred_fsync(self._wal_group):
+                    self.sink.add_batch(epoch, result, self.output_mode)
+            else:
+                self.sink.add_batch(epoch, result, self.output_mode)
         fault_point("epoch.after_sink", epoch=epoch)
         self.watermarks.advance()
         with _Phase("wal-commit", timings):
             self.wal.write_commit(
-                epoch, {"watermarks": self.watermarks.to_json()})
+                epoch, {"watermarks": self.watermarks.to_json()},
+                group=self._wal_group)
         fault_point("epoch.after_commit", epoch=epoch)
         if epoch % self._state_checkpoint_interval == 0:
             with _Phase("state-commit", timings):
-                self.state_store.commit_all(epoch)
+                if self.pipelined:
+                    # Capture the checkpoint synchronously (cheap), hand
+                    # the file writes to the background flusher.
+                    jobs = self.state_store.prepare_commit_all(
+                        epoch, self._flusher.group)
+                    self._flusher.submit(epoch, jobs)
+                else:
+                    self.state_store.commit_all(epoch)
+        if self.pipelined and self._retain_epochs is not None:
+            # Retention scans the on-disk state directory; wait for
+            # queued writes so the horizon computation is deterministic.
+            self._flusher.drain()
+            self._raise_async_error()
         self._enforce_retention(epoch)
 
         for name, source in self.sources.items():
@@ -354,6 +751,10 @@ class MicrobatchEngine:
                 max(latest[p] - ends[name].get(p, 0), 0) for p in latest
             )
         duration = time.perf_counter() - started
+        if timings is not None and self.pipelined:
+            # Pipeline occupancy: time this epoch spent waiting on the
+            # prefetcher (ideally ~0 — the read fully overlapped).
+            timings["prefetch-wait"] = prefetch_wait
         state_keys = self.state_store.total_keys()
         progress = EpochProgress(
             epoch_id=epoch,

@@ -33,8 +33,49 @@ import os
 
 from repro.observability import metrics
 from repro.sql.batch import shard_of_key
-from repro.storage import atomic_write_json, list_files, read_json, repair_torn_tail
+from repro.storage import (
+    atomic_write_json,
+    group_write_text,
+    list_files,
+    read_json,
+    repair_torn_tail,
+)
 from repro.testing.faults import fault_point
+
+
+class PendingStateWrite:
+    """A state checkpoint captured now, to be written by the flusher.
+
+    The pipelined engine calls :meth:`OperatorStateHandle.prepare_commit`
+    on the epoch thread — the payload is *serialized* there, so writes
+    from later epochs cannot leak into it — and hands this job to the
+    background flusher, which performs the file write under the shared
+    :class:`~repro.storage.SyncGroup`.  The bytes written are identical
+    to a synchronous :meth:`OperatorStateHandle.commit`.
+
+    Backends that persist at prepare time (the tiered/LSM handle writes
+    its runs and manifest on the epoch thread with fsyncs deferred into
+    the group) return a job with ``path=None``: executing it is a no-op
+    and only the group sync remains for the flusher.
+    """
+
+    __slots__ = ("report", "path", "text", "operator", "version")
+
+    def __init__(self, report, path=None, text=None, operator="", version=0):
+        self.report = report
+        self.path = path
+        self.text = text
+        self.operator = operator
+        self.version = version
+
+    def execute(self, group) -> None:
+        """Perform the deferred write (flusher thread)."""
+        if self.path is None:
+            return
+        fault_point("state.commit", version=self.version,
+                    operator=self.operator)
+        group_write_text(self.path, self.text, group)
+        self.text = None  # free the serialized payload
 
 
 def encode_key(key) -> str:
@@ -387,34 +428,54 @@ class OperatorStateHandle:
         """
         fault_point("state.commit", version=version,
                     operator=os.path.basename(self._directory))
-        snapshot_due = version % self._snapshot_interval == 0
-        if snapshot_due:
+        kind, payload, written = self._commit_payload(version)
+        atomic_write_json(self._path(version, kind), payload)
+        return self._finish_commit(version, written)
+
+    def _commit_payload(self, version: int):
+        """Build version's checkpoint document: (kind, payload, keys)."""
+        if version % self._snapshot_interval == 0:
             data = {}
             for shard in self._shards:
                 data.update(shard.data)
-            payload = {"kind": "snapshot", "data": data}
-            atomic_write_json(self._path(version, "snapshot"), payload)
-            written = len(data)
-        else:
-            puts = {}
-            removes = set()
-            for shard in self._shards:
-                for encoded in shard.dirty:
-                    puts[encoded] = shard.data[encoded]
-                removes.update(shard.removed)
-            payload = {
-                "kind": "delta",
-                "puts": puts,
-                "removes": sorted(removes),
-            }
-            atomic_write_json(self._path(version, "delta"), payload)
-            written = len(puts) + len(removes)
+            return "snapshot", {"kind": "snapshot", "data": data}, len(data)
+        puts = {}
+        removes = set()
+        for shard in self._shards:
+            for encoded in shard.dirty:
+                puts[encoded] = shard.data[encoded]
+            removes.update(shard.removed)
+        payload = {
+            "kind": "delta",
+            "puts": puts,
+            "removes": sorted(removes),
+        }
+        return "delta", payload, len(puts) + len(removes)
+
+    def _finish_commit(self, version: int, written: int) -> dict:
         for shard in self._shards:
             shard.dirty.clear()
             shard.removed.clear()
         self.last_committed_version = version
         return {"version": version, "keys_written": written,
                 "num_keys": len(self)}
+
+    def prepare_commit(self, version: int, group) -> PendingStateWrite:
+        """Capture version's checkpoint now; the write happens later.
+
+        Serializes the same bytes :meth:`commit` would write (payloads
+        hold references to live values, so serialization cannot be
+        deferred past the next epoch's mutations) and advances the
+        dirty/removed journals exactly as a synchronous commit does.
+        The returned job writes the file under ``group`` on the
+        pipelined engine's flusher thread.
+        """
+        kind, payload, written = self._commit_payload(version)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        report = self._finish_commit(version, written)
+        return PendingStateWrite(
+            report, path=self._path(version, kind), text=text,
+            operator=os.path.basename(self._directory), version=version)
 
     def _available_versions(self) -> dict:
         """Map version -> kind for all checkpoint files on disk."""
@@ -587,6 +648,19 @@ class StateStore:
                         operator=operator_id, committed=i + 1,
                         total=len(self._handles))
         return reports
+
+    def prepare_commit_all(self, version: int, group) -> list:
+        """Pipelined ``commit_all``: capture every operator's checkpoint
+        on the calling (epoch) thread, returning the deferred write jobs
+        in operator order for the async flusher.  The in-memory effects
+        (journals cleared, ``last_committed_version`` advanced) happen
+        here, so the engine's view is identical to a synchronous commit;
+        only durability lags, which recovery already tolerates via
+        ``state_checkpoint_interval`` replay."""
+        return [
+            handle.prepare_commit(version, group)
+            for handle in self._handles.values()
+        ]
 
     def restore_all(self, version):
         """Restore every operator to one *consistent* version <= ``version``.

@@ -750,6 +750,25 @@ class TieredOperatorStateHandle(OperatorStateHandle):
                 "num_keys": self._live_count, "backend": "tiered",
                 "runs": len(self._runs)}
 
+    def prepare_commit(self, version: int, group):
+        """Pipelined commit: persist now, defer only the fsyncs.
+
+        Run files and the manifest are written on the epoch thread
+        (sealing and compaction mutate the run list, which must stay
+        single-threaded for byte-identical crash replay), but their
+        fsyncs register with ``group`` — the blocking part of the commit
+        moves off the critical path onto the flusher's group sync.  The
+        returned job carries only the report; executing it is a no-op.
+        """
+        from repro.storage import deferred_fsync
+        from repro.streaming.state import PendingStateWrite
+
+        with deferred_fsync(group):
+            report = self.commit(version)
+        return PendingStateWrite(
+            report, operator=os.path.basename(self._directory),
+            version=version)
+
     def _manifest_versions(self, versions: dict) -> list:
         return sorted(v for v, kinds in versions.items() if "manifest" in kinds)
 

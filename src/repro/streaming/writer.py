@@ -209,6 +209,9 @@ class DataStreamWriter:
                 None if self._options.get("state_memtable_bytes") is None
                 else int(self._options["state_memtable_bytes"])
             ),
+            # ``.option("pipeline", "on"/"off")``; unset defers to
+            # REPRO_PIPELINE=1 inside the engine.
+            pipeline=self._options.get("pipeline"),
         )
         engine._owns_scheduler = owns_scheduler
         if use_thread is None:

@@ -52,9 +52,12 @@ REGISTRY = {
     # streaming/wal.py -- offset log protocol steps
     "wal.offsets": "about to write an epoch's offsets entry",
     "wal.commit": "about to write an epoch's commit entry",
+    "wal.group_commit_crash": "pipelined: WAL entry in flight, fsync deferred",
     # streaming/state.py -- versioned state checkpoints
     "state.commit": "about to write one operator's delta/snapshot",
     "state.commit_all": "between two operators' commits in commit_all",
+    # streaming/microbatch.py -- pipelined mode's background flusher
+    "state.async_flush_crash": "flusher about to execute a queued state write",
     # streaming/state_lsm.py -- tiered backend flush/compaction windows
     "state.flush_crash": "tiered: memtable sealed, before the run file write",
     "state.compaction_crash": "tiered: about to merge a tier's sorted runs",
@@ -62,6 +65,7 @@ REGISTRY = {
     "sink.add_batch": "sink asked to deliver an epoch's output",
     # streaming/microbatch.py -- epoch boundaries (Figure 4 steps)
     "epoch.begin": "epoch chosen, nothing durable yet",
+    "prefetch.crash": "pipelined: prefetcher about to read the next ranges",
     "epoch.after_offsets": "offsets durable, before reading input",
     "epoch.after_process": "plan executed, before the sink write",
     "epoch.after_sink": "sink accepted the epoch, before the commit entry",

@@ -69,12 +69,24 @@ PROCESS_POINTS = (
 #: small that every epoch spills runs and compacts.
 TIERED_POINTS = ("state.flush_crash", "state.compaction_crash")
 TIERED_MEMTABLE_BYTES = 256
+#: Points that only fire in pipelined mode; their cells force
+#: ``pipeline=on`` so the async flusher, group-commit WAL window, and
+#: prefetcher actually exist.  (Under REPRO_PIPELINE=1 every microbatch
+#: cell runs pipelined anyway; these cells keep the coverage on the
+#: default sequential CI legs too.)
+PIPELINE_POINTS = (
+    "state.async_flush_crash", "wal.group_commit_crash", "prefetch.crash",
+)
 
 #: (action at the point's first scheduled occurrence, at the later one).
 _ACTIONS_FOR_POINT = {
     "storage.fsync": ("torn", "torn"),
     "storage.write": ("crash", "drop"),
     "scheduler.task": ("fail", "fail"),
+    # Tear the WAL entry inside the deferred-fsync window: the batched
+    # path's torn newest entry must quarantine exactly like the
+    # sequential path's (repair_torn_tail on reopen).
+    "wal.group_commit_crash": ("torn", "crash"),
     # In a worker, "crash" kills the worker process and "hang" stalls it
     # past the driver's task timeout; both exercise respawn + re-restore.
     "worker.hang": ("hang", "hang"),
@@ -126,7 +138,8 @@ class WorkloadInstance:
 
 
 def _agg_workload(root: str, shards: int, scheduler=None,
-                  wide: bool = False, tiered: bool = False) -> WorkloadInstance:
+                  wide: bool = False, tiered: bool = False,
+                  pipelined: bool = False) -> WorkloadInstance:
     """``wide=True`` spreads each chunk across several 10s windows so
     multiple shards are non-empty per epoch — required for process-pool
     cells, where single-shard epochs take the driver-inline fast path
@@ -146,6 +159,8 @@ def _agg_workload(root: str, shards: int, scheduler=None,
         if tiered:
             writer = (writer.option("state_backend", "tiered")
                       .option("state_memtable_bytes", TIERED_MEMTABLE_BYTES))
+        if pipelined:
+            writer = writer.option("pipeline", "on")
         return writer
 
     if scheduler is None:
@@ -193,7 +208,8 @@ def _agg_workload(root: str, shards: int, scheduler=None,
     return WorkloadInstance(build, steps, read_sink, checkpoint)
 
 
-def _join_workload(root: str, shards: int) -> WorkloadInstance:
+def _join_workload(root: str, shards: int,
+                   pipelined: bool = False) -> WorkloadInstance:
     session = Session()
     ls = MemoryStream(StructType((("k", "long"), ("t", "timestamp"),
                                   ("l", "string"))))
@@ -206,9 +222,11 @@ def _join_workload(root: str, shards: int) -> WorkloadInstance:
     sink = MemorySink()  # survives restarts (models the external system)
 
     def build():
-        return (df.write_stream.sink(sink)
-                .option("num_shards", shards)
-                .output_mode("append").start(checkpoint))
+        writer = (df.write_stream.sink(sink)
+                  .option("num_shards", shards))
+        if pipelined:
+            writer = writer.option("pipeline", "on")
+        return writer.output_mode("append").start(checkpoint)
 
     steps = []
     for i in range(4):
@@ -265,6 +283,12 @@ def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInst
         instance = _agg_workload(root, shards, scheduler=scheduler)
         instance.cleanup = scheduler.shutdown
         return instance
+    if point == "state.async_flush_crash":
+        # Two stateful operators, so one flusher batch holds multiple
+        # jobs and a crash can land between them.
+        return _join_workload(root, shards, pipelined=True)
+    if point in PIPELINE_POINTS:
+        return _agg_workload(root, shards, pipelined=True)
     if point.startswith(("state.", "sink.")):
         return _join_workload(root, shards)
     return _agg_workload(root, shards)
@@ -281,6 +305,10 @@ def _golden_key(point: str, mode: str, shards: int):
         return ("agg-tiered", mode, shards)
     if point == "scheduler.task":
         return ("sched", mode, shards)
+    if point == "state.async_flush_crash":
+        return ("join-pipelined", mode, shards)
+    if point in PIPELINE_POINTS:
+        return ("agg-pipelined", mode, shards)
     if point.startswith(("state.", "sink.")):
         return ("join", mode, shards)
     return ("agg", mode, shards)
