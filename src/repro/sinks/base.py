@@ -5,7 +5,10 @@ the epoch's output rows under the query's output mode:
 
 * ``append`` — the rows are new and final; add them;
 * ``update`` — the rows are upserts keyed by ``key_names``;
-* ``complete`` — the rows are the entire result table; replace everything.
+* ``complete`` — the rows are the entire result table; replace everything;
+* ``retract`` — the rows are a Z-set delta: each carries ``__weight__``
+  (+1 add one occurrence, -1 remove one); applying the delta yields the
+  new result table (see :mod:`repro.streaming.zset`).
 
 ``last_committed_epoch`` lets a recovering engine skip re-delivery of
 epochs the sink already has — this plus idempotent ``add_batch`` yields

@@ -9,6 +9,8 @@ from repro.sql.batch import RecordBatch
 class ConsoleSink(Sink):
     """Print each epoch's rows; useful in examples."""
 
+    supported_modes = ("append", "update", "complete", "retract")
+
     def __init__(self, max_rows: int = 20):
         self._max_rows = max_rows
         self._epochs = set()

@@ -12,15 +12,25 @@ import threading
 from repro.observability import metrics
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
+from repro.sql.types import WEIGHT_COLUMN, hashable_value as _hashable
 from repro.testing.faults import fault_point
 
 
 class MemorySink(Sink):
-    """Maintains the result table in memory under all three output modes."""
+    """Maintains the result table in memory under all four output modes.
+
+    In ``retract`` mode the sink applies each epoch's Z-set delta to a
+    multiset keyed by row value: +1 adds one occurrence, -1 removes one.
+    ``rows()`` then returns the live table (weight column dropped), one
+    entry per surviving occurrence, in first-insertion order.
+    """
+
+    supported_modes = ("append", "update", "complete", "retract")
 
     def __init__(self):
         self._rows = []
         self._by_key = {}
+        self._counts = {}   # retract mode: row key -> (multiplicity, row)
         self._epochs = set()
         self._lock = threading.Lock()
         self.key_names = []
@@ -34,6 +44,8 @@ class MemorySink(Sink):
             if mode == "complete":
                 self._rows = new_rows
                 self._by_key.clear()
+            elif mode == "retract":
+                self._apply_zset(new_rows)
             elif mode == "update" and self.key_names:
                 for row in new_rows:
                     key = tuple(row[k] for k in self.key_names)
@@ -43,6 +55,34 @@ class MemorySink(Sink):
                 self._rows.extend(new_rows)
             self._epochs.add(epoch_id)
             self._count_commit(len(new_rows))
+
+    def _apply_zset(self, new_rows: list) -> None:
+        # Net the epoch's delta per row first: within one epoch a +1/-1
+        # pair for the same row (e.g. from a join's bilinear expansion)
+        # is order-free, so only the *net* count may not go negative.
+        deltas = {}
+        for row in new_rows:
+            weight = int(row.get(WEIGHT_COLUMN, 1))
+            data = {k: v for k, v in row.items() if k != WEIGHT_COLUMN}
+            key = tuple(sorted((k, _hashable(v)) for k, v in data.items()))
+            delta, _ = deltas.get(key, (0, None))
+            deltas[key] = (delta + weight, data)
+        for key, (delta, data) in deltas.items():
+            if delta == 0:
+                continue
+            count, _sample = self._counts.get(key, (0, None))
+            count += delta
+            if count < 0:
+                raise ValueError(
+                    f"retraction of a row the sink never received: {data!r}"
+                )
+            if count == 0:
+                self._counts.pop(key, None)
+            else:
+                self._counts[key] = (count, data)
+        self._rows = []
+        for count, sample in self._counts.values():
+            self._rows.extend([dict(sample)] * count)
 
     def append_rows(self, rows) -> None:
         """Continuous-mode write path: append rows immediately (§6.3).
@@ -69,4 +109,5 @@ class MemorySink(Sink):
         with self._lock:
             self._rows.clear()
             self._by_key.clear()
+            self._counts.clear()
             self._epochs.clear()

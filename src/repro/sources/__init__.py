@@ -11,8 +11,10 @@ from repro.sources.kafka import KafkaSource, KafkaSourceDescriptor
 from repro.sources.file import FileStreamSource, FileSourceDescriptor
 from repro.sources.rate import RateSource, RateSourceDescriptor
 from repro.sources.memory import MemoryStream
+from repro.sources.cdc import ChangeStream
 
 __all__ = [
+    "ChangeStream",
     "FileSourceDescriptor",
     "FileStreamSource",
     "KafkaSource",

@@ -1,0 +1,103 @@
+"""CDC-style in-memory change stream: inserts, updates and deletes.
+
+The weighted twin of :class:`repro.sources.memory.MemoryStream`: every
+record carries a ``__weight__`` of ``+1`` (insert) or ``-1`` (delete);
+an update is a delete/insert pair appended atomically.  Downstream, the
+incrementalizer treats any plan fed by such a stream as a Z-set
+pipeline (see :mod:`repro.streaming.zset`), maintaining aggregates,
+distinct tables and joins under retraction.
+
+Like MemoryStream, the object is its own descriptor, is fully retained
+(any epoch can be replayed after a crash) and is single-partition.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sql.batch import RecordBatch
+from repro.sql.types import StructType
+from repro.sources.base import Source, SourceDescriptor
+from repro.streaming.zset import WEIGHT_COLUMN, weighted_schema
+
+PARTITION = "0"
+
+
+class ChangeStream(Source, SourceDescriptor):
+    """A single-partition, fully retained stream of weighted changes."""
+
+    name = "cdc"
+
+    def __init__(self, schema):
+        #: Schema of the user's rows, without the weight column.
+        self.data_schema = (
+            schema if isinstance(schema, StructType) else StructType(tuple(schema))
+        )
+        if WEIGHT_COLUMN in self.data_schema:
+            raise ValueError(
+                f"the change stream schema must not contain {WEIGHT_COLUMN!r}; "
+                "weights are attached by insert()/delete()/update()"
+            )
+        #: Schema the engine sees: user columns + ``__weight__``.
+        self.schema = weighted_schema(self.data_schema)
+        self._rows = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+    def _stamp(self, rows, weight: int) -> list:
+        stamped = []
+        for row in rows:
+            if WEIGHT_COLUMN in row:
+                raise ValueError(
+                    f"rows must not carry {WEIGHT_COLUMN!r} explicitly"
+                )
+            stamped.append({**row, WEIGHT_COLUMN: weight})
+        return stamped
+
+    def insert(self, rows) -> None:
+        """Append rows (list of dicts) with weight +1."""
+        stamped = self._stamp(rows, 1)
+        with self._lock:
+            self._rows.extend(stamped)
+
+    def delete(self, rows) -> None:
+        """Retract rows previously inserted (matched by value), weight -1."""
+        stamped = self._stamp(rows, -1)
+        with self._lock:
+            self._rows.extend(stamped)
+
+    def update(self, old_rows, new_rows) -> None:
+        """Replace ``old_rows`` with ``new_rows`` atomically: the -1/+1
+        pairs land in one offset range, so no epoch ever observes the
+        delete without its replacement."""
+        stamped = self._stamp(old_rows, -1) + self._stamp(new_rows, 1)
+        with self._lock:
+            self._rows.extend(stamped)
+
+    # ------------------------------------------------------------------
+    # Source / descriptor contract
+    # ------------------------------------------------------------------
+    def create(self) -> "ChangeStream":
+        return self
+
+    def partitions(self) -> list:
+        return [PARTITION]
+
+    def initial_offsets(self) -> dict:
+        return {PARTITION: 0}
+
+    def latest_offsets(self) -> dict:
+        with self._lock:
+            return {PARTITION: len(self._rows)}
+
+    def get_partition_batch(self, partition: str, start: int, end: int) -> RecordBatch:
+        with self._lock:
+            rows = self._rows[start:end]
+        return RecordBatch.from_rows(rows, self.schema)
+
+    def get_batch(self, start: dict, end: dict) -> RecordBatch:
+        return self.get_partition_batch(
+            PARTITION, start.get(PARTITION, 0), end[PARTITION]
+        )

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from repro.sql import logical as L
 from repro.sql.expressions import AnalysisError, WindowExpr
+from repro.sql.types import WEIGHT_COLUMN
 
-OUTPUT_MODES = ("append", "update", "complete")
+OUTPUT_MODES = ("append", "update", "complete", "retract")
 
 
 def analyze(plan: L.LogicalPlan) -> L.LogicalPlan:
@@ -85,7 +86,9 @@ def check_streaming_supported(plan: L.LogicalPlan, output_mode: str) -> None:
     _check_limits(plan, output_mode)
     _check_joins(plan)
     _check_stateful(plan, output_mode)
-    _check_aggregate_modes(plan, aggregates, output_mode)
+    _check_weighted(plan, aggregates, output_mode)
+    if output_mode != "retract":
+        _check_aggregate_modes(plan, aggregates, output_mode)
     _check_windows_have_watermark_for_append(aggregates, output_mode)
 
 
@@ -159,6 +162,101 @@ def _check_stream_stream_join(join: L.Join) -> None:
             "watermarks (with_watermark) on their respective sides "
             "(§4.3.1, §5.2)"
         )
+
+
+def plan_is_weighted(plan: L.LogicalPlan) -> bool:
+    """True when any streaming scan feeds Z-set (weighted) deltas.
+
+    Weighted-ness is a property of the *sources*: a CDC-style stream
+    whose scan schema carries ``__weight__`` makes the whole plan a
+    retraction pipeline, regardless of intermediate projections (the
+    incrementalizer threads the weight column through those).
+    """
+    return any(
+        node.is_streaming and WEIGHT_COLUMN in node.schema
+        for node in plan.collect_nodes(L.Scan)
+    )
+
+
+def _check_weighted(plan, aggregates, output_mode: str) -> None:
+    """Validate the weighted (retraction) subset of the operator zoo.
+
+    Weighted deltas flow through stateless maps, retractable aggregates,
+    dedup and inner joins; everything whose incremental maintenance
+    cannot undo an emitted row is rejected up front.
+    """
+    weighted = plan_is_weighted(plan)
+    if output_mode == "retract" and not weighted:
+        raise UnsupportedOperationError(
+            "retract output mode requires a weighted (CDC) source whose "
+            f"schema carries {WEIGHT_COLUMN!r}; append-only streams use "
+            "append/update/complete"
+        )
+    if not weighted:
+        return
+    if output_mode not in ("retract", "complete"):
+        raise UnsupportedOperationError(
+            f"a weighted (retraction) stream supports output modes "
+            f"'retract' and 'complete' (with aggregation), not {output_mode!r}: "
+            "append/update sinks cannot undo delivered rows"
+        )
+    for agg in aggregates:
+        if agg.window is not None:
+            raise UnsupportedOperationError(
+                "windowed aggregation over a weighted stream is not "
+                "supported; group by plain columns"
+            )
+        for g in agg.grouping:
+            if WEIGHT_COLUMN in g.references():
+                raise UnsupportedOperationError(
+                    f"cannot group by the reserved {WEIGHT_COLUMN!r} column"
+                )
+        for fn, name in agg.aggregates:
+            if not fn.supports_retract:
+                raise UnsupportedOperationError(
+                    f"aggregate {name!r} ({fn.func_name}) cannot process "
+                    "retractions; only invertible aggregates "
+                    "(count/sum/avg) run over weighted streams"
+                )
+            if WEIGHT_COLUMN in fn.references():
+                raise UnsupportedOperationError(
+                    f"aggregates may not read the reserved "
+                    f"{WEIGHT_COLUMN!r} column"
+                )
+    for node in plan.collect_nodes(L.Deduplicate):
+        if node.is_streaming and WEIGHT_COLUMN in node.subset:
+            raise UnsupportedOperationError(
+                f"cannot deduplicate by the reserved {WEIGHT_COLUMN!r} column"
+            )
+    for join in plan.collect_nodes(L.Join):
+        if not (join.left.is_streaming and join.right.is_streaming):
+            continue
+        left_weighted = WEIGHT_COLUMN in join.left.schema
+        right_weighted = WEIGHT_COLUMN in join.right.schema
+        if not (left_weighted or right_weighted):
+            continue
+        if join.how != "inner":
+            raise UnsupportedOperationError(
+                "outer stream-stream joins over weighted streams are not "
+                "supported: null-padded rows cannot be retracted soundly"
+            )
+        if join.within is not None:
+            raise UnsupportedOperationError(
+                "time-bounded (within=...) stream-stream joins over "
+                "weighted streams are not supported: a retraction may "
+                "arrive after its row was evicted"
+            )
+    for node in plan.collect_nodes(L.MapGroupsWithState):
+        if node.is_streaming:
+            raise UnsupportedOperationError(
+                "map_groups_with_state over a weighted stream is not "
+                "supported: user state transitions cannot be undone"
+            )
+    for node in plan.collect_nodes((L.Sort, L.Limit)):
+        if node.is_streaming:
+            raise UnsupportedOperationError(
+                "sort/limit over a weighted stream is not supported"
+            )
 
 
 def _check_stateful(plan, output_mode: str) -> None:

@@ -888,6 +888,12 @@ class AggregateFunction(Expression):
     #: Short SQL-ish name ("count", "sum", ...).
     func_name = "agg"
 
+    #: True when the aggregate is additive enough to subtract a partial
+    #: back out of a buffer (``retract``).  Only such aggregates can run
+    #: over weighted (retraction) streams: Count/Sum/Avg qualify, while
+    #: Min/Max/First/Last would need the full value history to undo.
+    supports_retract = False
+
     def __init__(self, child: Expression = None):
         self.child = child
         self.children = (child,) if child is not None else ()
@@ -908,6 +914,14 @@ class AggregateFunction(Expression):
     def merge(self, left, right):
         """Merge two buffers (used to fold batch partials into state)."""
         raise NotImplementedError
+
+    def retract(self, buffer, partial):
+        """Subtract a partial buffer back out of ``buffer`` (Z-set -1
+        rows).  Only meaningful when ``supports_retract`` is True."""
+        raise NotImplementedError(
+            f"{self.func_name}() cannot retract; it is not incrementally "
+            "invertible"
+        )
 
     def finish(self, buffer):
         """Extract the final aggregate value from a buffer."""
@@ -944,6 +958,7 @@ class Count(AggregateFunction):
     """``count(*)`` when child is None, else ``count(col)`` skipping nulls."""
 
     func_name = "count"
+    supports_retract = True
 
     def data_type(self, schema: StructType) -> DataType:
         if self.child is not None:
@@ -960,6 +975,9 @@ class Count(AggregateFunction):
 
     def merge(self, left, right):
         return left + right
+
+    def retract(self, buffer, partial):
+        return buffer - partial
 
     def finish(self, buffer):
         return buffer
@@ -981,6 +999,7 @@ class Sum(AggregateFunction):
     """Sum of a numeric column, null-skipping; null (None) for empty groups."""
 
     func_name = "sum"
+    supports_retract = True
 
     def data_type(self, schema: StructType) -> DataType:
         ct = self.child.data_type(schema)
@@ -998,6 +1017,9 @@ class Sum(AggregateFunction):
 
     def merge(self, left, right):
         return [left[0] + right[0], left[1] + right[1]]
+
+    def retract(self, buffer, partial):
+        return [buffer[0] - partial[0], buffer[1] - partial[1]]
 
     def finish(self, buffer):
         return buffer[0] if buffer[1] else None
@@ -1018,6 +1040,7 @@ class Avg(AggregateFunction):
     """Arithmetic mean, maintained as (sum, count)."""
 
     func_name = "avg"
+    supports_retract = True
 
     def data_type(self, schema: StructType) -> DataType:
         ct = self.child.data_type(schema)
@@ -1035,6 +1058,9 @@ class Avg(AggregateFunction):
 
     def merge(self, left, right):
         return [left[0] + right[0], left[1] + right[1]]
+
+    def retract(self, buffer, partial):
+        return [buffer[0] - partial[0], buffer[1] - partial[1]]
 
     def finish(self, buffer):
         return buffer[0] / buffer[1] if buffer[1] else None

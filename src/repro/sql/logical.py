@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.sql import expressions as E
 from repro.sql.batch import promote_nullable
 from repro.sql.expressions import AnalysisError
-from repro.sql.types import StructType
+from repro.sql.types import WEIGHT_COLUMN, StructType
 
 JOIN_TYPES = ("inner", "left_outer", "right_outer")
 
@@ -249,6 +249,11 @@ class Join(LogicalPlan):
             if left_schema.type_of(key) != right_schema.type_of(key):
                 raise AnalysisError(f"join key {key!r} has mismatched types")
         right_rest = [n for n in right_schema.names if n not in self.on]
+        if WEIGHT_COLUMN in left_schema and WEIGHT_COLUMN in right_rest:
+            # Two weighted sides: the output carries ONE weight column
+            # (the product of the sides' multiplicities, computed by the
+            # physical join), in the left side's position.
+            right_rest.remove(WEIGHT_COLUMN)
         overlap = set(left_schema.names) & set(right_rest)
         if overlap:
             raise AnalysisError(

@@ -117,6 +117,12 @@ class DataStreamReader:
         """Stream from a :class:`repro.sources.memory.MemoryStream`."""
         return self._df(stream)
 
+    def cdc(self, stream) -> DataFrame:
+        """Stream from a :class:`repro.sources.cdc.ChangeStream`: rows
+        carry ``__weight__`` (+1 insert / -1 delete) and the plan is
+        maintained under retraction (Z-set semantics)."""
+        return self._df(stream)
+
     def source(self, descriptor) -> DataFrame:
         """Stream from any custom :class:`SourceDescriptor`."""
         return self._df(descriptor)
@@ -128,6 +134,9 @@ class Session:
     def __init__(self):
         self.catalog = {}
         self._streams = None
+        #: name -> StreamTable: one query's result table feeding another
+        #: (bronze -> silver cascades); see repro.streaming.stream_table.
+        self.stream_tables = {}
 
     @property
     def streams(self):
@@ -189,6 +198,29 @@ class Session:
         from repro.sql.parser import parse_select
 
         return parse_select(text, self)
+
+    def read_stream_table(self, name: str) -> DataFrame:
+        """Read another streaming query's result table as a stream.
+
+        The table must have been created by a started query writing with
+        ``write_stream.to_table(name)``; each of the upstream query's
+        committed epochs becomes replayable input here, so a cascade of
+        queries is maintained incrementally end to end with per-stage
+        checkpoints and watermarks.
+        """
+        try:
+            table = self.stream_tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no stream table {name!r}; started to_table() queries: "
+                f"{sorted(self.stream_tables)}"
+            ) from None
+        if table.schema is None:
+            raise ValueError(
+                f"stream table {name!r} has no schema yet: start the "
+                "query writing it before reading it"
+            )
+        return self.read_stream.source(table)
 
 
 def _as_schema(schema) -> StructType:

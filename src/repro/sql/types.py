@@ -98,6 +98,30 @@ class TimestampType(NumericType):
     python_types = (int, float, np.integer, np.floating)
 
 
+#: Reserved column name carrying a row's signed Z-set multiplicity on
+#: weighted (retraction) streams; see :mod:`repro.streaming.zset`.
+#: Defined here, at the bottom of the import graph, so the logical plan
+#: and sink layers can special-case it without importing the streaming
+#: package.
+WEIGHT_COLUMN = "__weight__"
+
+
+def hashable_value(value):
+    """Canonical hashable form of a cell value for multiset row keys.
+
+    Folds numpy scalars to Python ones and integral floats to ints so a
+    value compares equal across dtype round-trips (2 vs 2.0 vs int64(2)).
+    """
+    if isinstance(value, (list, np.ndarray)):
+        return tuple(hashable_value(v) for v in value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return hashable_value(float(value))
+    if isinstance(value, float) and float(value).is_integer():
+        return int(value)  # fold 2.0 / 2 so dtype round-trips compare equal
+    return value
+
 # Singleton instances, following Spark SQL's convention of exposing types
 # both as classes and ready-made instances.
 INTEGER = IntegerType()

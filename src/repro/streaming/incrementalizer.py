@@ -15,11 +15,13 @@ from repro.sql import logical as L
 from repro.sql.analysis import (
     analyze,
     check_streaming_supported,
+    plan_is_weighted,
     watermarked_columns,
 )
 from repro.sql.expressions import AnalysisError
 from repro.sql.optimizer import optimize
 from repro.streaming import operators as ops
+from repro.streaming.zset import thread_weights
 
 
 class IncrementalPlan:
@@ -139,6 +141,7 @@ class _Builder:
             plan, self.build(plan.child), self._handle("agg"),
             watermark_column=watermark_column,
             num_shards=self.num_shards,
+            output_mode=self._output_mode,
         )
         self.stateful_ops.append(op)
         return op
@@ -219,6 +222,9 @@ def incrementalize(plan: L.LogicalPlan, output_mode: str, state_store,
     check_streaming_supported(plan, output_mode)
     if run_optimizer:
         plan = optimize(plan)
+        analyze(plan)
+    if plan_is_weighted(plan):
+        plan = thread_weights(plan)
         analyze(plan)
     builder = _Builder(state_store, output_mode, num_shards)
     root = builder.build(plan)

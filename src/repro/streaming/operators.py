@@ -36,6 +36,13 @@ from repro.sql.physical import aggregate_result_batch, execute
 from repro.sql.types import StructType
 from repro.streaming.state import encode_key
 from repro.streaming.stateful import GroupState, normalize_func_output
+from repro.streaming.zset import (
+    WEIGHT_COLUMN,
+    attach_weights,
+    split_by_sign,
+    thread_weights,
+    weighted_schema,
+)
 
 
 class EpochContext:
@@ -311,6 +318,12 @@ class StatelessOp(IncrementalOp):
                  num_shards: int = 1):
         self._placeholder = make_placeholder(child.output_schema)
         self._node = self._graft(node)
+        if WEIGHT_COLUMN in child.output_schema:
+            # The physical child may carry a weight column the logical
+            # chain does not know about (e.g. projections above a
+            # retract-mode aggregate): re-thread it so the multiplicity
+            # survives this stateless segment too.
+            self._node = thread_weights(self._node)
         self.output_schema = self._node.schema
         self.child = child
         self.num_shards = max(1, num_shards)
@@ -479,11 +492,19 @@ class StatefulAggregateOp(IncrementalOp):
     stateful = True
 
     def __init__(self, node: L.Aggregate, child: IncrementalOp, state_handle,
-                 watermark_column: str = None, num_shards: int = 1):
+                 watermark_column: str = None, num_shards: int = 1,
+                 output_mode: str = None):
         self._node = node
         self.child = child
         self.state = state_handle
-        self.output_schema = node.schema
+        #: Weighted (Z-set) input: state holds ``[live_count, buffers]``
+        #: per group, -1 rows are retracted from the buffers, and retract
+        #: mode emits -1 old-row / +1 new-row pairs per changed group.
+        self.weighted = WEIGHT_COLUMN in child.output_schema
+        self._emit_weighted = self.weighted and output_mode == "retract"
+        self.output_schema = (
+            weighted_schema(node.schema) if self._emit_weighted else node.schema
+        )
         #: Which watermark gates emission/eviction for this aggregate:
         #: the window's time column, or a directly watermarked group key.
         self.watermark_column = watermark_column
@@ -516,9 +537,11 @@ class StatefulAggregateOp(IncrementalOp):
                 if g.references() == {watermark_column}:
                     self._key_time_index = i
                     break
-        if watermark_column is not None:
+        if watermark_column is not None and not self.weighted:
             # Expiry-indexed state: advancing the watermark pops only
             # finalized keys instead of scanning the whole store.
+            # Weighted aggregates never evict (a retraction may arrive
+            # arbitrarily late), so they skip the index.
             self.state.set_expiry(lambda key, _value: self._key_expiry(key))
 
     def state_handles(self) -> list:
@@ -535,6 +558,8 @@ class StatefulAggregateOp(IncrementalOp):
 
     def process(self, ctx: EpochContext) -> RecordBatch:
         batch = self.child.process(ctx)
+        if self.weighted:
+            return self._process_weighted(batch, ctx)
         watermark = (
             ctx.watermarks.current(self.watermark_column)
             if self.watermark_column is not None else None
@@ -645,6 +670,136 @@ class StatefulAggregateOp(IncrementalOp):
             puts[key] = buffers
         return puts, set(puts), late_rows
 
+    # -- weighted (Z-set) path -----------------------------------------
+    def _process_weighted(self, batch: RecordBatch, ctx: EpochContext) -> RecordBatch:
+        """Maintain the aggregate under retraction (§4.2 generalized).
+
+        +1 rows merge into the per-group buffers exactly as the append
+        path does; -1 rows *retract* their partials back out.  A group's
+        live-row count rides along in state, so the group disappears
+        when its last row is retracted.  Retract mode emits the change
+        as a Z-set: the group's previous result row with weight -1 and
+        its new result row with weight +1 (either half absent at group
+        birth/death); complete mode emits the whole live table.
+        """
+        emits = self._merge_weighted(batch, ctx)
+        if ctx.output_mode == "complete":
+            keys, buffers = [], []
+            for key, value in sorted(
+                    self.state.items(), key=lambda kv: encode_key(kv[0])):
+                keys.append(key)
+                buffers.append(value[1])
+            return aggregate_result_batch(self._node, keys, buffers)
+        # retract: canonical key order, -1 old row before +1 new row.
+        emits.sort(key=lambda e: encode_key(e[0]))
+        keys_out, buffers_out, weights = [], [], []
+        for key, old_buffers, new_buffers in emits:
+            if old_buffers is not None and old_buffers == new_buffers:
+                continue  # result row unchanged: no visible delta
+            if old_buffers is not None:
+                keys_out.append(key)
+                buffers_out.append(old_buffers)
+                weights.append(-1)
+            if new_buffers is not None:
+                keys_out.append(key)
+                buffers_out.append(new_buffers)
+                weights.append(1)
+        if not keys_out:
+            return self._empty()
+        result = aggregate_result_batch(self._node, keys_out, buffers_out)
+        return attach_weights(result, weights)
+
+    def _merge_weighted(self, batch: RecordBatch, ctx: EpochContext) -> list:
+        """Fold a weighted delta into state; returns per-key emissions
+        ``(key, old_buffers_or_None, new_buffers_or_None)``."""
+        if batch.num_rows == 0:
+            return []
+        parts = None
+        if self.num_shards > 1 and batch.num_rows > 1:
+            arrays = self._partition_arrays(batch)
+            if arrays is not None:
+                assign = shard_assignments(arrays, self.num_shards)
+                parts, _ = partition_by_assignment(
+                    batch, assign, self.num_shards)
+        if parts is None:
+            results = [self._merge_shard_weighted(batch)]
+        else:
+            results = run_op_shard_tasks(ctx, ("agg", id(self)),
+                                         self, "_merge_shard_weighted", [
+                (p,) if p.num_rows else None for p in parts
+            ])
+        emits = []
+        for result in results:
+            if result is None:
+                continue
+            puts, removes, shard_emits = result
+            for key, value in puts.items():
+                self.state.put(key, value)
+            for key in removes:
+                self.state.remove(key)
+            emits.extend(shard_emits)
+        return emits
+
+    def _merge_shard_weighted(self, batch: RecordBatch) -> tuple:
+        """Pure shard task: fold one weighted sub-batch into state.
+
+        Reads pre-epoch state only; returns ``(puts, removes, emits)``
+        with all writes deferred.  State values are ``[live, buffers]``
+        where ``live`` is the group's surviving row count (the Z-set
+        multiplicity of the group's input rows).
+        """
+        additions, retractions = split_by_sign(batch)
+        aggs = self._node.aggregates
+        deltas = {}  # key -> [live_delta, add_partials, retract_partials]
+        for sign, part in ((1, additions), (-1, retractions)):
+            if part.num_rows == 0:
+                continue
+            expanded, codes, uniques = self._grouping(part)
+            counts = np.bincount(codes, minlength=len(uniques))
+            partials_per_agg = [
+                fn.batch_partials(expanded, codes, len(uniques))
+                for fn, _ in aggs
+            ]
+            for g, key in enumerate(uniques):
+                entry = deltas.setdefault(key, [0, None, None])
+                entry[0] += sign * int(counts[g])
+                entry[1 if sign > 0 else 2] = [
+                    partials_per_agg[j][g] for j in range(len(aggs))
+                ]
+        puts, removes, emits = {}, [], []
+        for key, (live_delta, add_p, retract_p) in deltas.items():
+            value = self.state.get(key)
+            old_live, old_buffers = value if value is not None else (0, None)
+            buffers = old_buffers if old_buffers is not None \
+                else [fn.init() for fn, _ in aggs]
+            if add_p is not None:
+                buffers = [
+                    fn.merge(buffers[j], add_p[j])
+                    for j, (fn, _) in enumerate(aggs)
+                ]
+            if retract_p is not None:
+                buffers = [
+                    fn.retract(buffers[j], retract_p[j])
+                    for j, (fn, _) in enumerate(aggs)
+                ]
+            new_live = old_live + live_delta
+            if new_live < 0:
+                raise ValueError(
+                    f"retraction of a row never added: group {key!r} "
+                    f"multiplicity would become {new_live}"
+                )
+            if new_live == 0:
+                if value is not None:
+                    removes.append(key)
+            else:
+                puts[key] = [new_live, buffers]
+            emits.append((
+                key,
+                old_buffers if old_live > 0 else None,
+                buffers if new_live > 0 else None,
+            ))
+        return puts, removes, emits
+
     def _drop_late(self, expanded, codes, uniques, watermark):
         """Remove group memberships whose key is already finalized."""
         late_codes = {
@@ -710,8 +865,14 @@ class StreamingDedupOp(IncrementalOp):
             node.subset.index(self.watermark_column)
             if self.watermark_column is not None else None
         )
-        if self.watermark_column is not None:
+        #: Weighted (Z-set) input: state holds the key's live-row
+        #: multiset and the op emits the representative (earliest
+        #: surviving row) as it appears, changes, or disappears.
+        self.weighted = WEIGHT_COLUMN in child.output_schema
+        if self.watermark_column is not None and not self.weighted:
             # State values are the key's event time: expiry == value.
+            # (Weighted dedup never evicts: a late retraction must still
+            # find the key's multiplicity.)
             self.state.set_expiry(lambda _key, value: value)
 
     def state_handles(self) -> list:
@@ -721,6 +882,8 @@ class StreamingDedupOp(IncrementalOp):
         batch = self.child.process(ctx)
         if batch.num_rows == 0:
             return self._empty()
+        if self.weighted:
+            return self._process_weighted(batch, ctx)
         watermark = (
             ctx.watermarks.current(self.watermark_column)
             if self.watermark_column is not None else None
@@ -757,6 +920,112 @@ class StreamingDedupOp(IncrementalOp):
             return self._empty()
         keep_rows.sort()
         return batch.take(np.asarray(keep_rows, dtype=np.int64))
+
+    # -- weighted (Z-set) path -----------------------------------------
+    def _process_weighted(self, batch: RecordBatch, ctx: EpochContext) -> RecordBatch:
+        """Maintain the distinct table under retraction.
+
+        State per key is ``[total, [[count, row], ...]]`` — the multiset
+        of live rows sharing the dedup key, in first-insertion order.
+        The *representative* (what batch ``drop_duplicates`` would keep:
+        the earliest surviving occurrence) is the first entry; whenever a
+        delta row changes the representative the op emits ``-1`` old
+        representative / ``+1`` new one.  Emission order follows the
+        input delta's row order regardless of the shard count.
+        """
+        if self.num_shards > 1 and batch.num_rows > 1:
+            parts, indices = hash_partition(
+                batch, self._node.subset, self.num_shards)
+            results = run_op_shard_tasks(ctx, ("dedup", id(self)),
+                                         self, "_dedup_shard_weighted", [
+                (p, idx) if p.num_rows else None
+                for p, idx in zip(parts, indices)
+            ])
+        else:
+            results = [self._dedup_shard_weighted(
+                batch, np.arange(batch.num_rows, dtype=np.int64))]
+        emits = []
+        for result in results:
+            if result is None:
+                continue
+            puts, removes, shard_emits = result
+            for key, value in puts.items():
+                self.state.put(key, value)
+            for key in removes:
+                self.state.remove(key)
+            emits.extend(shard_emits)
+        if not emits:
+            return self._empty()
+        emits.sort(key=lambda e: e[0])
+        names = self.output_schema.names
+        rows = [dict(zip(names, values)) for _pos, values in emits]
+        return RecordBatch.from_rows(rows, self.output_schema)
+
+    def _dedup_shard_weighted(self, batch: RecordBatch, positions) -> tuple:
+        """Pure shard task: weighted dedup of one sub-batch.
+
+        Returns ``(puts, removes, emits)`` with emits as
+        ``(global_position, row_values)`` — row values in output-schema
+        order with the weight slot set to the emitted sign.
+        """
+        names = batch.schema.names
+        subset_idx = [names.index(n) for n in self._node.subset]
+        weight_idx = names.index(WEIGHT_COLUMN)
+        data_idx = [i for i in range(len(names)) if i != weight_idx]
+        local = {}
+        emits = []
+        rows = list(zip(*(batch.columns[n].tolist() for n in names)))
+        for pos, row in zip(np.asarray(positions).tolist(), rows):
+            weight = int(row[weight_idx])
+            key = tuple(row[i] for i in subset_idx)
+            entries = local.get(key)
+            if entries is None:
+                stored = self.state.get(key)
+                entries = ([[int(c), list(v)] for c, v in stored[1]]
+                           if stored is not None else [])
+                local[key] = entries
+            old_rep = entries[0][1] if entries else None
+            if weight > 0:
+                for e in entries:
+                    if all(e[1][i] == row[i] for i in data_idx):
+                        e[0] += 1
+                        break
+                else:
+                    canonical = list(row)
+                    canonical[weight_idx] = 1
+                    entries.append([1, canonical])
+            else:
+                for i, e in enumerate(entries):
+                    if all(e[1][i2] == row[i2] for i2 in data_idx):
+                        e[0] -= 1
+                        if e[0] == 0:
+                            del entries[i]
+                        break
+                else:
+                    raise ValueError(
+                        "retraction of a row never added: dedup key "
+                        f"{key!r} has no live row matching the -1 delta"
+                    )
+            new_rep = entries[0][1] if entries else None
+            if new_rep is not old_rep:
+                # Only count mutations keep the same list object, so
+                # identity tracks "the representative row changed".
+                if old_rep is not None:
+                    emitted = list(old_rep)
+                    emitted[weight_idx] = -1
+                    emits.append((pos, emitted))
+                if new_rep is not None:
+                    emitted = list(new_rep)
+                    emitted[weight_idx] = 1
+                    emits.append((pos, emitted))
+        puts, removes = {}, []
+        for key, entries in local.items():
+            if not entries:
+                if self.state.contains(key):
+                    removes.append(key)
+            else:
+                puts[key] = [sum(e[0] for e in entries), entries]
+        return puts, removes, emits
 
     def _dedup_shard(self, batch: RecordBatch, watermark) -> tuple:
         """Pure shard task: first-seen rows of one sub-batch.
@@ -828,6 +1097,19 @@ class StreamStreamJoinOp(IncrementalOp):
         self.within = node.within  # (left_time_col, right_time_col, skew)
         self.output_schema = node.schema
         self._inner = self._inner_schema()
+        #: Weighted sides: a buffered row's weight rides along in its
+        #: stored values; an output pair's weight is the *product* of
+        #: the two sides' weights (Z-set bilinearity), so a -1 input row
+        #: retracts every pair its +1 twin produced.  With both sides
+        #: weighted the two weight columns fold into one output column.
+        left_names = left.output_schema.names
+        right_names = right.output_schema.names
+        self._weight_fold = None
+        if WEIGHT_COLUMN in left_names and WEIGHT_COLUMN in right_names:
+            self._weight_fold = (
+                left_names.index(WEIGHT_COLUMN),
+                right_names.index(WEIGHT_COLUMN),
+            )
         if self.within is not None:
             left_col, right_col, skew = self.within
             lt = self.left.output_schema.names.index(left_col)
@@ -956,7 +1238,9 @@ class StreamStreamJoinOp(IncrementalOp):
         right_by_key = self._rows_by_key(new_right, right_offsets)
         right_names = self.right.output_schema.names
         rest_idx = [
-            i for i, n in enumerate(right_names) if n not in self._node.on
+            i for i, n in enumerate(right_names)
+            if n not in self._node.on
+            and not (self._weight_fold is not None and n == WEIGHT_COLUMN)
         ]
         left_puts, right_puts, chunks = {}, {}, []
         probe = [(key, (0, first)) for key, (first, _rows)
@@ -986,10 +1270,10 @@ class StreamStreamJoinOp(IncrementalOp):
                 # new-right: together every pair exactly once.
                 matched = self._join_pairs(
                     l_entries[bl:], r_entries, out_rows,
-                    lt_idx, rt_idx, skew, rest_idx)
+                    lt_idx, rt_idx, skew, rest_idx, self._weight_fold)
                 matched |= self._join_pairs(
                     l_entries[:bl], r_entries[br:], out_rows,
-                    lt_idx, rt_idx, skew, rest_idx)
+                    lt_idx, rt_idx, skew, rest_idx, self._weight_fold)
             # A side is (re)written exactly when the old in-place code
             # dirtied it: new rows arrived, or a matched flag flipped.
             if nl or matched:
@@ -1002,10 +1286,12 @@ class StreamStreamJoinOp(IncrementalOp):
 
     @staticmethod
     def _join_pairs(l_entries, r_entries, out_rows,
-                    lt_idx, rt_idx, skew, rest_idx) -> bool:
+                    lt_idx, rt_idx, skew, rest_idx, weight_fold=None) -> bool:
         """Emit the cross product of two entry lists (within the time
         bound), flipping matched flags by entry identity; True if any
-        pair matched."""
+        pair matched.  With ``weight_fold = (left_idx, right_idx)`` the
+        output row's single weight slot holds the product of the two
+        sides' multiplicities."""
         matched = False
         for l_entry in l_entries:
             l_values = l_entry[0]
@@ -1014,7 +1300,11 @@ class StreamStreamJoinOp(IncrementalOp):
                 if skew is not None and \
                         abs(l_values[lt_idx] - r_values[rt_idx]) > skew:
                     continue
-                out_rows.append(l_values + [r_values[j] for j in rest_idx])
+                row = l_values + [r_values[j] for j in rest_idx]
+                if weight_fold is not None:
+                    lw_idx, rw_idx = weight_fold
+                    row[lw_idx] = int(l_values[lw_idx]) * int(r_values[rw_idx])
+                out_rows.append(row)
                 l_entry[1] = True
                 r_entry[1] = True
                 matched = True

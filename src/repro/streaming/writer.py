@@ -92,6 +92,18 @@ class DataStreamWriter:
             self._trigger = ProcessingTimeTrigger(interval)
         return self
 
+    def to_table(self, name: str) -> "DataStreamWriter":
+        """Publish the query's output to a named stream table.
+
+        Another query can read it back with
+        ``session.read_stream_table(name)``, forming an incrementally
+        maintained cascade; in ``retract`` mode the table carries the
+        upstream's Z-set deltas (``__weight__`` column) downstream.
+        """
+        self._format = "stream_table"
+        self._options["table_name"] = name
+        return self
+
     def foreach(self, fn) -> "DataStreamWriter":
         """Shortcut for the foreach sink: ``fn(epoch_id, rows, mode)``."""
         from repro.sinks.foreach import ForeachSink
@@ -130,6 +142,18 @@ class DataStreamWriter:
                 raise AnalysisError("file sink requires option('path', ...)")
             return TransactionalFileSink(
                 path, writer_id=self._name or "streaming-query")
+        if self._format == "stream_table":
+            from repro.streaming.stream_table import StreamTable
+
+            table_name = self._options.get("table_name") or self._name
+            if not table_name:
+                raise AnalysisError("to_table sink requires a table name")
+            tables = self._df._session.stream_tables
+            table = tables.get(table_name)
+            if table is None:
+                table = StreamTable(table_name)
+                tables[table_name] = table
+            return table
         if self._format == "kafka":
             from repro.sinks.kafka import KafkaSink
 
@@ -214,6 +238,12 @@ class DataStreamWriter:
             pipeline=self._options.get("pipeline"),
         )
         engine._owns_scheduler = owns_scheduler
+        from repro.streaming.stream_table import StreamTable
+
+        if isinstance(sink, StreamTable):
+            # The table's row schema is the query's output schema —
+            # weighted when the query emits retraction deltas.
+            sink.bind_schema(engine.plan.root.output_schema, self._mode)
         if use_thread is None:
             # Only interval triggers need a driver thread; once /
             # available-now / manual triggers run synchronously.
@@ -237,6 +267,11 @@ class DataStreamWriter:
             return
         session = self._df._session
         schema = self._df.schema
+        if self._mode == "retract":
+            # The sink's rows() are the live table: weight already applied.
+            from repro.streaming.zset import data_schema
+
+            schema = data_schema(schema)
 
         class _LiveProvider:
             def read_batches(self):

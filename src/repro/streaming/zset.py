@@ -1,0 +1,158 @@
+"""Z-set (weighted delta) support for retraction streams.
+
+The paper's incrementalization (§4.2, Figure 3) assumes append-only
+inputs; generalizing each epoch's delta to a *Z-set* — a multiset whose
+rows carry a signed multiplicity — lets updates and deletes flow through
+the same operator tree (DBSP's formulation).  A weighted stream's
+batches carry a reserved ``__weight__`` column with values ``+1``
+(insert) and ``-1`` (retraction); an update is a ``-1`` old-row /
+``+1`` new-row pair.
+
+Conventions kept throughout the engine:
+
+* weights stay in ``{-1, +1}`` — operators emit one output row per unit
+  of multiplicity rather than collapsing equal rows into one weighted
+  row, so sink deliveries stay human-readable changelogs;
+* applying a Z-set to a table means adding ``+1`` rows and removing one
+  occurrence per ``-1`` row; the net table never depends on delivery
+  order within an epoch;
+* a plan is *weighted* iff one of its streaming scans carries the
+  weight column; the incrementalizer threads the column through
+  projections automatically (:func:`thread_weights` in
+  :mod:`repro.streaming.incrementalizer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql import types as T
+from repro.sql.batch import RecordBatch
+from repro.sql.types import WEIGHT_COLUMN, StructType, hashable_value
+
+__all__ = [
+    "WEIGHT_COLUMN", "is_weighted", "weighted_schema", "data_schema",
+    "weights_of", "attach_weights", "strip_weights", "split_by_sign",
+    "apply_zset", "thread_weights", "hashable_value",
+]
+
+
+def thread_weights(plan):
+    """Re-thread ``__weight__`` through a logical plan's projections.
+
+    User queries over a CDC stream are written against the data columns;
+    a ``select(...)`` (or an optimizer-inserted pruning projection) would
+    silently drop the multiplicity.  This bottom-up rewrite appends a
+    weight passthrough to every projection whose input still carries the
+    column, so retractions survive the whole stateless pipeline without
+    the user (or the optimizer) having to know about them.
+    """
+    from repro.sql import expressions as E
+    from repro.sql import logical as L
+
+    children = tuple(thread_weights(c) for c in plan.children)
+    if any(n is not o for n, o in zip(children, plan.children)):
+        plan = plan.with_children(children)
+    if isinstance(plan, L.Project) and WEIGHT_COLUMN in plan.child.schema:
+        if not any(e.output_name == WEIGHT_COLUMN for e in plan.exprs):
+            plan = L.Project(
+                list(plan.exprs) + [E.ColumnRef(WEIGHT_COLUMN)], plan.child
+            )
+    return plan
+
+
+def is_weighted(schema: StructType) -> bool:
+    """True when ``schema`` carries the reserved weight column."""
+    return WEIGHT_COLUMN in schema
+
+
+def weighted_schema(schema: StructType) -> StructType:
+    """``schema`` with the weight column appended (idempotent)."""
+    if is_weighted(schema):
+        return schema
+    return schema.add(WEIGHT_COLUMN, T.LONG, nullable=False)
+
+
+def data_schema(schema: StructType) -> StructType:
+    """``schema`` with the weight column removed (idempotent)."""
+    if not is_weighted(schema):
+        return schema
+    return schema.select([n for n in schema.names if n != WEIGHT_COLUMN])
+
+
+def weights_of(batch: RecordBatch) -> np.ndarray:
+    """The weight column as an int64 array."""
+    return np.asarray(batch.columns[WEIGHT_COLUMN], dtype=np.int64)
+
+
+def attach_weights(batch: RecordBatch, weights) -> RecordBatch:
+    """Append a weight column to an unweighted batch."""
+    weights = np.asarray(weights, dtype=np.int64)
+    columns = {n: batch.columns[n] for n in batch.schema.names}
+    columns[WEIGHT_COLUMN] = weights
+    return RecordBatch(columns, weighted_schema(batch.schema))
+
+
+def strip_weights(batch: RecordBatch) -> RecordBatch:
+    """Drop the weight column (keeping every row) from a weighted batch."""
+    if not is_weighted(batch.schema):
+        return batch
+    return batch.select(data_schema(batch.schema).names)
+
+
+def split_by_sign(batch: RecordBatch):
+    """Split a weighted batch into its +1 and -1 parts, weight stripped.
+
+    Returns ``(additions, retractions)`` as unweighted batches; row order
+    within each part follows the input batch.
+    """
+    weights = weights_of(batch)
+    bad = (weights != 1) & (weights != -1)
+    if bad.any():
+        raise ValueError(
+            f"{WEIGHT_COLUMN} values must be +1 or -1, got "
+            f"{sorted(set(weights[bad].tolist()))}"
+        )
+    data = strip_weights(batch)
+    if (weights == 1).all():
+        return data, RecordBatch.empty(data.schema)
+    if (weights == -1).all():
+        return RecordBatch.empty(data.schema), data
+    return data.filter(weights == 1), data.filter(weights == -1)
+
+
+def apply_zset(rows, key_names=None) -> list:
+    """Apply a changelog of weighted row dicts; return the live table.
+
+    ``rows`` is an iterable of dicts that may carry ``__weight__``
+    (missing weight counts as ``+1``, so append-only changelogs work
+    too).  Rows are identified by all their non-weight values; the
+    result lists each live row once per surviving multiplicity, ordered
+    by first *surviving* insertion — a row whose multiplicity returns to
+    zero loses its slot and re-registers at the end if re-inserted, the
+    order a changelog-compacted table (or this engine's sinks) keeps.
+    """
+    counts = {}
+    samples = {}
+    for row in rows:
+        weight = int(row.get(WEIGHT_COLUMN, 1))
+        data = {k: v for k, v in row.items() if k != WEIGHT_COLUMN}
+        key = _row_key(data, key_names)
+        count = counts.get(key, 0) + weight
+        if count < 0:
+            raise ValueError(f"negative multiplicity {count} for row {key!r}")
+        if count == 0:
+            counts.pop(key, None)
+            samples.pop(key, None)
+        else:
+            counts[key] = count
+            if weight > 0 or key not in samples:
+                samples[key] = data  # latest upsert wins for keyed tables
+    return [dict(samples[key]) for key, count in counts.items()
+            for _ in range(count)]
+
+
+def _row_key(data: dict, key_names):
+    if key_names:
+        return tuple(hashable_value(data[k]) for k in key_names)
+    return tuple(sorted((k, hashable_value(v)) for k, v in data.items()))

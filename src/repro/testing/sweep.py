@@ -21,7 +21,12 @@ Workloads are chosen per point so the point actually fires:
   multiple shards fill per epoch) on the process executor: worker-death
   and worker-hang points plus driver crashes with a live worker pool;
 * ``map``  — stateless filter/project on the continuous engine
-  (at-least-once within the last epoch, §6.3).
+  (at-least-once within the last epoch, §6.3);
+* ``cascade`` — a two-stage materialized-view chain: a CDC change
+  stream (with retractions) through a stateless stage into a stream
+  table, consumed by a grouped aggregation into a memory sink.  Cells
+  crash between the stages' commits and tear a pure-retraction epoch's
+  WAL commit entry in either stage's checkpoint.
 """
 
 from __future__ import annotations
@@ -33,8 +38,15 @@ from repro.sinks.memory import MemorySink
 from repro.sql import functions as F
 from repro.sql.session import Session
 from repro.sql.types import StructType
+from repro.sources.cdc import ChangeStream
 from repro.sources.memory import MemoryStream
-from repro.testing.faults import REGISTRY, Fault, FaultInjector, injected
+from repro.testing.faults import (
+    REGISTRY,
+    Fault,
+    FaultInjector,
+    fault_point,
+    injected,
+)
 from repro.testing.harness import (
     ExactlyOnceChecker,
     check_checkpoint_invariants,
@@ -44,10 +56,12 @@ from repro.testing.harness import (
 
 #: Points that can fire on each engine (the continuous engine never
 #: checkpoints state, batches to sinks, or schedules epoch tasks; the
-#: worker points only exist inside process-pool workers).
+#: worker points only exist inside process-pool workers; the cascade
+#: point only fires in the two-stage cascade drive wrapper).
 MICROBATCH_POINTS = tuple(sorted(set(REGISTRY) - {
     "continuous.commit_epoch", "continuous.after_offsets",
     "worker.crash_mid_task", "worker.hang",
+    "cascade.between_stages",
 }))
 CONTINUOUS_POINTS = (
     "storage.write", "storage.fsync", "storage.rename",
@@ -77,6 +91,18 @@ TIERED_MEMTABLE_BYTES = 256
 PIPELINE_POINTS = (
     "state.async_flush_crash", "wal.group_commit_crash", "prefetch.crash",
 )
+#: Cells run on the two-stage cascade workload (CDC retractions through
+#: a stream table into a downstream aggregation): the dedicated
+#: between-stages point plus the commit/delivery points where a crash
+#: can leave the stages out of step.
+CASCADE_POINTS = (
+    "cascade.between_stages", "wal.commit", "state.commit",
+    "sink.add_batch", "storage.fsync",
+)
+#: The cascade workload's pure-retraction chunk (deletes only) lands in
+#: this epoch of *both* stages' WALs; the storage.fsync cascade cell
+#: tears its commit entry in each.
+CASCADE_RETRACTION_EPOCH = 2
 
 #: (action at the point's first scheduled occurrence, at the later one).
 _ACTIONS_FOR_POINT = {
@@ -109,9 +135,33 @@ def sweep_cells():
             yield (point, "continuous", 1)
         if point in PROCESS_POINTS:
             yield (point, "process", 4)
+        if point in CASCADE_POINTS:
+            yield (point, "cascade", 1)
+        if point == "cascade.between_stages":
+            yield (point, "cascade", 4)
 
 
-def schedule_for(point: str) -> list:
+def _match_wal_commit(stage_dir: str, epoch: int):
+    """Predicate for the fsync of one stage's WAL commit entry."""
+    suffix = os.path.join(stage_dir, "commits", f"{epoch:010d}.json")
+    return lambda ctx: ctx.get("path", "").endswith(suffix)
+
+
+def schedule_for(point: str, mode: str = "microbatch") -> list:
+    if mode == "cascade" and point == "storage.fsync":
+        # Tear the pure-retraction epoch's WAL commit entry, first in
+        # the upstream stage's checkpoint, then (after recovery replays
+        # it) in the downstream stage's: both reopens must quarantine
+        # the torn tail and the idempotent sinks must absorb the
+        # re-delivered retractions.
+        return [
+            Fault("storage.fsync", occurrence=None, action="torn",
+                  match=_match_wal_commit("checkpoint-stage1",
+                                          CASCADE_RETRACTION_EPOCH)),
+            Fault("storage.fsync", occurrence=None, action="torn",
+                  match=_match_wal_commit("checkpoint-stage2",
+                                          CASCADE_RETRACTION_EPOCH)),
+        ]
     early, later = _ACTIONS_FOR_POINT.get(point, ("crash", "crash"))
     faults = [
         Fault(point, occurrence=0, action=early),
@@ -124,10 +174,16 @@ def schedule_for(point: str) -> list:
 
 
 class WorkloadInstance:
-    """One materialized workload: fresh streams/sinks/checkpoint dir."""
+    """One materialized workload: fresh streams/sinks/checkpoint dir.
+
+    ``extra_checkpoints`` lists further checkpoint directories (a
+    cascade's other stages) whose invariants are checked once the run
+    completes; ``checkpoint_dir`` is also checked after every crash.
+    """
 
     def __init__(self, build, steps, read_sink, checkpoint_dir,
-                 ordered=True, at_least_once=False, cleanup=None):
+                 ordered=True, at_least_once=False, cleanup=None,
+                 extra_checkpoints=()):
         self.build = build
         self.steps = steps
         self.read_sink = read_sink
@@ -135,6 +191,33 @@ class WorkloadInstance:
         self.ordered = ordered
         self.at_least_once = at_least_once
         self.cleanup = cleanup or (lambda: None)
+        self.extra_checkpoints = list(extra_checkpoints)
+
+
+class _CascadeQuery:
+    """Drives a two-stage cascade behind the harness's one-query protocol.
+
+    The harness calls ``process_all_available()`` / ``stop()`` on a
+    single handle; this wrapper fans each call out to both stages in
+    dependency order, firing ``cascade.between_stages`` in the window
+    where the upstream query has committed epochs into the stream table
+    that the downstream query has not yet consumed.
+    """
+
+    def __init__(self, upstream, downstream):
+        self.upstream = upstream
+        self.downstream = downstream
+
+    def process_all_available(self):
+        self.upstream.process_all_available()
+        fault_point("cascade.between_stages", stage="silver")
+        self.downstream.process_all_available()
+
+    def stop(self):
+        try:
+            self.upstream.stop()
+        finally:
+            self.downstream.stop()
 
 
 def _agg_workload(root: str, shards: int, scheduler=None,
@@ -260,10 +343,55 @@ def _map_workload(root: str) -> WorkloadInstance:
                             checkpoint_dir=checkpoint, at_least_once=True)
 
 
+def _cascade_workload(root: str, shards: int) -> WorkloadInstance:
+    """CDC bronze -> stateless silver stage into a stream table ->
+    downstream grouped sum into a memory sink, both stages in retract
+    mode with their own checkpoints.  Chunk ``CASCADE_RETRACTION_EPOCH``
+    is deletes-only, so that epoch of both stages' WALs carries a pure
+    retraction delta (the torn-commit cell targets it by path)."""
+    session = Session()
+    cdc = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+    silver = (session.read_stream.cdc(cdc)
+              .filter(F.col("v") >= 0)
+              .select("k", "v"))
+    ck1 = os.path.join(root, "checkpoint-stage1")
+    ck2 = os.path.join(root, "checkpoint-stage2")
+    sink = MemorySink()  # survives restarts (models the external system)
+
+    def build():
+        upstream = (silver.write_stream.to_table("sweep_silver")
+                    .output_mode("retract")
+                    .option("num_shards", shards)
+                    .start(ck1))
+        downstream = (session.read_stream_table("sweep_silver")
+                      .group_by("k").agg(F.sum("v").alias("total"))
+                      .write_stream.sink(sink)
+                      .output_mode("retract")
+                      .option("num_shards", shards)
+                      .start(ck2))
+        return _CascadeQuery(upstream, downstream)
+
+    # One chunk per epoch (the {"x": -1} row is dropped by the silver
+    # filter and never reaches the table); chunk 2 is deletes-only.
+    steps = [
+        lambda: cdc.insert([{"k": "a", "v": 5}, {"k": "b", "v": 3},
+                            {"k": "x", "v": -1}]),
+        lambda: cdc.insert([{"k": "a", "v": 2}, {"k": "c", "v": 7}]),
+        lambda: cdc.delete([{"k": "a", "v": 5}, {"k": "b", "v": 3}]),
+        lambda: cdc.update([{"k": "c", "v": 7}], [{"k": "c", "v": 9}]),
+        lambda: cdc.insert([{"k": "b", "v": 1}]),
+    ]
+    return WorkloadInstance(build, steps, read_sink=sink.rows,
+                            checkpoint_dir=ck2, ordered=False,
+                            extra_checkpoints=[ck1])
+
+
 def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInstance:
     os.makedirs(root, exist_ok=True)
     if mode == "continuous":
         return _map_workload(root)
+    if mode == "cascade":
+        return _cascade_workload(root, shards)
     if mode == "process":
         from repro.cluster.scheduler import TaskScheduler
 
@@ -297,6 +425,8 @@ def make_workload(point: str, mode: str, shards: int, root: str) -> WorkloadInst
 def _golden_key(point: str, mode: str, shards: int):
     if mode == "continuous":
         return ("map", mode, 1)
+    if mode == "cascade":
+        return ("cascade", mode, shards)
     if mode == "process":
         if point in TIERED_POINTS:
             return ("agg-wide-tiered", mode, shards)
@@ -333,7 +463,7 @@ def run_sweep_cell(point: str, mode: str, shards: int, root: str,
             golden_instance.cleanup()
 
     instance = make_workload(point, mode, shards, os.path.join(root, "run"))
-    injector = FaultInjector(schedule_for(point))
+    injector = FaultInjector(schedule_for(point, mode))
     checker = ExactlyOnceChecker(
         golden_cache[key], ordered=instance.ordered,
         at_least_once=instance.at_least_once)
@@ -349,9 +479,10 @@ def run_sweep_cell(point: str, mode: str, shards: int, root: str,
         checker.check_final(
             instance.read_sink(),
             context=f"in sweep cell ({point}, {mode}, shards={shards})")
-        check_checkpoint_invariants(
-            instance.checkpoint_dir, strict=True,
-            context=f"after completed cell ({point}, {mode}, shards={shards})")
+        for directory in [instance.checkpoint_dir, *instance.extra_checkpoints]:
+            check_checkpoint_invariants(
+                directory, strict=True,
+                context=f"after completed cell ({point}, {mode}, shards={shards})")
     finally:
         instance.cleanup()
     return {

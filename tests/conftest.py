@@ -5,10 +5,28 @@ from __future__ import annotations
 import os
 
 import pytest
+from hypothesis import settings
 
 from repro.sql.session import Session
 from repro.sql.types import StructType
 from repro.sources.memory import MemoryStream
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles: one knob for how hard property tests try.
+#
+#   ci      (default) - moderate example counts, what the suite gates on
+#   dev     - a handful of examples for fast local iteration
+#   nightly - deep search for soak runs
+#
+# Select with HYPOTHESIS_PROFILE=dev|ci|nightly.  Individual tests should
+# NOT carry their own @settings(max_examples=...) — the profile governs —
+# except where a test documents a deliberate cost ceiling (process-pool
+# tests spawn real worker processes per example).
+# ---------------------------------------------------------------------------
+settings.register_profile("ci", max_examples=20, deadline=None)
+settings.register_profile("dev", max_examples=5, deadline=None)
+settings.register_profile("nightly", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def _shm_files() -> set:

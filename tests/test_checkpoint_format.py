@@ -10,6 +10,8 @@ a formatting nit.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 
 from repro.sql import functions as F
@@ -108,6 +110,214 @@ def test_windowed_agg_checkpoint_bytes(session, checkpoint):
         query.process_all_available()
 
     assert read_state_files(checkpoint) == AGG_GOLDEN
+
+
+# ---------------------------------------------------------------------------
+# Z-set (retraction) state kinds
+# ---------------------------------------------------------------------------
+# Weighted aggregate state is ``[live_count, buffers]`` and weighted
+# dedup state is ``[total, [[count, row], ...]]``: both are pinned here
+# in the dict backend's delta/snapshot files and in the tiered backend's
+# sorted runs, so a retraction query's checkpoint restores across
+# engine versions and backends.
+
+ZSET_AGG_GOLDEN = {
+    "agg-0/0000000000.snapshot.json": (
+        '{\n  "data": {\n    "[\\"a\\"]": [\n      1,\n      [\n        [\n'
+        '          5,\n          1\n        ],\n        1\n      ]\n    ],\n'
+        '    "[\\"b\\"]": [\n      1,\n      [\n        [\n          3,\n'
+        '          1\n        ],\n        1\n      ]\n    ]\n  },\n'
+        '  "kind": "snapshot"\n}'
+    ),
+    # Epoch 1's delete of b lands as a state remove; a's live count and
+    # [sum, count] buffers advance additively.
+    "agg-0/0000000002.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[\\"a\\"]": [\n      2,\n'
+        '      [\n        [\n          7,\n          2\n        ],\n'
+        '        2\n      ]\n    ],\n    "[\\"c\\"]": [\n      1,\n'
+        '      [\n        [\n          7,\n          1\n        ],\n'
+        '        1\n      ]\n    ]\n  },\n  "removes": [\n    "[\\"b\\"]"\n  ]\n}'
+    ),
+    "agg-0/0000000004.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[\\"a\\"]": [\n      1,\n'
+        '      [\n        [\n          2,\n          1\n        ],\n'
+        '        1\n      ]\n    ],\n    "[\\"c\\"]": [\n      2,\n'
+        '      [\n        [\n          8,\n          2\n        ],\n'
+        '        2\n      ]\n    ]\n  },\n  "removes": []\n}'
+    ),
+}
+
+ZSET_DEDUP_GOLDEN = {
+    # Key "a" holds two distinct live rows (the stored row keeps its
+    # weight slot, canonically 1); "b" one.
+    "dedup-0/0000000000.snapshot.json": (
+        '{\n  "data": {\n    "[\\"a\\"]": [\n      2,\n      [\n        [\n'
+        '          1,\n          [\n            "a",\n            1,\n'
+        '            1\n          ]\n        ],\n        [\n          1,\n'
+        '          [\n            "a",\n            2,\n            1\n'
+        '          ]\n        ]\n      ]\n    ],\n    "[\\"b\\"]": [\n'
+        '      1,\n      [\n        [\n          1,\n          [\n'
+        '            "b",\n            9,\n            1\n          ]\n'
+        '        ]\n      ]\n    ]\n  },\n  "kind": "snapshot"\n}'
+    ),
+    # Deleting a's representative promotes the survivor; b disappears.
+    "dedup-0/0000000002.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[\\"a\\"]": [\n      1,\n'
+        '      [\n        [\n          1,\n          [\n            "a",\n'
+        '            2,\n            1\n          ]\n        ]\n      ]\n'
+        '    ]\n  },\n  "removes": [\n    "[\\"b\\"]"\n  ]\n}'
+    ),
+    "dedup-0/0000000004.delta.json": (
+        '{\n  "kind": "delta",\n  "puts": {\n    "[\\"a\\"]": [\n      1,\n'
+        '      [\n        [\n          1,\n          [\n            "a",\n'
+        '            2,\n            1\n          ]\n        ]\n      ]\n'
+        '    ]\n  },\n  "removes": []\n}'
+    ),
+}
+
+ZSET_TIERED_RUNS_GOLDEN = {
+    "agg-0/runs/00000000.run":
+        '["[\\"a\\"]", [1, [[5, 1], 1]]]\n["[\\"b\\"]", [1, [[3, 1], 1]]]\n',
+    # b's delete becomes a tombstone line in the next sorted run.
+    "agg-0/runs/00000001.run":
+        '["[\\"a\\"]", [2, [[7, 2], 2]]]\n["[\\"b\\"]"]\n'
+        '["[\\"c\\"]", [1, [[7, 1], 1]]]\n',
+    "agg-0/runs/00000002.run":
+        '["[\\"a\\"]", [1, [[2, 1], 1]]]\n["[\\"c\\"]", [2, [[8, 2], 2]]]\n',
+}
+
+
+def _weighted_agg_query(checkpoint, backend):
+    from repro.sources import ChangeStream
+    from repro.sql.session import Session
+    from repro.sql.types import StructType
+
+    session = Session()
+    cdc = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+    df = (session.read_stream.cdc(cdc).group_by("k")
+          .agg(F.sum("v").alias("s"), F.count().alias("n")))
+    query = (df.write_stream.format("memory").query_name("golden-zset")
+             .output_mode("retract")
+             .option("state_checkpoint_interval", 2)
+             .option("state_backend", backend)
+             .start(checkpoint))
+    return cdc, query
+
+
+def _run_weighted_agg_epochs(cdc, query):
+    epochs = [
+        lambda: cdc.insert([{"k": "a", "v": 5}, {"k": "b", "v": 3}]),
+        lambda: (cdc.delete([{"k": "b", "v": 3}]),
+                 cdc.insert([{"k": "a", "v": 2}])),
+        lambda: cdc.insert([{"k": "c", "v": 7}]),
+        lambda: cdc.delete([{"k": "a", "v": 5}]),
+        lambda: cdc.insert([{"k": "c", "v": 1}]),
+    ]
+    for step in epochs:
+        step()
+        query.process_all_available()
+
+
+def test_weighted_agg_checkpoint_bytes(checkpoint):
+    cdc, query = _weighted_agg_query(checkpoint, "dict")
+    _run_weighted_agg_epochs(cdc, query)
+    assert read_state_files(checkpoint) == ZSET_AGG_GOLDEN
+    assert sorted(query.engine.sink.rows(), key=lambda r: r["k"]) == [
+        {"k": "a", "s": 2, "n": 1}, {"k": "c", "s": 8, "n": 2}]
+
+
+def test_weighted_dedup_checkpoint_bytes(session, checkpoint):
+    from repro.sources import ChangeStream
+    from repro.sql.types import StructType
+
+    cdc = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+    df = session.read_stream.cdc(cdc).drop_duplicates(["k"])
+    query = (df.write_stream.format("memory").query_name("golden-dd")
+             .output_mode("retract")
+             .option("state_checkpoint_interval", 2)
+             .option("state_backend", "dict")
+             .start(checkpoint))
+    epochs = [
+        lambda: cdc.insert([{"k": "a", "v": 1}, {"k": "a", "v": 2},
+                            {"k": "b", "v": 9}]),
+        lambda: cdc.delete([{"k": "a", "v": 1}]),
+        lambda: cdc.delete([{"k": "b", "v": 9}]),
+        lambda: cdc.insert([{"k": "a", "v": 2}]),
+        lambda: cdc.delete([{"k": "a", "v": 2}]),
+    ]
+    for step in epochs:
+        step()
+        query.process_all_available()
+    assert read_state_files(checkpoint) == ZSET_DEDUP_GOLDEN
+    assert query.engine.sink.rows() == [{"k": "a", "v": 2}]
+
+
+def test_weighted_agg_tiered_checkpoint_bytes(checkpoint):
+    """The tiered backend spells the same Z-set values into sorted runs,
+    with deletes as tombstones; manifests reference runs by content
+    hash, so pinning run bytes pins the whole restore chain."""
+    cdc, query = _weighted_agg_query(checkpoint, "tiered")
+    _run_weighted_agg_epochs(cdc, query)
+    state_dir = os.path.join(checkpoint, "state")
+    found = {}
+    for root, _dirs, files in os.walk(state_dir):
+        for name in files:
+            if name.endswith(".run"):
+                path = os.path.join(root, name)
+                with open(path, encoding="utf-8") as f:
+                    found[os.path.relpath(path, state_dir)] = f.read()
+    assert found == ZSET_TIERED_RUNS_GOLDEN
+    with open(os.path.join(state_dir, "agg-0", "0000000004.manifest.json"),
+              encoding="utf-8") as f:
+        manifest = json.load(f)
+    hashes = [
+        hashlib.sha256(
+            ZSET_TIERED_RUNS_GOLDEN[f"agg-0/runs/{seq:08d}.run"].encode()
+        ).hexdigest()
+        for seq in range(3)
+    ]
+    assert [run["sha256"] for run in manifest["runs"]] == hashes
+
+
+def test_weighted_state_restores_across_backends(session, checkpoint):
+    """dict -> tiered -> dict: each restart reads the previous backend's
+    checkpoint (shared directory), keeps retracting, and lands on the
+    same result table."""
+    from repro.sources import ChangeStream
+    from repro.sql.session import Session
+    from repro.sql.types import StructType
+
+    cdc = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+
+    def start(backend, sink=None):
+        sess = Session()
+        df = (sess.read_stream.cdc(cdc).group_by("k")
+              .agg(F.sum("v").alias("s"), F.count().alias("n")))
+        writer = df.write_stream.output_mode("retract")
+        writer = (writer.sink(sink) if sink is not None
+                  else writer.format("memory").query_name("xb"))
+        return writer.option("state_backend", backend).start(checkpoint)
+
+    query = start("dict")
+    sink = query.engine.sink
+    cdc.insert([{"k": "a", "v": 5}, {"k": "b", "v": 3}, {"k": "a", "v": 1}])
+    query.process_all_available()
+    query.stop()
+
+    query = start("tiered", sink)
+    cdc.delete([{"k": "a", "v": 5}])
+    cdc.insert([{"k": "c", "v": 4}])
+    query.process_all_available()
+    query.stop()
+
+    query = start("dict", sink)
+    cdc.delete([{"k": "b", "v": 3}])
+    cdc.insert([{"k": "a", "v": 10}])
+    query.process_all_available()
+    query.stop()
+
+    assert sorted(sink.rows(), key=lambda r: r["k"]) == [
+        {"k": "a", "s": 11, "n": 2}, {"k": "c", "s": 4, "n": 1}]
 
 
 def test_stream_stream_join_checkpoint_bytes(session, checkpoint):

@@ -7,6 +7,7 @@ import pytest
 
 from repro.bus import Broker
 from repro.sql import functions as F
+from repro.testing.oracle import batch_recompute, canonical_rows
 
 from tests.conftest import rows_set
 
@@ -65,3 +66,33 @@ class TestEngineEquivalence:
         assert wait_until(lambda: len(sink2.rows()) == 1)
         q2.stop()
         assert q1.engine.sink.rows() == sink2.rows()
+
+    def test_both_engines_match_batch_oracle(self, session, tmp_path):
+        """Beyond agreeing with each other, both engines must equal the
+        differential oracle's batch recompute of the same input."""
+        rows = [{"v": i} for i in range(40)]
+        broker = Broker()
+        topic = broker.create_topic("t", 2)
+        for i, row in enumerate(rows):
+            topic.publish_to(i % 2, [row])
+
+        def build(df):
+            return (df.where(F.col("v") % 3 != 0)
+                    .select("v", (F.col("v") * F.col("v")).alias("sq")))
+
+        micro = (build(session.read_stream.kafka(broker, "t", (("v", "long"),)))
+                 .write_stream.format("memory").query_name("om")
+                 .output_mode("append").start(str(tmp_path / "om")))
+        micro.process_all_available()
+
+        cont = (build(session.read_stream.kafka(broker, "t", (("v", "long"),)))
+                .write_stream.format("memory").query_name("oc")
+                .trigger(continuous="20ms").start(str(tmp_path / "oc")))
+        sink = cont.engine.sink
+        expected = batch_recompute(build, (("v", "long"),), [rows],
+                                   weighted=False)
+        assert wait_until(lambda: len(sink.rows()) == len(expected))
+        cont.stop()
+
+        assert canonical_rows(micro.engine.sink.rows()) == canonical_rows(expected)
+        assert canonical_rows(sink.rows()) == canonical_rows(expected)

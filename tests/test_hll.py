@@ -3,7 +3,7 @@
 import json
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sql import functions as F
 from repro.sql.expressions import ApproxCountDistinct, ColumnRef
@@ -65,8 +65,6 @@ class TestSketch:
     def test_relative_error_decreases_with_precision(self):
         assert HyperLogLog(precision=14).relative_error < \
             HyperLogLog(precision=10).relative_error
-
-    @settings(max_examples=20, deadline=None)
     @given(values=st.lists(st.integers(0, 1000), max_size=300))
     def test_merge_commutative(self, values):
         half = len(values) // 2

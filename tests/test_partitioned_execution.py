@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cluster import TaskScheduler
 from repro.sql import functions as F
@@ -55,7 +55,6 @@ hashable_values = st.one_of(
 
 class TestHashKernel:
     @given(st.lists(hashable_values, min_size=1, max_size=4))
-    @settings(max_examples=200, deadline=None)
     def test_scalar_matches_vectorized(self, key):
         """The per-key scalar hash and the columnar batch hash agree —
         state rescaling (scalar) and epoch partitioning (vector) must
@@ -123,7 +122,13 @@ def run_windowed_agg(session_cls, checkpoint, num_shards, scheduler=None,
     stream = make_stream([("t", "timestamp"), ("k", "string")])
     df = session.read_stream.memory(stream).with_watermark("t", "50s")
     counts = df.group_by(F.window("t", "10s"), "k").count()
-    options = {"num_shards": num_shards}
+    # The state-file byte comparisons pin the dict backend: tiered run
+    # files are cut wherever the memtable happens to fill, and per-shard
+    # arrival order moves those boundaries — by design, only the dict
+    # delta/snapshot format is byte-identical across shard counts.  (The
+    # tiered format's own determinism golden — replay produces the same
+    # runs — lives in tests/test_state_tiered.py.)
+    options = {"num_shards": num_shards, "state_backend": "dict"}
     if scheduler is not None:
         options["scheduler"] = scheduler
     query = start_memory_query(counts, "update", "parteq", checkpoint,
@@ -201,7 +206,7 @@ class TestShardCountInvariance:
                   .with_watermark("t", "10s").drop_duplicates(["k"]))
             query = start_memory_query(
                 df, "append", "dedup", str(tmp_path / f"d{num_shards}"),
-                num_shards=num_shards)
+                num_shards=num_shards, state_backend="dict")
             outputs = []
             for rows in [
                 [{"k": i % 6, "t": float(i)} for i in range(20)],
@@ -230,7 +235,7 @@ class TestShardCountInvariance:
             joined = left.join(right, on="k")
             query = start_memory_query(
                 joined, "append", "join", str(tmp_path / f"j{num_shards}"),
-                num_shards=num_shards)
+                num_shards=num_shards, state_backend="dict")
             outputs = []
             steps = [
                 (ls, [{"k": i % 8, "t": float(i), "l": f"l{i}"} for i in range(16)]),
@@ -302,10 +307,10 @@ epoch_lists = st.lists(st.lists(rows, min_size=0, max_size=25),
                        min_size=1, max_size=4)
 
 
+@pytest.mark.slow
 @given(epochs=epoch_lists,
        n=st.integers(min_value=2, max_value=8),
        m=st.integers(min_value=1, max_value=8))
-@settings(max_examples=15, deadline=None)
 def test_property_shard_and_rescale_equivalence(tmp_path_factory, epochs, n, m):
     """For random inputs and shard counts: N-shard output == 1-shard
     output, and an N-shard checkpoint restored at M shards continues

@@ -15,7 +15,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sql import expressions as E
 from repro.sql import functions as F
@@ -147,7 +147,6 @@ def stateless_plans(draw):
     return plan, scan
 
 
-@settings(max_examples=120, deadline=None)
 @given(plan_scan=stateless_plans(), rows=rows_strategy)
 def test_compiled_plan_equals_row_interpretation(plan_scan, rows):
     plan, scan = plan_scan
@@ -156,7 +155,6 @@ def test_compiled_plan_equals_row_interpretation(plan_scan, rows):
     assert_rows_equal(result, run_rows(plan, rows))
 
 
-@settings(max_examples=60, deadline=None)
 @given(plan_scan=stateless_plans(), rows=rows_strategy)
 def test_compiled_plan_equals_interpreted_executor(plan_scan, rows):
     plan, scan = plan_scan
@@ -188,7 +186,6 @@ timed_rows = st.lists(
 )
 
 
-@settings(max_examples=60, deadline=None)
 @given(rows=timed_rows, duration=st.sampled_from([5.0, 10.0]),
        slide=st.sampled_from([None, 5.0]))
 def test_compiled_window_aggregate_equals_row_interpretation(

@@ -194,6 +194,7 @@ def test_injected_worker_crash_respawns_and_completes(tmp_path):
     assert fp_p == fp_t
 
 
+@pytest.mark.slow
 def test_hung_worker_killed_at_deadline_and_respawned(tmp_path):
     injector = FaultInjector([
         Fault("worker.hang", occurrence=2, action="hang", seconds=30.0),
@@ -264,8 +265,11 @@ def test_executor_option_builds_owned_process_scheduler(tmp_path):
           .with_watermark("t", "5s")
           .group_by(F.window("t", "10s"), F.col("k")).count())
     sink = MemorySink()
+    # Pin num_shards: workers only spawn when a stage has >1 runnable
+    # shard, so the assertion below must not depend on REPRO_NUM_SHARDS.
     query = (df.write_stream.sink(sink).output_mode("append")
              .option("executor", "process").option("num_workers", 2)
+             .option("num_shards", 4)
              .start(str(tmp_path / "cp")))
     engine = query.engine
     assert engine.scheduler is not None

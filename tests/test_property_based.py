@@ -9,7 +9,7 @@ sequences against model implementations.
 
 import math
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sql import expressions as E
 from repro.sql.batch import RecordBatch
@@ -18,6 +18,8 @@ from repro.sql.session import Session
 from repro.sql.types import StructType
 from repro.streaming.state import OperatorStateHandle
 from repro.streaming.watermark import WatermarkTracker
+
+from repro.testing.oracle import check_differential
 
 from tests.conftest import make_stream, rows_set, start_memory_query
 
@@ -64,7 +66,6 @@ SCHEMA = (("k", "string"), ("v", "double"))
 # Incremental == batch
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=40, deadline=None)
 @given(data=row_lists, seed=st.integers(0, 2**16))
 def test_streaming_aggregate_equals_batch_under_any_chunking(data, seed):
     from repro.sql import functions as F
@@ -89,7 +90,6 @@ def test_streaming_aggregate_equals_batch_under_any_chunking(data, seed):
     assert rows_set(query.engine.sink.rows()) == batch_result
 
 
-@settings(max_examples=30, deadline=None)
 @given(data=row_lists, seed=st.integers(0, 2**16))
 def test_map_query_append_equals_batch_filter(data, seed):
     rng = np.random.default_rng(seed)
@@ -110,7 +110,6 @@ def test_map_query_append_equals_batch_filter(data, seed):
     assert query.engine.sink.rows() == expected
 
 
-@settings(max_examples=25, deadline=None)
 @given(data=row_lists, seed=st.integers(0, 2**16))
 def test_streaming_dedup_equals_first_occurrences(data, seed):
     rng = np.random.default_rng(seed)
@@ -137,7 +136,6 @@ def test_streaming_dedup_equals_first_occurrences(data, seed):
 # Prefix consistency under crash/restart
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=20, deadline=None)
 @given(data=st.lists(rows, min_size=1, max_size=15),
        crash_mask=st.lists(st.booleans(), min_size=1, max_size=15),
        seed=st.integers(0, 2**16))
@@ -171,7 +169,6 @@ def test_exactly_once_under_random_restarts(tmp_path_factory, data, crash_mask, 
     assert sink.rows() == expected
 
 
-@settings(max_examples=15, deadline=None)
 @given(data=st.lists(rows, min_size=1, max_size=12),
        crash_mask=st.lists(st.booleans(), min_size=1, max_size=12),
        seed=st.integers(0, 2**16))
@@ -219,6 +216,148 @@ def test_stateful_aggregate_exactly_once_under_restarts(
 
 
 # ---------------------------------------------------------------------------
+# Differential oracle: retraction (Z-set) streams vs batch recompute
+# ---------------------------------------------------------------------------
+
+CDC_SCHEMA = (("k", "string"), ("v", "long"))
+
+
+@st.composite
+def cdc_chunks(draw, max_ops=24):
+    """A chunked, *valid* CDC history: every delete hits a live row.
+
+    Returns a list of epoch chunks whose rows may carry ``__weight__``
+    -1; the concatenation nets to a well-formed table (no negative
+    multiplicities), which is what an upstream database's changelog
+    guarantees.
+    """
+    count = draw(st.integers(0, max_ops))
+    live, ops = [], []
+    for _ in range(count):
+        if live and draw(st.booleans()):
+            victim = live.pop(draw(st.integers(0, len(live) - 1)))
+            ops.append({**victim, "__weight__": -1})
+        else:
+            row = {"k": draw(keys), "v": draw(st.integers(-50, 50))}
+            live.append(row)
+            ops.append(dict(row))
+    sizes = draw(st.lists(st.integers(1, 6), min_size=1, max_size=12))
+    chunks, position = [], 0
+    for size in sizes:
+        if position >= len(ops):
+            break
+        chunks.append(ops[position:position + size])
+        position += size
+    if position < len(ops):
+        chunks.append(ops[position:])
+    return chunks or [[]]
+
+
+@given(chunks=cdc_chunks(), restarts=st.sets(st.integers(0, 9), max_size=3))
+def test_weighted_aggregate_differential(tmp_path_factory, chunks, restarts):
+    """Random insert/delete streams through a grouped aggregate — with
+    crash/restarts between epochs — equal the batch recompute over the
+    netted input (retraction deltas preserve prefix consistency)."""
+    from repro.sql import functions as F
+
+    check_differential(
+        lambda df: df.group_by("k").agg(
+            F.count().alias("n"), F.sum("v").alias("s")),
+        CDC_SCHEMA, chunks, tmp_path_factory.mktemp("oracle"),
+        restart_after=restarts)
+
+
+@given(chunks=cdc_chunks(), restarts=st.sets(st.integers(0, 9), max_size=3))
+def test_weighted_dedup_differential(tmp_path_factory, chunks, restarts):
+    """Weighted DISTINCT tracks batch drop_duplicates under deletes,
+    including promotion of the next surviving representative."""
+    check_differential(
+        lambda df: df.drop_duplicates(["k"]),
+        CDC_SCHEMA, chunks, tmp_path_factory.mktemp("oracle"),
+        restart_after=restarts)
+
+
+@given(chunks=cdc_chunks(), restarts=st.sets(st.integers(0, 9), max_size=3))
+def test_weighted_cascade_differential(tmp_path_factory, chunks, restarts):
+    """A two-stage cascade (stateless stage feeding a grouped sum through
+    a stream table) equals the composed batch query."""
+    from repro.sql import functions as F
+
+    check_differential(
+        [lambda df: df.filter(F.col("v") > -20).select("k", "v"),
+         lambda df: df.group_by("k").agg(F.sum("v").alias("s"))],
+        CDC_SCHEMA, chunks, tmp_path_factory.mktemp("oracle"),
+        restart_after=restarts)
+
+
+@given(data=row_lists, seed=st.integers(0, 2**16),
+       restarts=st.sets(st.integers(0, 9), max_size=2))
+def test_append_only_differential(tmp_path_factory, data, seed, restarts):
+    """The oracle also covers plain append-only plans (weight-free)."""
+    from repro.sql import functions as F
+
+    rng = np.random.default_rng(seed)
+    chunks, remaining = [], list(data)
+    while remaining:
+        take = int(rng.integers(1, len(remaining) + 1))
+        chunks.append(remaining[:take])
+        remaining = remaining[take:]
+    check_differential(
+        lambda df: df.where(F.col("v") > 0).select(
+            "k", (F.col("v") * 2).alias("v2")),
+        SCHEMA, chunks or [[]], tmp_path_factory.mktemp("oracle"),
+        weighted=False, restart_after=restarts)
+
+
+@given(history=st.data())
+def test_weighted_join_differential(tmp_path_factory, history):
+    """Stream-stream inner join of two CDC streams equals the batch join
+    of the netted sides (bilinearity of Z-set joins)."""
+    from repro.sources import ChangeStream
+    from repro.sql import functions as F
+    from repro.sql.session import Session
+    from repro.streaming.zset import apply_zset
+    from repro.testing.oracle import canonical_rows
+
+    left_chunks = history.draw(cdc_chunks(max_ops=12), label="left")
+    right_chunks = history.draw(cdc_chunks(max_ops=12), label="right")
+    epochs = max(len(left_chunks), len(right_chunks))
+
+    session = Session()
+    left = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+    right = ChangeStream(StructType((("k", "string"), ("w", "long"))))
+    joined = session.read_stream.cdc(left).join(
+        session.read_stream.cdc(right), on="k")
+    query = (joined.write_stream.format("memory").query_name("jd")
+             .output_mode("retract")
+             .start(str(tmp_path_factory.mktemp("oracle") / "ckpt")))
+    from repro.testing.oracle import feed
+
+    for i in range(epochs):
+        if i < len(left_chunks):
+            feed(left, left_chunks[i])
+        if i < len(right_chunks):
+            feed(right, [{**({"w": r["v"]}), "k": r["k"],
+                          **({"__weight__": r["__weight__"]}
+                             if "__weight__" in r else {})}
+                         for r in right_chunks[i]])
+        query.process_all_available()
+    streamed = query.engine.sink.rows()
+    query.stop()
+
+    live_left = apply_zset([r for c in left_chunks for r in c])
+    live_right = apply_zset(
+        [{"k": r["k"], "w": r["v"],
+          **({"__weight__": r["__weight__"]} if "__weight__" in r else {})}
+         for c in right_chunks for r in c])
+    expected = session.create_dataframe(
+        live_left, (("k", "string"), ("v", "long"))).join(
+        session.create_dataframe(live_right, (("k", "string"), ("w", "long"))),
+        on="k").collect() if live_left and live_right else []
+    assert canonical_rows(streamed) == canonical_rows(expected)
+
+
+# ---------------------------------------------------------------------------
 # State store model check
 # ---------------------------------------------------------------------------
 
@@ -232,7 +371,6 @@ state_ops = st.lists(
 )
 
 
-@settings(max_examples=50, deadline=None)
 @given(ops=state_ops, snapshot_interval=st.integers(1, 5))
 def test_state_store_restore_matches_model(tmp_path_factory, ops, snapshot_interval):
     directory = str(tmp_path_factory.mktemp("state"))
@@ -261,7 +399,6 @@ def test_state_store_restore_matches_model(tmp_path_factory, ops, snapshot_inter
 # Watermark monotonicity
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=60, deadline=None)
 @given(observations=st.lists(
     st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=30),
     delay=st.floats(min_value=0, max_value=100, allow_nan=False))
@@ -284,7 +421,6 @@ def test_watermark_monotonic_and_bounded(observations, delay):
 # Window assignment properties
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=60, deadline=None)
 @given(t=st.floats(min_value=0, max_value=1e6, allow_nan=False),
        size_slide=st.tuples(st.integers(1, 100), st.integers(1, 100)))
 def test_window_contains_its_record(t, size_slide):
@@ -303,7 +439,6 @@ def test_window_contains_its_record(t, size_slide):
 # Group encoding
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=50, deadline=None)
 @given(keys=st.lists(st.integers(-10, 10), min_size=0, max_size=50))
 def test_encode_groups_consistent_with_equality(keys):
     if not keys:
@@ -318,7 +453,6 @@ def test_encode_groups_consistent_with_equality(keys):
 # RecordBatch roundtrip
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=50, deadline=None)
 @given(data=st.lists(
     st.tuples(st.integers(-1000, 1000),
               st.one_of(st.none(), st.text(max_size=5))),

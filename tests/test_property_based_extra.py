@@ -6,7 +6,7 @@ import json
 import os
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sql import expressions as E
 from repro.sql import logical as L
@@ -61,7 +61,6 @@ def _scan(rows):
     )
 
 
-@settings(max_examples=60, deadline=None)
 @given(rows=base_rows, cond1=conditions, cond2=conditions)
 def test_optimizer_preserves_filter_semantics(rows, cond1, cond2):
     plan = L.Filter(cond1, L.Filter(cond2, L.Project(
@@ -74,7 +73,6 @@ def test_optimizer_preserves_filter_semantics(rows, cond1, cond2):
     assert execute(optimized).to_rows() == expected
 
 
-@settings(max_examples=40, deadline=None)
 @given(rows=base_rows, cond=conditions)
 def test_optimizer_preserves_aggregate_semantics(rows, cond):
     from repro.sql.expressions import Count, Sum
@@ -98,7 +96,6 @@ join_rows = st.lists(
 )
 
 
-@settings(max_examples=25, deadline=None)
 @given(left=join_rows, right=join_rows, seed=st.integers(0, 2**16))
 def test_stream_stream_join_equals_batch(left, right, seed):
     left_schema = (("k", "long"), ("t", "timestamp"))
@@ -142,7 +139,11 @@ def assert_canonical_state_files(checkpoint: str):
     """Every state file must be in the pre-index on-disk format: canonical
     sorted-key indent-2 JSON with string-encoded state keys that survive a
     decode/encode roundtrip.  The expiry index and key cache are memory-only;
-    nothing about them may leak to disk."""
+    nothing about them may leak to disk.
+
+    This reads the *dict* backend's delta/snapshot layout, so callers pin
+    ``state_backend="dict"`` (the tiered manifest/run format has its own
+    golden in tests/test_state_tiered.py)."""
     state_dir = os.path.join(checkpoint, "state")
     if not os.path.isdir(state_dir):
         return
@@ -169,7 +170,6 @@ within_join_rows = st.lists(
 )
 
 
-@settings(max_examples=20, deadline=None)
 @given(left=within_join_rows, right=within_join_rows,
        crash_mask=st.lists(st.booleans(), min_size=1, max_size=10),
        seed=st.integers(0, 2**16))
@@ -199,7 +199,8 @@ def test_within_join_exactly_once_under_restarts(
               .join(session.read_stream.memory(rs).with_watermark("t2", "5s"),
                     on="k", within=("t", "t2", "10s")))
     query = start_memory_query(joined, "append", "out", checkpoint,
-                               state_checkpoint_interval=3)
+                               state_checkpoint_interval=3,
+                               state_backend="dict")
     sink = query.engine.sink
 
     crashes = iter(crash_mask)
@@ -216,17 +217,18 @@ def test_within_join_exactly_once_under_restarts(
         if next(crashes, False):
             query = (joined.write_stream.sink(sink).output_mode("append")
                      .option("state_checkpoint_interval", 3)
+                     .option("state_backend", "dict")
                      .start(checkpoint))
         query.process_all_available()
     query = (joined.write_stream.sink(sink).output_mode("append")
-             .option("state_checkpoint_interval", 3).start(checkpoint))
+             .option("state_checkpoint_interval", 3)
+             .option("state_backend", "dict").start(checkpoint))
     query.process_all_available()
 
     assert {(r["k"], r["t"], r["t2"]) for r in sink.rows()} == expected
     assert_canonical_state_files(checkpoint)
 
 
-@settings(max_examples=20, deadline=None)
 @given(data=st.lists(
            st.tuples(st.sampled_from(["a", "b", "c"]),
                      st.floats(0, 100, allow_nan=False)),
@@ -255,7 +257,8 @@ def test_windowed_aggregate_exactly_once_under_restarts(
     df = (session.read_stream.memory(stream).with_watermark("t", "5s")
           .group_by(F.window("t", "10s"), "k").count())
     query = start_memory_query(df, "update", "agg", checkpoint,
-                               state_checkpoint_interval=3)
+                               state_checkpoint_interval=3,
+                               state_backend="dict")
     sink = query.engine.sink
 
     crashes = iter(crash_mask)
@@ -267,10 +270,12 @@ def test_windowed_aggregate_exactly_once_under_restarts(
         if next(crashes, False):
             query = (df.write_stream.sink(sink).output_mode("update")
                      .option("state_checkpoint_interval", 3)
+                     .option("state_backend", "dict")
                      .start(checkpoint))
         query.process_all_available()
     query = (df.write_stream.sink(sink).output_mode("update")
-             .option("state_checkpoint_interval", 3).start(checkpoint))
+             .option("state_checkpoint_interval", 3)
+             .option("state_backend", "dict").start(checkpoint))
     query.process_all_available()
 
     got = {}
@@ -290,7 +295,6 @@ session_events = st.lists(
 )
 
 
-@settings(max_examples=25, deadline=None)
 @given(times=session_events)
 def test_session_windows_match_reference(times):
     """Feeding all events sorted in one epoch yields exactly the sessions

@@ -75,6 +75,7 @@ class TestSlidingWindowsAtScale:
 
 
 class TestManyKeysManyEpochs:
+    @pytest.mark.slow
     def test_high_cardinality_aggregation(self, session):
         rng = np.random.default_rng(12)
         stream = make_stream((("k", "long"), ("v", "double")))

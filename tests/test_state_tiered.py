@@ -18,7 +18,7 @@ import json
 import os
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.storage import read_json
@@ -374,7 +374,6 @@ def _expiry(_key, value):
     return value["t"]
 
 
-@settings(max_examples=30, deadline=None)
 @given(ops=OPS, budget=st.integers(64, 600), shards=st.integers(1, 4))
 def test_dict_and_tiered_observationally_identical(ops, budget, shards,
                                                    tmp_path_factory):

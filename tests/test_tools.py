@@ -16,7 +16,11 @@ def populated_checkpoint(session, checkpoint):
     df = (session.read_stream.memory(stream)
           .with_watermark("t", "10s")
           .group_by("k").count())
-    query = start_memory_query(df, "update", "adm", checkpoint)
+    # describe_checkpoint's state summary reads the dict backend's
+    # snapshot files, so the fixture pins it even under
+    # REPRO_STATE_BACKEND=tiered.
+    query = start_memory_query(df, "update", "adm", checkpoint,
+                               state_backend="dict")
     for t in (5.0, 25.0):
         stream.add_data([{"t": t, "k": "a"}])
         query.process_all_available()
