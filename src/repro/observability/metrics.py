@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import bisect
 import os
+import re
 import threading
 
 #: Default histogram bucket upper bounds, in seconds: 100µs .. 60s,
@@ -242,6 +243,122 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def to_openmetrics(self) -> str:
+        """The registry in the OpenMetrics / Prometheus text exposition
+        format (one ``# TYPE`` per family, ``# EOF`` terminator).
+
+        Dotted internal names map to ``repro_``-prefixed underscore
+        families; the structured suffixes become labels so Prometheus
+        can aggregate across them (the documented, stable mapping —
+        see docs/observability.md):
+
+        * ``state.puts.shard3``        -> ``repro_state_puts{shard="3"}``
+        * ``op.FilterOp.rows_out``     -> ``repro_op_rows_out{operator="FilterOp"}``
+        * ``engine.watermark_lag.ts``  -> ``repro_engine_watermark_lag{column="ts"}``
+
+        Counters get the ``_total`` suffix; histograms expand to
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``;
+        unset or non-numeric gauges are skipped.
+        """
+        families = {}  # exposition name -> {"type": ..., "samples": [...]}
+        for name in self.names():
+            metric = self._metrics[name]
+            family, labels = _split_labels(name)
+            kind = ("counter" if isinstance(metric, Counter) else
+                    "gauge" if isinstance(metric, Gauge) else "histogram")
+            exposition = _openmetrics_name(family)
+            slot = families.get(exposition)
+            if slot is not None and slot["type"] != kind:
+                # Same family name, different metric class: keep both by
+                # falling back to the full (un-labelled) name.
+                exposition = _openmetrics_name(name)
+                labels = {}
+                slot = families.get(exposition)
+            if slot is None:
+                slot = families[exposition] = {"type": kind, "samples": []}
+            slot["samples"].extend(_samples(metric, exposition, labels))
+        lines = []
+        for exposition in sorted(families):
+            slot = families[exposition]
+            if not slot["samples"]:
+                continue
+            lines.append(f"# TYPE {exposition} {slot['type']}")
+            lines.extend(slot["samples"])
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics exposition helpers
+# ----------------------------------------------------------------------
+_SHARD_SUFFIX = re.compile(r"^(?P<base>.+)\.shard(?P<shard>\d+)$")
+_OP_METRIC = re.compile(r"^op\.(?P<op>.+)\.(?P<stat>rows_out)$")
+_WATERMARK_LAG = re.compile(r"^engine\.watermark_lag\.(?P<column>.+)$")
+
+
+def _split_labels(name: str):
+    """Internal dotted name -> (family, labels) per the documented map."""
+    match = _SHARD_SUFFIX.match(name)
+    if match:
+        return match.group("base"), {"shard": match.group("shard")}
+    match = _OP_METRIC.match(name)
+    if match:
+        return f"op.{match.group('stat')}", {"operator": match.group("op")}
+    match = _WATERMARK_LAG.match(name)
+    if match:
+        return "engine.watermark_lag", {"column": match.group("column")}
+    return name, {}
+
+
+def _openmetrics_name(family: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", family)
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt_number(value) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _samples(metric, exposition: str, labels: dict) -> list:
+    rendered = _render_labels(labels)
+    if isinstance(metric, Counter):
+        return [f"{exposition}_total{rendered} {metric.value}"]
+    if isinstance(metric, Gauge):
+        value = _fmt_number(metric.value)
+        if value is None:
+            return []
+        return [f"{exposition}{rendered} {value}"]
+    # Histogram: cumulative buckets + sum/count.
+    lines = []
+    cumulative = 0
+    for bound, count in zip(metric.bounds, metric.counts):
+        cumulative += count
+        le = dict(labels, le=_fmt_number(float(bound)))
+        lines.append(f"{exposition}_bucket{_render_labels(le)} {cumulative}")
+    le = dict(labels, le="+Inf")
+    lines.append(f"{exposition}_bucket{_render_labels(le)} {metric.count}")
+    lines.append(f"{exposition}_sum{rendered} {_fmt_number(float(metric.sum))}")
+    lines.append(f"{exposition}_count{rendered} {metric.count}")
+    return lines
+
 
 # ----------------------------------------------------------------------
 # Module-level installation (the cheap-when-disabled surface)
@@ -312,6 +429,14 @@ def observe_many(name: str, values) -> None:
 def snapshot() -> dict:
     """Snapshot of the installed registry ({} when disabled)."""
     return _registry.snapshot() if _registry is not None else {}
+
+
+def to_openmetrics() -> str:
+    """OpenMetrics text for the installed registry (bare ``# EOF`` when
+    metrics are disabled — still a valid, scrapeable exposition)."""
+    if _registry is None:
+        return "# EOF\n"
+    return _registry.to_openmetrics()
 
 
 if os.environ.get("REPRO_METRICS", "0") not in ("", "0"):

@@ -1,0 +1,78 @@
+"""A minimal Prometheus-scrapeable endpoint over the metrics registry.
+
+``MetricsServer`` wraps stdlib ``http.server`` in a daemon thread: every
+GET renders the OpenMetrics text exposition fresh (by default from the
+process registry via :func:`repro.observability.metrics.to_openmetrics`;
+a custom ``render`` callable supports the monitor's replay-from-
+``events.jsonl`` mode).  Surfaced as ``query.serve_metrics(port)`` and
+``python -m repro.tools.monitor --serve``.
+
+Binds localhost by default — this is an operator diagnostic, not a
+hardened production listener.  ``port=0`` picks a free port (tests).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.observability import metrics
+
+#: The content type Prometheus negotiates for OpenMetrics 1.0.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves OpenMetrics text on ``/metrics`` (and any other path)."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1", render=None):
+        self._render = render if render is not None else metrics.to_openmetrics
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                try:
+                    body = server._render().encode("utf-8")
+                    status = 200
+                except Exception as exc:  # surface render bugs to the scraper
+                    body = f"# render error: {exc}\n".encode("utf-8")
+                    status = 500
+                self.send_response(status)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # quiet: no per-scrape stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="metrics-server",
+            daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread.join(timeout=5)
+
+    # Context-manager sugar for tests and scripts.
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

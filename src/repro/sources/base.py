@@ -20,8 +20,37 @@ from repro.sql.batch import RecordBatch
 from repro.sql.types import StructType
 
 
+def ingest_floor_from_segments(segments, start: int, end: int):
+    """Oldest ingest timestamp among rows with offsets in ``[start, end)``.
+
+    ``segments`` is the append-time record the single-partition sources
+    keep: ``[(row_count_after_append, ingest_timestamp), ...]`` — one
+    entry per producer append, so segment ``i`` covers offsets
+    ``[segments[i-1][0], segments[i][0])``.  Returns None when the range
+    is empty or predates segment tracking.
+    """
+    if end <= start:
+        return None
+    floor = None
+    previous = 0
+    for upto, ingest_time in segments:
+        if previous < end and upto > start and ingest_time is not None:
+            if floor is None or ingest_time < floor:
+                floor = ingest_time
+        previous = upto
+        if previous >= end:
+            break
+    return floor
+
+
 class Source:
-    """Base class for replayable streaming sources."""
+    """Base class for replayable streaming sources.
+
+    Sources may additionally implement ``ingest_floor(start, end) ->
+    float | None`` — the oldest wall-clock ingest timestamp in the
+    offset range — which the engine uses (getattr-probed, optional) to
+    report end-to-end event-time lag through cascades of stream tables.
+    """
 
     schema: StructType
 

@@ -14,10 +14,11 @@ Like MemoryStream, the object is its own descriptor, is fully retained
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.sql.batch import RecordBatch
 from repro.sql.types import StructType
-from repro.sources.base import Source, SourceDescriptor
+from repro.sources.base import Source, SourceDescriptor, ingest_floor_from_segments
 from repro.streaming.zset import WEIGHT_COLUMN, weighted_schema
 
 PARTITION = "0"
@@ -41,6 +42,9 @@ class ChangeStream(Source, SourceDescriptor):
         #: Schema the engine sees: user columns + ``__weight__``.
         self.schema = weighted_schema(self.data_schema)
         self._rows = []
+        #: [(row count after append, ingest timestamp)] per producer call
+        #: (an update's -1/+1 pairs share one segment, like one commit).
+        self._ingest = []
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -56,25 +60,35 @@ class ChangeStream(Source, SourceDescriptor):
             stamped.append({**row, WEIGHT_COLUMN: weight})
         return stamped
 
-    def insert(self, rows) -> None:
+    def _append(self, stamped: list, ingest_time) -> None:
+        with self._lock:
+            self._rows.extend(stamped)
+            if stamped:
+                self._ingest.append((
+                    len(self._rows),
+                    time.time() if ingest_time is None else float(ingest_time),
+                ))
+
+    def insert(self, rows, ingest_time: float = None) -> None:
         """Append rows (list of dicts) with weight +1."""
-        stamped = self._stamp(rows, 1)
-        with self._lock:
-            self._rows.extend(stamped)
+        self._append(self._stamp(rows, 1), ingest_time)
 
-    def delete(self, rows) -> None:
+    def delete(self, rows, ingest_time: float = None) -> None:
         """Retract rows previously inserted (matched by value), weight -1."""
-        stamped = self._stamp(rows, -1)
-        with self._lock:
-            self._rows.extend(stamped)
+        self._append(self._stamp(rows, -1), ingest_time)
 
-    def update(self, old_rows, new_rows) -> None:
+    def update(self, old_rows, new_rows, ingest_time: float = None) -> None:
         """Replace ``old_rows`` with ``new_rows`` atomically: the -1/+1
         pairs land in one offset range, so no epoch ever observes the
         delete without its replacement."""
-        stamped = self._stamp(old_rows, -1) + self._stamp(new_rows, 1)
+        self._append(
+            self._stamp(old_rows, -1) + self._stamp(new_rows, 1), ingest_time)
+
+    def ingest_floor(self, start: dict, end: dict):
+        """Oldest ingest timestamp in ``[start, end)``, or None."""
         with self._lock:
-            self._rows.extend(stamped)
+            return ingest_floor_from_segments(
+                self._ingest, start.get(PARTITION, 0), end.get(PARTITION, 0))
 
     # ------------------------------------------------------------------
     # Source / descriptor contract

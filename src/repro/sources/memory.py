@@ -8,10 +8,11 @@ epoch can be replayed — convenient for crash-recovery tests.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.sql.batch import RecordBatch
 from repro.sql.types import StructType
-from repro.sources.base import Source, SourceDescriptor
+from repro.sources.base import Source, SourceDescriptor, ingest_floor_from_segments
 
 PARTITION = "0"
 
@@ -21,7 +22,9 @@ class MemoryStream(Source, SourceDescriptor):
 
     Acts as its own descriptor: the object is shared between the test
     (producer) and the engine (consumer), surviving engine restarts the
-    way an external message bus would.
+    way an external message bus would.  Each append records its ingest
+    timestamp, so the engine can report end-to-end event-time lag
+    (``ingest_floor``); tests may pin ``ingest_time`` explicitly.
     """
 
     name = "memory"
@@ -29,12 +32,26 @@ class MemoryStream(Source, SourceDescriptor):
     def __init__(self, schema):
         self.schema = schema if isinstance(schema, StructType) else StructType(tuple(schema))
         self._rows = []
+        #: [(row count after append, ingest timestamp)] per add_data.
+        self._ingest = []
         self._lock = threading.Lock()
 
-    def add_data(self, rows) -> None:
+    def add_data(self, rows, ingest_time: float = None) -> None:
         """Append rows (list of dicts) to the stream."""
+        rows = list(rows)
         with self._lock:
             self._rows.extend(rows)
+            if rows:
+                self._ingest.append((
+                    len(self._rows),
+                    time.time() if ingest_time is None else float(ingest_time),
+                ))
+
+    def ingest_floor(self, start: dict, end: dict):
+        """Oldest ingest timestamp in ``[start, end)``, or None."""
+        with self._lock:
+            return ingest_floor_from_segments(
+                self._ingest, start.get(PARTITION, 0), end.get(PARTITION, 0))
 
     def create(self) -> "MemoryStream":
         return self

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import observability
 from repro.observability import metrics, tracing
+from repro.observability.flightrec import FlightRecorder
 from repro.observability.metrics import Histogram
 from repro.streaming import operators as ops
 from repro.streaming.incrementalizer import incrementalize
@@ -135,8 +136,18 @@ class ContinuousEngine:
         self.source = descriptor.create()
         self.sources = {self.source_name: self.source}
 
-        self.wal = WriteAheadLog(checkpoint_dir)
-        self.wal.write_metadata({"output_mode": output_mode, "mode": "continuous"})
+        #: Flight recorder (§7.4): created before the WAL attaches so a
+        #: crash during metadata write or recovery still leaves a
+        #: postmortem in the checkpoint directory.
+        self.flightrec = FlightRecorder(checkpoint_dir, engine="continuous")
+        self.flightrec.adopt_prior_dumps()
+        try:
+            self.wal = WriteAheadLog(checkpoint_dir)
+            self.wal.write_metadata(
+                {"output_mode": output_mode, "mode": "continuous"})
+        except Exception as exc:
+            self._dump_crash("init-crash", exc)
+            raise
         self.watermarks = WatermarkTracker(self.plan.watermark_delays)
         self.progress = ProgressReporter()
 
@@ -175,7 +186,13 @@ class ContinuousEngine:
         #: "compiled stateless pipeline").  None -> EpochContext path.
         self._chunk_fn = self._build_chunk_pipeline(self.plan.root)
         self._start_offsets = self.source.initial_offsets()
-        self._recover()
+        try:
+            self._recover()
+        except Exception as exc:
+            self._dump_crash("init-crash", exc)
+            raise
+        self.flightrec.note("engine-start", mode="continuous",
+                            next_epoch=self.next_epoch)
 
     # ------------------------------------------------------------------
     def _recover(self) -> None:
@@ -321,7 +338,7 @@ class ContinuousEngine:
         self._rows_reported = total_written
         metrics.count("continuous.epoch_markers")
         metrics.count("engine.rows_in", input_rows)
-        self.progress.record(EpochProgress(
+        progress = EpochProgress(
             epoch_id=epoch,
             trigger_time=time.time(),
             duration_seconds=time.perf_counter() - started,
@@ -331,7 +348,9 @@ class ContinuousEngine:
             state_keys=0,
             late_rows_dropped=0,
             latency_percentiles=self.latency_histogram.percentiles_json(),
-        ))
+        )
+        self.progress.record(progress)
+        self.flightrec.record_epoch(progress)
 
     def _backlog(self, positions: dict) -> int:
         latest = self.source.latest_offsets()
@@ -350,8 +369,18 @@ class ContinuousEngine:
         self._raise_worker_error()
         return []
 
+    def _dump_crash(self, reason: str, error) -> None:
+        """Leave a postmortem behind for a failure; never raises."""
+        rec = getattr(self, "flightrec", None)
+        if rec is not None:
+            rec.dump(reason, error=error,
+                     epoch=getattr(self, "next_epoch", None))
+
     def _raise_worker_error(self) -> None:
         if self._worker_error is not None:
+            # Identity-deduped inside the recorder, so the repeated
+            # re-raises (run_epoch, run_available, stop) dump once.
+            self._dump_crash("worker-crash", self._worker_error)
             raise self._worker_error
 
     def stop(self) -> None:

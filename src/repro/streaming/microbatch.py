@@ -29,8 +29,11 @@ import weakref
 from collections import deque
 
 from repro import observability
+from repro.observability import bottleneck as bottleneck_model
 from repro.observability import metrics, tracing
+from repro.observability.flightrec import FlightRecorder
 from repro.sql.batch import RecordBatch
+from repro.sql.types import WEIGHT_COLUMN
 from repro.storage import SyncGroup, deferred_fsync
 from repro.streaming.incrementalizer import incrementalize
 from repro.streaming.operators import EpochContext
@@ -389,6 +392,26 @@ class MicrobatchEngine:
             num_shards = int(os.environ.get("REPRO_NUM_SHARDS", "1"))
         self.num_shards = max(1, num_shards)
 
+        #: Always-on flight recorder (§7.4): ring buffer of recent epoch
+        #: progress and engine events, dumped as ``postmortem.json`` on
+        #: any crash.  Created first so even an init/recovery failure
+        #: leaves a postmortem behind.
+        self.flightrec = FlightRecorder(checkpoint_dir, engine="microbatch")
+        self.flightrec.adopt_prior_dumps()
+        try:
+            self._init_engine(plan, sink, output_mode, checkpoint_dir,
+                              snapshot_interval, state_backend,
+                              state_memtable_bytes)
+        except Exception as exc:
+            self._dump_crash("init-crash", exc)
+            raise
+
+    def _init_engine(self, plan, sink, output_mode, checkpoint_dir,
+                     snapshot_interval, state_backend,
+                     state_memtable_bytes) -> None:
+        """The crash-recorded part of construction: plan compilation, WAL
+        attachment and recovery — where injected faults (and real restart
+        bugs) can fire before the first epoch ever runs."""
         self.state_store = StateStore(checkpoint_dir, snapshot_interval,
                                       num_shards=self.num_shards,
                                       backend=state_backend,
@@ -435,6 +458,9 @@ class MicrobatchEngine:
         # runs once, off the hot path, and the engine must not observe a
         # half-flushed checkpoint of its own making.
         self._recover()
+        self.flightrec.note("engine-start", pipelined=self.pipelined,
+                            num_shards=self.num_shards,
+                            next_epoch=self.next_epoch)
         # A process-backed scheduler forks its workers from this fully
         # recovered engine: compiled plans and restored state are
         # inherited, not rebuilt per worker.
@@ -488,6 +514,7 @@ class MicrobatchEngine:
             self.scheduler.shutdown()
         if async_error is not None and not self._async_error_raised:
             self._async_error_raised = True
+            self._dump_crash("async-crash", async_error)
             raise async_error
 
     # ------------------------------------------------------------------
@@ -548,6 +575,13 @@ class MicrobatchEngine:
         )
         result = self.plan.root.process(ctx)
         if output_enabled:
+            note_ingest = getattr(self.sink, "note_epoch_ingest", None)
+            if note_ingest is not None:
+                starts = {n: rng["start"] for n, rng in entry["sources"].items()}
+                ends = {n: rng["end"] for n, rng in entry["sources"].items()}
+                floor = self._epoch_ingest_floor(ends, starts=starts)
+                note_ingest(epoch, floor if floor is not None
+                            else entry.get("trigger_time", self.clock()))
             self.sink.add_batch(epoch, result, self.output_mode)
         self.watermarks.advance()
 
@@ -577,6 +611,21 @@ class MicrobatchEngine:
                 ends[name] = latest
         return ends
 
+    def _epoch_ingest_floor(self, ends: dict, starts: dict = None):
+        """Oldest source-ingest timestamp across this epoch's input
+        ranges, or None when no source tracks ingest (the protocol is
+        optional: sources expose ``ingest_floor(start, end)``)."""
+        base = self._start_offsets if starts is None else starts
+        floor = None
+        for name, source in self.sources.items():
+            probe = getattr(source, "ingest_floor", None)
+            if probe is None:
+                continue
+            ts = probe(base[name], ends[name])
+            if ts is not None and (floor is None or ts < floor):
+                floor = ts
+        return floor
+
     def _has_new_data(self, ends: dict, starts: dict = None) -> bool:
         base = self._start_offsets if starts is None else starts
         for name, end in ends.items():
@@ -597,12 +646,31 @@ class MicrobatchEngine:
                 self._async_error_raised = True
                 raise worker.error
 
+    def _dump_crash(self, reason: str, error) -> None:
+        """Leave a postmortem behind for a failure; never raises."""
+        rec = getattr(self, "flightrec", None)
+        if rec is not None:
+            rec.dump(reason, error=error,
+                     epoch=getattr(self, "next_epoch", None))
+
     def run_epoch(self):
         """Run one epoch if there is work; returns EpochProgress or None.
 
         "Work" is new input data or an expired processing-time timeout in
-        a stateful operator.
+        a stateful operator.  Any failure — the epoch's own, or a
+        pipelined background thread's surfacing at this boundary — dumps
+        the flight recorder as ``postmortem.json`` before propagating.
         """
+        try:
+            progress = self._run_epoch()
+        except Exception as exc:
+            self._dump_crash("epoch-crash", exc)
+            raise
+        if progress is not None:
+            self.flightrec.record_epoch(progress)
+        return progress
+
+    def _run_epoch(self):
         if not self.pipelined:
             ends = self._available_end_offsets()
             if not self._has_new_data(ends) and not self._has_pending_timeouts():
@@ -708,6 +776,19 @@ class MicrobatchEngine:
                     self._wal_group.sync()
                 self._wal_unsynced = 0
 
+        # End-to-end event-time lag (§7.4): the oldest source-ingest
+        # timestamp this epoch consumed.  Announced to cascade-aware
+        # sinks *before* delivery so a downstream StreamTable can
+        # propagate the original (bronze) ingest time; trigger time is
+        # the fallback floor when no source tracks ingest.
+        note_ingest = getattr(self.sink, "note_epoch_ingest", None)
+        ingest_floor = None
+        if timings is not None or note_ingest is not None:
+            ingest_floor = self._epoch_ingest_floor(ends)
+        if note_ingest is not None:
+            note_ingest(epoch, ingest_floor if ingest_floor is not None
+                        else trigger_time)
+
         # (3) Idempotent sink write, then (4) commit + state checkpoint.
         with _Phase("sink-write", timings):
             if self.pipelined:
@@ -735,7 +816,8 @@ class MicrobatchEngine:
         if self.pipelined and self._retain_epochs is not None:
             # Retention scans the on-disk state directory; wait for
             # queued writes so the horizon computation is deterministic.
-            self._flusher.drain()
+            with _Phase("flusher-wait", timings):
+                self._flusher.drain()
             self._raise_async_error()
         self._enforce_retention(epoch)
 
@@ -756,6 +838,12 @@ class MicrobatchEngine:
             # prefetcher (ideally ~0 — the read fully overlapped).
             timings["prefetch-wait"] = prefetch_wait
         state_keys = self.state_store.total_keys()
+        event_lag = None
+        if timings is not None and ingest_floor is not None:
+            event_lag = max(0.0, self.clock() - ingest_floor)
+        output_net = None
+        if WEIGHT_COLUMN in result.columns:
+            output_net = int(result.columns[WEIGHT_COLUMN].sum())
         progress = EpochProgress(
             epoch_id=epoch,
             trigger_time=trigger_time,
@@ -779,6 +867,10 @@ class MicrobatchEngine:
             ),
             stage_timings=timings or {},
             operator_metrics=ctx.op_metrics,
+            output_rows_net=output_net,
+            event_time_lag_seconds=event_lag,
+            bottleneck=(bottleneck_model.summary(timings, ctx.op_metrics)
+                        if timings else {}),
         )
         metrics.count("engine.epochs")
         metrics.count("engine.rows_in", input_rows)
@@ -788,6 +880,15 @@ class MicrobatchEngine:
         metrics.set_gauge("engine.backlog_rows", backlog)
         metrics.set_gauge("engine.state_keys", state_keys)
         metrics.observe("engine.epoch_seconds", duration)
+        if event_lag is not None:
+            metrics.set_gauge("engine.event_time_lag", event_lag)
+            metrics.observe("engine.event_time_lag_seconds", event_lag)
+        if timings is not None:
+            for column in self.watermarks.columns:
+                wm = self.watermarks.current(column)
+                if wm is not None:
+                    metrics.set_gauge(f"engine.watermark_lag.{column}",
+                                      max(0.0, trigger_time - wm))
         return progress
 
     def _fetch_inputs(self, ends: dict) -> dict:

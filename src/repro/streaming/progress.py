@@ -43,6 +43,19 @@ class EpochProgress:
     #: Continuous-mode record latency summary (count/mean/p50/p95/p99),
     #: cumulative over the query's lifetime.
     latency_percentiles: dict = field(default_factory=dict)
+    #: Net output rows (sum of ``__weight__``) for retract-mode epochs:
+    #: the true table growth, distinct from the delivered delta-row
+    #: count above.  None for unweighted output.
+    output_rows_net: int = None
+    #: End-to-end event-time lag for this epoch: now minus the oldest
+    #: source-ingest timestamp consumed — propagated through stream
+    #: table cascades, so a gold-stage epoch reports lag since *bronze*
+    #: ingest.  None when untracked or observability is off.
+    event_time_lag_seconds: float = None
+    #: Dominant cost of this epoch ({"name", "share", "seconds"}, see
+    #: :mod:`repro.observability.bottleneck`); populated when
+    #: observability is active.
+    bottleneck: dict = field(default_factory=dict)
 
     @property
     def input_rows_per_second(self) -> float:
@@ -69,6 +82,10 @@ class EpochProgress:
             "lateRowsDropped": self.late_rows_dropped,
             "inputRowsPerSecond": self.input_rows_per_second,
         }
+        if self.output_rows_net is not None:
+            payload["numOutputRowsNet"] = self.output_rows_net
+        if self.event_time_lag_seconds is not None:
+            payload["eventTimeLagSeconds"] = self.event_time_lag_seconds
         optional = {
             "watermarks": self.watermarks,
             "sources": self.sources,
@@ -76,6 +93,7 @@ class EpochProgress:
             "stageTimings": self.stage_timings,
             "operatorMetrics": self.operator_metrics,
             "latencyPercentiles": self.latency_percentiles,
+            "bottleneck": self.bottleneck,
         }
         for key, section in optional.items():
             if section:

@@ -39,6 +39,8 @@ class StreamingQuery:
         #: Back-reference set by StreamingQueryManager.register so
         #: lifecycle events reach manager-level listeners.
         self._manager = None
+        #: Servers started via :meth:`serve_metrics`; closed by stop().
+        self._metric_servers = []
         if use_thread:
             self._thread = threading.Thread(
                 target=self._run_loop, name=f"query-{name or id(self)}", daemon=True
@@ -95,6 +97,9 @@ class StreamingQuery:
         """Ask the driver loop to stop and wait for it."""
         already_stopped = self._stop_event.is_set()
         self._stop_event.set()
+        for server in self._metric_servers:
+            server.close()
+        self._metric_servers = []
         stop_engine = getattr(self.engine, "stop", None)
         if stop_engine is not None:
             stop_engine()
@@ -187,6 +192,43 @@ class StreamingQuery:
                     metrics.count("query.listener_errors")
         if self._manager is not None:
             self._manager._notify_terminated(self)
+
+    def dump_postmortem(self, reason: str = "manual"):
+        """Force a flight-recorder dump (§7.4): write the ring buffer of
+        recent epochs, events and metric deltas as ``postmortem.json``
+        in the checkpoint directory.  Returns the path written, or None
+        when this engine has no recorder or the dump failed.
+        """
+        rec = getattr(self.engine, "flightrec", None)
+        if rec is None:
+            return None
+        return rec.dump(reason, error=self._exception,
+                        epoch=getattr(self.engine, "next_epoch", None),
+                        force=True)
+
+    def bottleneck(self, window: int = 20) -> dict:
+        """Where is the time going?  Attribute recent epochs' wall time
+        to its dominant cost — source read, a plan stage, state commit,
+        WAL sync, sink, or flusher backpressure.  Returns ``{}`` unless
+        observability was active (stage timings are needed).  See
+        :mod:`repro.observability.bottleneck` for the cost model.
+        """
+        from repro.observability import bottleneck as bottleneck_model
+        recent = self.engine.progress.recent[-window:] if window else \
+            self.engine.progress.recent
+        return bottleneck_model.attribute_many(
+            (p.stage_timings, p.operator_metrics) for p in recent)
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1"):
+        """Expose the process metrics registry as an OpenMetrics (i.e.
+        Prometheus-scrapeable) HTTP endpoint.  Returns the server; its
+        ``.url`` is the scrape target, ``port=0`` picks a free port.
+        Stopped automatically with the query, or via ``.close()``.
+        """
+        from repro.observability.serve import MetricsServer
+        server = MetricsServer(port=port, host=host)
+        self._metric_servers.append(server)
+        return server
 
     def dump_trace(self, path: str, fmt: str = None) -> int:
         """Export the process trace buffer (spans from this query's

@@ -22,7 +22,7 @@ import threading
 from repro.sinks.base import Sink
 from repro.sql.batch import RecordBatch
 from repro.sql.types import StructType
-from repro.sources.base import Source, SourceDescriptor
+from repro.sources.base import Source, SourceDescriptor, ingest_floor_from_segments
 from repro.testing.faults import fault_point
 
 PARTITION = "0"
@@ -48,6 +48,14 @@ class StreamTable(Sink, Source, SourceDescriptor):
         self._epochs = set()
         self._lock = threading.Lock()
         self.key_names = []
+        #: Ingest-floor propagation (end-to-end event-time lag, §7.4):
+        #: the writing engine announces each epoch's oldest source-ingest
+        #: timestamp via ``note_epoch_ingest`` before delivering the
+        #: batch; the appended row range inherits it, so a downstream
+        #: query's ``ingest_floor`` sees the *original* bronze ingest
+        #: time, not this stage's write time.
+        self._ingest = []
+        self._pending_ingest = {}
 
     # -- sink side ------------------------------------------------------
     def bind_schema(self, schema: StructType, mode: str) -> None:
@@ -62,14 +70,30 @@ class StreamTable(Sink, Source, SourceDescriptor):
                     f"the same schema, got {schema!r}"
                 )
 
+    def note_epoch_ingest(self, epoch_id: int, ingest_time) -> None:
+        """Optional sink hook: the writing engine's ingest floor for the
+        epoch it is about to deliver (engine falls back to the epoch's
+        trigger time when its sources don't track ingest)."""
+        with self._lock:
+            self._pending_ingest[epoch_id] = ingest_time
+
     def add_batch(self, epoch_id: int, batch: RecordBatch, mode: str) -> None:
         fault_point("sink.add_batch", epoch=epoch_id, sink="stream_table")
         with self._lock:
+            pending = self._pending_ingest.pop(epoch_id, None)
             if epoch_id in self._epochs:
                 return  # idempotent re-delivery after recovery
             self._rows.extend(batch.to_rows())
+            if pending is not None and batch.num_rows:
+                self._ingest.append((len(self._rows), pending))
             self._epochs.add(epoch_id)
             self._count_commit(batch.num_rows)
+
+    def ingest_floor(self, start: dict, end: dict):
+        """Oldest propagated ingest timestamp in ``[start, end)``."""
+        with self._lock:
+            return ingest_floor_from_segments(
+                self._ingest, start.get(PARTITION, 0), end.get(PARTITION, 0))
 
     def last_committed_epoch(self):
         with self._lock:

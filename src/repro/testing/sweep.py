@@ -210,7 +210,20 @@ class _CascadeQuery:
 
     def process_all_available(self):
         self.upstream.process_all_available()
-        fault_point("cascade.between_stages", stage="silver")
+        try:
+            fault_point("cascade.between_stages", stage="silver")
+        except Exception as exc:
+            # The crash lands *between* the stages, outside either
+            # engine's own dump path; the upstream recorder owns the
+            # epochs just committed into the stream table, so it writes
+            # the postmortem for this window.
+            rec = getattr(self.upstream.engine, "flightrec", None)
+            if rec is not None:
+                rec.dump("cascade-crash", error=exc,
+                         epoch=getattr(self.upstream.engine,
+                                       "next_epoch", None),
+                         force=True)
+            raise
         self.downstream.process_all_available()
 
     def stop(self):
@@ -444,6 +457,41 @@ def _golden_key(point: str, mode: str, shards: int):
     return ("agg", mode, shards)
 
 
+def check_postmortems(checkpoint_dirs, context: str = "") -> int:
+    """Assert that a crashed cell left parseable flight-recorder dumps.
+
+    Every ``postmortem*.json`` under the cell's checkpoints must parse,
+    carry the current schema version, and be internally consistent: the
+    crashed epoch follows the last recorded epoch by at most one (the
+    epoch that was executing when the crash hit).  Returns the number of
+    postmortems found; at least one is required.
+    """
+    import glob
+    import json
+
+    from repro.observability import flightrec
+
+    found = 0
+    for directory in checkpoint_dirs:
+        pattern = os.path.join(directory, "postmortem*.json")
+        for path in sorted(glob.glob(pattern)):
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            assert doc.get("version") == flightrec.SCHEMA_VERSION, \
+                f"unexpected postmortem schema in {path} {context}"
+            assert doc.get("reason"), f"postmortem {path} has no reason"
+            epochs = [entry.get("epoch") for entry in doc.get("epochs", ())]
+            crash = doc.get("crash")
+            if crash is not None and epochs:
+                assert crash["epoch"] - epochs[-1] in (0, 1), (
+                    f"postmortem {path} {context}: crashed epoch "
+                    f"{crash['epoch']} does not follow last recorded "
+                    f"epoch {epochs[-1]}")
+            found += 1
+    assert found, f"no postmortem written by crashed cell {context}"
+    return found
+
+
 def run_sweep_cell(point: str, mode: str, shards: int, root: str,
                    golden_cache: dict) -> dict:
     """Run one sweep cell; returns coverage info for the caller.
@@ -483,6 +531,12 @@ def run_sweep_cell(point: str, mode: str, shards: int, root: str,
             check_checkpoint_invariants(
                 directory, strict=True,
                 context=f"after completed cell ({point}, {mode}, shards={shards})")
+        if report.num_crashes:
+            # Every genuine crash must have left a flight-recorder dump
+            # (torn/drop/fail actions that the query absorbed need not).
+            check_postmortems(
+                [instance.checkpoint_dir, *instance.extra_checkpoints],
+                context=f"({point}, {mode}, shards={shards})")
     finally:
         instance.cleanup()
     return {

@@ -13,6 +13,11 @@ Usable as a CLI::
     python -m repro.tools.monitor <checkpoint-dir-or-events.jsonl>
     python -m repro.tools.monitor <path> --follow   # live, like top(1)
     python -m repro.tools.monitor <path> --window 50
+    python -m repro.tools.monitor <path> --serve --port 9464  # OpenMetrics
+
+A ``postmortem.json`` path works anywhere ``events.jsonl`` does: the
+dashboard (and the bottleneck panel) then replays the flight recorder's
+last epochs instead of the live log.
 
 or programmatically: ``render(load_events(path))`` returns the
 dashboard as a string.
@@ -26,6 +31,8 @@ import os
 import sys
 import time
 
+from repro.observability import bottleneck as bottleneck_model
+
 
 def resolve_events_path(path: str) -> str:
     """Accept either an ``events.jsonl`` file or a checkpoint dir."""
@@ -37,13 +44,21 @@ def resolve_events_path(path: str) -> str:
 def load_events(path: str) -> list:
     """Parse the event log into a list of per-epoch dicts.
 
-    Tolerates a torn final line (the query may be appending while we
-    read) by skipping unparseable lines.
+    Accepts an ``events.jsonl`` file, a checkpoint directory containing
+    one, or a ``postmortem.json`` flight-recorder dump (whose buffered
+    epochs replay through the same dashboard).  Tolerates a torn final
+    line (the query may be appending while we read) by skipping
+    unparseable lines.
     """
     path = resolve_events_path(path)
     events = []
     if not os.path.exists(path):
         return events
+    if path.endswith(".json"):
+        from repro.observability.flightrec import load_postmortem
+
+        doc = load_postmortem(path)
+        return list(doc.get("epochs", ())) if doc else []
     with open(path, encoding="utf-8") as f:
         for line in f:
             line = line.strip()
@@ -118,16 +133,27 @@ def render(events: list, window: int = 20) -> str:
     lines = []
 
     total_in = sum(e.get("numInputRows", 0) for e in recent)
-    total_out = sum(e.get("numOutputRows", 0) for e in recent)
+    # Retract-mode epochs deliver delete+insert delta rows; the *net*
+    # row count (sum of weights) is the true table growth, so rates are
+    # computed from it when present — a retraction-heavy window used to
+    # read as inflated throughput.
+    total_out = sum(
+        e.get("numOutputRowsNet", e.get("numOutputRows", 0)) for e in recent
+    )
+    total_delivered = sum(e.get("numOutputRows", 0) for e in recent)
     total_seconds = sum(e.get("durationSeconds", 0.0) for e in recent)
     rate = total_in / total_seconds if total_seconds > 0 else None
     lines.append(
         f"epoch {last.get('epoch', '?')}  "
         f"({len(events)} epochs logged, window={len(recent)})"
     )
+    out_note = ""
+    if total_delivered != total_out:
+        out_note = f" ({_fmt_count(total_delivered)} delivered)"
     lines.append(
         f"  input rate    {_fmt_rate(rate):>10}   "
-        f"rows in/out {_fmt_count(total_in)}/{_fmt_count(total_out)}   "
+        f"rows in/out {_fmt_count(total_in)}/{_fmt_count(total_out)}"
+        f"{out_note}   "
         f"epoch time {_fmt_seconds(last.get('durationSeconds'))}"
     )
     lines.append(
@@ -148,6 +174,43 @@ def render(events: list, window: int = 20) -> str:
                     and 0 <= trigger_time - value < 10 * 365 * 86400):
                 lag = f"   lag {_fmt_seconds(trigger_time - value)}"
             lines.append(f"  watermark     {column} = {value}{lag}")
+
+    # End-to-end event-time lag (ingest -> this stage's epoch end),
+    # propagated through stream-table cascades.
+    lags = sorted(
+        e["eventTimeLagSeconds"] for e in recent
+        if isinstance(e.get("eventTimeLagSeconds"), (int, float))
+    )
+    if lags:
+        def _pct(q):
+            return lags[min(len(lags) - 1, int(q * len(lags)))]
+        newest = next(
+            e["eventTimeLagSeconds"] for e in reversed(recent)
+            if isinstance(e.get("eventTimeLagSeconds"), (int, float))
+        )
+        lines.append(
+            f"  event-time lag  p50 {_fmt_seconds(_pct(0.50))}   "
+            f"p95 {_fmt_seconds(_pct(0.95))}   "
+            f"p99 {_fmt_seconds(_pct(0.99))}   "
+            f"last {_fmt_seconds(newest)}"
+        )
+
+    # Where is the time going? (bottleneck attribution over the window;
+    # requires stage timings, i.e. observability on when recorded.)
+    attribution = bottleneck_model.attribute_events(recent)
+    if attribution:
+        lines.append(
+            f"  bottleneck    {attribution['name']}  "
+            f"({100 * attribution['share']:.1f}% of "
+            f"{_fmt_seconds(attribution['total_seconds'])} over "
+            f"{attribution['epochs']} epochs)"
+        )
+        for entry in attribution["breakdown"][:5]:
+            lines.append(
+                f"    {entry['name']:<22} {_bar(entry['share'])} "
+                f"{_fmt_seconds(entry['seconds']):>8}  "
+                f"{100 * entry['share']:5.1f}%"
+            )
 
     # Engine phase breakdown (requires REPRO_METRICS/observability on).
     phase_totals = {}
@@ -233,19 +296,105 @@ def render(events: list, window: int = 20) -> str:
     return "\n".join(lines) + "\n"
 
 
+# ----------------------------------------------------------------------
+# OpenMetrics replay/export
+# ----------------------------------------------------------------------
+def registry_from_events(events: list, window: int = 20):
+    """Synthesize a :class:`MetricsRegistry` from logged epochs.
+
+    Lets ``--serve`` expose a Prometheus endpoint for a query that ran
+    without a live registry (or crashed): counters accumulate over all
+    events, gauges take the newest value, and per-epoch durations and
+    event-time lags fill the standard histograms — same metric names as
+    the live engine's, so dashboards work unchanged.
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for event in events:
+        registry.counter("engine.epochs").inc()
+        registry.counter("engine.rows_in").inc(event.get("numInputRows", 0))
+        registry.counter("engine.rows_out").inc(event.get("numOutputRows", 0))
+        registry.counter("engine.late_rows_dropped").inc(
+            event.get("lateRowsDropped", 0))
+        duration = event.get("durationSeconds")
+        if isinstance(duration, (int, float)):
+            registry.histogram("engine.epoch_seconds").record(duration)
+        lag = event.get("eventTimeLagSeconds")
+        if isinstance(lag, (int, float)):
+            registry.histogram("engine.event_time_lag_seconds").record(lag)
+            registry.gauge("engine.event_time_lag").set(lag)
+        registry.gauge("engine.backlog_rows").set(event.get("backlogRows"))
+        registry.gauge("engine.state_keys").set(event.get("stateKeys"))
+        trigger_time = event.get("triggerTime")
+        watermarks = event.get("watermarks") or {}
+        if isinstance(watermarks, dict) and watermarks.get("watermarks"):
+            watermarks = watermarks["watermarks"]
+        for column, value in watermarks.items():
+            if isinstance(value, (int, float)) \
+                    and isinstance(trigger_time, (int, float)):
+                registry.gauge(f"engine.watermark_lag.{column}").set(
+                    max(0.0, trigger_time - value))
+        for op, stats in (event.get("operatorMetrics") or {}).items():
+            registry.counter(f"op.{op}.rows_out").inc(
+                stats.get("rows_out", 0))
+    attribution = bottleneck_model.attribute_events(events[-window:])
+    if attribution:
+        registry.gauge("engine.bottleneck_share").set(attribution["share"])
+    return registry
+
+
+def serve_events(path: str, port: int = 0, window: int = 20):
+    """Serve ``path`` (events.jsonl / checkpoint dir / postmortem.json)
+    as an OpenMetrics endpoint; re-reads the file on every scrape.
+    Returns the running :class:`MetricsServer`."""
+    from repro.observability.serve import MetricsServer
+
+    def render_exposition():
+        events = load_events(path)
+        return registry_from_events(events, window=window).to_openmetrics()
+
+    return MetricsServer(port=port, render=render_exposition)
+
+
 def main(argv=None) -> str:
     """CLI entry point; returns the last rendered dashboard."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.monitor",
         description="Dashboard over a streaming query's events.jsonl",
     )
-    parser.add_argument("path", help="checkpoint directory or events.jsonl")
+    parser.add_argument("path", help="checkpoint directory, events.jsonl, "
+                                     "or postmortem.json")
     parser.add_argument("--window", type=int, default=20,
                         help="epochs aggregated in the rolling view")
     parser.add_argument("--follow", action="store_true",
                         help="re-render every --interval seconds")
     parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument("--serve", action="store_true",
+                        help="expose the event log as an OpenMetrics "
+                             "(Prometheus) endpoint instead of rendering")
+    parser.add_argument("--port", type=int, default=9464,
+                        help="port for --serve (default 9464; 0 = free)")
+    parser.add_argument("--serve-seconds", type=float, default=None,
+                        help="with --serve: exit after this many seconds "
+                             "(default: serve until interrupted)")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        server = serve_events(args.path, port=args.port, window=args.window)
+        url = server.url
+        print(f"serving OpenMetrics at {url}")
+        try:
+            if args.serve_seconds is not None:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return url
 
     text = render(load_events(args.path), window=args.window)
     print(text, end="")

@@ -362,3 +362,58 @@ class TestPrefetch:
             snap = metrics.snapshot()
         assert snap.get("pipeline.prefetch_hits", 0) > 0
         assert query.engine.next_epoch == 30
+
+
+class TestListenerContainment:
+    """A raising listener must never take the query down — including in
+    the most concurrent configuration (pipelined epochs on the process
+    executor), where progress fires from the driver loop while the async
+    flusher can be failing concurrently."""
+
+    def test_listener_errors_contained_pipelined_process(
+            self, tmp_path, shm_guard):
+        session = Session()
+        stream = make_stream(SCHEMA)
+        cp = str(tmp_path / "cp")
+        query = (_agg_df(session, stream).write_stream.format("memory")
+                 .query_name("bad-listener").output_mode("update")
+                 .option("pipeline", "on")
+                 .option("executor", "process").option("num_workers", 2)
+                 .start(cp))
+
+        class BadListener:
+            progress_calls = 0
+
+            def on_progress(self, progress):
+                BadListener.progress_calls += 1
+                raise RuntimeError("bad on_progress")
+
+            def on_terminated(self, query, exception):
+                raise RuntimeError("bad on_terminated")
+
+        query.add_listener(BadListener())
+        stream.add_data([{"k": "a", "v": 1}])
+        # The listener raised on every epoch, was counted, and the epoch
+        # still committed its output.
+        query.process_all_available()
+        assert BadListener.progress_calls >= 1
+        assert query.engine.progress.listener_errors >= 1
+        assert {r["k"]: r["total"] for r in query.engine.sink.rows()} == \
+            {"a": 1}
+
+        # Now the async flusher dies: the *engine* error must surface to
+        # the caller (not be eaten alongside the listener's), and the
+        # failing on_terminated must not mask it either.
+        injector = FaultInjector([Fault("state.async_flush_crash")])
+        stream.add_data([{"k": "a", "v": 2}])
+        with injected(injector):
+            with pytest.raises(CrashPoint):
+                query.process_all_available()
+        assert injector.fired
+        query.stop()  # already-surfaced error: no re-raise
+        assert query.listener_errors >= 1  # on_terminated failures counted
+
+        # The crash left a postmortem naming the flusher's error.
+        from repro.observability.flightrec import load_postmortem
+        doc = load_postmortem(cp)
+        assert doc is not None and doc["crash"]["type"] == "CrashPoint"

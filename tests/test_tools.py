@@ -98,3 +98,72 @@ class TestCli:
     def test_usage_on_bad_args(self, capsys):
         assert main([]) == 2
         assert "describe" in capsys.readouterr().err
+
+
+class TestMonitorNetRates:
+    """Retract/cascade throughput in the monitor (satellite fix).
+
+    Retract-mode epochs deliver delete+insert delta rows; the dashboard
+    must rate the *net* row count (sum of weights), not the delivered
+    delta count — a retraction-heavy window used to read as inflated
+    (or, with negative deltas, nonsensical) throughput.
+    """
+
+    def test_retract_cascade_rates_use_net_rows(self, session, tmp_path):
+        from repro.sources.cdc import ChangeStream
+        from repro.sql.types import StructType
+        from repro.tools.monitor import load_events, render
+
+        cdc = ChangeStream(StructType((("k", "string"), ("v", "long"))))
+        silver = (session.read_stream.cdc(cdc)
+                  .filter(F.col("v") >= 0).select("k", "v"))
+        ck1 = str(tmp_path / "ck-silver")
+        ck2 = str(tmp_path / "ck-gold")
+        upstream = (silver.write_stream.to_table("mon_silver")
+                    .output_mode("retract").start(ck1))
+        downstream = (session.read_stream_table("mon_silver")
+                      .group_by("k").agg(F.sum("v").alias("total"))
+                      .write_stream.format("memory").query_name("mon-gold")
+                      .output_mode("retract").start(ck2))
+
+        def drive():
+            upstream.process_all_available()
+            downstream.process_all_available()
+
+        cdc.insert([{"k": "a", "v": 5}, {"k": "b", "v": 3}])
+        drive()
+        # An update retracts the old total and asserts the new one:
+        # 2 delivered delta rows, net table growth 0.
+        cdc.update([{"k": "a", "v": 5}], [{"k": "a", "v": 2}])
+        drive()
+
+        events = load_events(ck2)
+        assert len(events) == 2
+        assert events[0]["numOutputRows"] == 2
+        assert events[0]["numOutputRowsNet"] == 2
+        assert events[1]["numOutputRows"] == 2
+        assert events[1]["numOutputRowsNet"] == 0
+
+        text = render(events)
+        # Window rates use the net count; the delivered delta-row count
+        # stays visible as an annotation instead of inflating the rate.
+        assert "rows in/out 4/2 (4 delivered)" in text
+
+        # The upstream (stream-table) stage logs net weights too: the
+        # update epoch ships one -1 and one +1 row.
+        silver_events = load_events(ck1)
+        assert silver_events[1]["numOutputRows"] == 2
+        assert silver_events[1]["numOutputRowsNet"] == 0
+
+        upstream.stop()
+        downstream.stop()
+
+    def test_render_without_net_counts_unchanged(self):
+        from repro.tools.monitor import render
+
+        events = [{"epoch": 0, "triggerTime": 1.0, "durationSeconds": 1.0,
+                   "numInputRows": 10, "numOutputRows": 10,
+                   "backlogRows": 0, "stateKeys": 0, "lateRowsDropped": 0}]
+        text = render(events)
+        assert "rows in/out 10/10 " in text
+        assert "delivered" not in text

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Benchmark history and regression report.
+
+``make bench-smoke`` consolidates each run's numbers into
+``benchmarks/results/bench_latest.json``; this tool turns that snapshot
+into a *trajectory*:
+
+* ``--append`` records the snapshot as one line in
+  ``benchmarks/results/BENCH_history.jsonl`` (machine-readable,
+  append-only, one entry per recorded run);
+* the report compares the snapshot against the most recent history
+  entry from the same host class (same core count — a 1-core CI box
+  must not be diffed against a 16-core dev machine) and flags any
+  metric that moved more than ``--threshold`` (default 10%) in the
+  *bad* direction.
+
+Metric direction is inferred from the name: throughput-like metrics
+(``*_per_second``, ``speedup``, ``throughput``) regress when they drop;
+cost-like metrics (``*_ms``, ``*_us``, ``*_seconds``, ``latency``,
+``*_bytes``, ``p50``/``p95``/``p99``) regress when they rise.  Metrics
+with no recognizable direction are reported but never gate.
+
+Exit status is 0 unless ``--strict`` is passed *and* a regression was
+flagged — the CI step stays non-blocking by default (benchmarks on
+shared runners are noisy; the report is for humans and artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LATEST_JSON = os.path.join(REPO_ROOT, "benchmarks", "results",
+                           "bench_latest.json")
+HISTORY_JSONL = os.path.join(REPO_ROOT, "benchmarks", "results",
+                             "BENCH_history.jsonl")
+
+#: Per-suite bookkeeping keys that are not measurements.
+STAMP_KEYS = {"git_sha", "host_cores", "recorded_at", "smoke"}
+#: Name fragments implying "higher is better" / "lower is better".
+HIGHER_BETTER = ("per_second", "per_sec", "throughput", "speedup",
+                 "epochs_per", "rows_per", "records_per")
+LOWER_BETTER = ("_ms", "_us", "_seconds", "latency", "_bytes", "bytes_",
+                "p50", "p95", "p99", "probe", "rss_")
+
+
+def load_latest(path: str = LATEST_JSON) -> dict:
+    """The consolidated snapshot, or {} when no benchmarks ran yet."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return {}
+
+
+def load_history(path: str = HISTORY_JSONL) -> list:
+    """All recorded history entries, oldest first (torn lines skipped)."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                continue
+    return entries
+
+
+def snapshot_stamp(latest: dict) -> dict:
+    """Run-level stamp derived from the suites' own stamps."""
+    shas = [s.get("git_sha") for s in latest.values()
+            if isinstance(s, dict) and s.get("git_sha")]
+    cores = [s.get("host_cores") for s in latest.values()
+             if isinstance(s, dict) and s.get("host_cores")]
+    times = [s.get("recorded_at") for s in latest.values()
+             if isinstance(s, dict)
+             and isinstance(s.get("recorded_at"), (int, float))]
+    return {
+        "git_sha": shas[-1] if shas else None,
+        "host_cores": max(cores) if cores else (os.cpu_count() or 1),
+        "recorded_at": max(times) if times else None,
+    }
+
+
+def append_history(latest: dict, path: str = HISTORY_JSONL):
+    """Append the snapshot as one history line; returns the entry
+    written, or None when the snapshot is empty."""
+    if not latest:
+        return None
+    entry = snapshot_stamp(latest)
+    entry["suites"] = latest
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def numeric_leaves(data, prefix: str = ""):
+    """Yield ``(dotted.path, value)`` for every numeric measurement."""
+    for key in sorted(data) if isinstance(data, dict) else ():
+        if key in STAMP_KEYS:
+            continue
+        value = data[key]
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            yield from numeric_leaves(value, path)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            yield path, float(value)
+
+
+def direction(metric: str):
+    """+1 higher-is-better, -1 lower-is-better, None unknown."""
+    name = metric.lower()
+    if any(tag in name for tag in HIGHER_BETTER):
+        return 1
+    if any(tag in name for tag in LOWER_BETTER):
+        return -1
+    return None
+
+
+def compare(latest: dict, baseline_suites: dict, threshold: float) -> list:
+    """Diff every shared metric; returns rows of
+    ``(metric, old, new, change_fraction, regressed)``."""
+    rows = []
+    for suite, data in sorted(latest.items()):
+        if not isinstance(data, dict):
+            continue
+        base = baseline_suites.get(suite)
+        if not isinstance(base, dict):
+            continue
+        old_values = dict(numeric_leaves(base, suite))
+        for metric, new in numeric_leaves(data, suite):
+            old = old_values.get(metric)
+            if old is None or old == 0:
+                continue
+            change = (new - old) / abs(old)
+            sense = direction(metric)
+            regressed = (sense is not None
+                         and -sense * change > threshold)
+            rows.append((metric, old, new, change, regressed))
+    return rows
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def report(latest: dict, history: list, threshold: float,
+           history_path: str = HISTORY_JSONL) -> list:
+    """Print the trajectory + diff; returns the flagged regressions."""
+    if not latest:
+        print("no bench_latest.json found - run `make bench-smoke` first")
+        return []
+    stamp = snapshot_stamp(latest)
+    print(f"benchmark snapshot: {len(latest)} suites "
+          f"(git {stamp['git_sha'] or '?'}, "
+          f"{stamp['host_cores']} cores)")
+    print(f"history: {len(history)} recorded runs "
+          f"in {os.path.relpath(history_path, REPO_ROOT)}")
+    same_host = [e for e in history
+                 if e.get("host_cores") == stamp["host_cores"]]
+    if not same_host:
+        print("no prior same-host entry to diff against")
+        return []
+    baseline = same_host[-1]
+    print(f"baseline: git {baseline.get('git_sha') or '?'} "
+          f"({len(same_host)} same-host entries)")
+    regressions = []
+    for metric, old, new, change, regressed in compare(
+            latest, baseline.get("suites", {}), threshold):
+        if abs(change) < 0.01:
+            continue  # noise floor: don't print sub-1% wiggle
+        flag = ""
+        if regressed:
+            flag = f"  << REGRESSION (>{threshold:.0%})"
+            regressions.append(metric)
+        print(f"  {metric:<58} {_fmt(old):>12} -> {_fmt(new):>12} "
+              f"{change:+7.1%}{flag}")
+    if not regressions:
+        print(f"no regressions beyond {threshold:.0%}")
+    else:
+        print(f"{len(regressions)} metric(s) regressed beyond "
+              f"{threshold:.0%}")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_report.py",
+        description="Benchmark trajectory report and regression gate",
+    )
+    parser.add_argument("--latest", default=LATEST_JSON,
+                        help="consolidated snapshot to report on")
+    parser.add_argument("--history", default=HISTORY_JSONL,
+                        help="append-only history file (jsonl)")
+    parser.add_argument("--append", action="store_true",
+                        help="record the snapshot into the history file")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="regression flag threshold (default 0.10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a regression is flagged")
+    args = parser.parse_args(argv)
+
+    latest = load_latest(args.latest)
+    history = load_history(args.history)
+    regressions = report(latest, history, args.threshold,
+                         history_path=args.history)
+    if args.append:
+        entry = append_history(latest, args.history)
+        if entry is not None:
+            print(f"recorded snapshot (git {entry['git_sha'] or '?'}) "
+                  f"-> {os.path.relpath(args.history, REPO_ROOT)}")
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
